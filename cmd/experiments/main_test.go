@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "experiments")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestList(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"fig2", "fig9", "table1", "table2", "ext-uncertainty", "ext-sim"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bin := buildCLI(t)
+	cases := [][]string{
+		{},                              // missing -exp
+		{"-exp", "fig99"},               // unknown experiment
+		{"-exp", "fig9", "-scale", "x"}, // unknown scale
+	}
+	for _, args := range cases {
+		if out, err := exec.Command(bin, args...).CombinedOutput(); err == nil {
+			t.Fatalf("%v unexpectedly succeeded:\n%s", args, out)
+		}
+	}
+}
+
+func TestTinyExperimentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	bin := buildCLI(t)
+	csvDir := t.TempDir()
+	out, err := exec.Command(bin,
+		"-exp", "fig12", "-scale", "tiny", "-quiet", "-csv", csvDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "full_training_loss") {
+		t.Fatalf("output missing loss column:\n%s", out)
+	}
+	csv, err := os.ReadFile(filepath.Join(csvDir, "fig12.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "epoch,full_training_loss,finetune_loss\n") {
+		t.Fatalf("csv header: %q", string(csv[:60]))
+	}
+}

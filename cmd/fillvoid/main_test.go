@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the fillvoid binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "fillvoid")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEndWorkflow(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	vol := filepath.Join(dir, "vol.vti")
+	pts := filepath.Join(dir, "pts.vtp")
+	model := filepath.Join(dir, "model.bin")
+	recon := filepath.Join(dir, "recon.vti")
+	img := filepath.Join(dir, "slice.ppm")
+
+	out := run(t, bin, "generate", "-dataset", "isabel", "-t", "5", "-div", "12", "-o", vol)
+	if !strings.Contains(out, "isabel[pressure]") {
+		t.Fatalf("generate output: %s", out)
+	}
+
+	out = run(t, bin, "sample", "-in", vol, "-frac", "0.05", "-o", pts)
+	if !strings.Contains(out, "points") {
+		t.Fatalf("sample output: %s", out)
+	}
+
+	run(t, bin, "train", "-in", vol, "-model", model,
+		"-epochs", "20", "-hidden", "24,16", "-max-rows", "2000")
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+
+	// FCNN reconstruction.
+	run(t, bin, "reconstruct", "-points", pts, "-like", vol,
+		"-method", "fcnn", "-model", model, "-o", recon)
+	out = run(t, bin, "evaluate", "-truth", vol, "-recon", recon)
+	if !strings.Contains(out, "SNR") || !strings.Contains(out, "RMSE") {
+		t.Fatalf("evaluate output: %s", out)
+	}
+
+	// Rule-based reconstruction without a model.
+	run(t, bin, "reconstruct", "-points", pts, "-like", vol,
+		"-method", "linear", "-o", recon)
+
+	// Fine-tune on a "later timestep".
+	vol2 := filepath.Join(dir, "vol2.vti")
+	run(t, bin, "generate", "-dataset", "isabel", "-t", "20", "-div", "12", "-o", vol2)
+	run(t, bin, "finetune", "-in", vol2, "-model", model, "-epochs", "3", "-case", "2")
+
+	// Render a slice.
+	run(t, bin, "render", "-in", recon, "-o", img)
+	b, err := os.ReadFile(img)
+	if err != nil || !strings.HasPrefix(string(b), "P6\n") {
+		t.Fatalf("render: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bin := buildCLI(t)
+	cases := [][]string{
+		{"sample"},      // missing -in
+		{"train"},       // missing -in
+		{"reconstruct"}, // missing -points/-like
+		{"evaluate"},    // missing paths
+		{"reconstruct", "-points", "x", "-like", "y", "-method", "fcnn"}, // missing -model
+		{"nonsense"},
+	}
+	for _, args := range cases {
+		cmd := exec.Command(bin, args...)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Fatalf("%v unexpectedly succeeded:\n%s", args, out)
+		}
+	}
+}
+
+func TestCLIPackUnpack(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	vol := filepath.Join(dir, "vol.vti")
+	fvs := filepath.Join(dir, "samples.fvs")
+	vtp := filepath.Join(dir, "points.vtp")
+
+	run(t, bin, "generate", "-dataset", "combustion", "-t", "30", "-div", "15", "-o", vol)
+	out := run(t, bin, "pack", "-in", vol, "-frac", "0.05", "-o", fvs)
+	if !strings.Contains(out, "smaller") {
+		t.Fatalf("pack output: %s", out)
+	}
+	out = run(t, bin, "unpack", "-in", fvs, "-o", vtp)
+	if !strings.Contains(out, "points from") {
+		t.Fatalf("unpack output: %s", out)
+	}
+	if _, err := os.Stat(vtp); err != nil {
+		t.Fatal(err)
+	}
+}

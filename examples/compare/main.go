@@ -1,0 +1,110 @@
+// Compare: every reconstruction method in the library, head to head, on
+// the combustion analog (the dataset whose thin flame sheet separates
+// the methods most clearly — the paper's Fig 2). Prints SNR and wall
+// time per method across two sampling percentages, plus the in situ
+// workflow artifacts (.vti/.vtp files) when -write is set.
+//
+// Run with: go run ./examples/compare [-write]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fillvoid"
+)
+
+func main() {
+	write := flag.Bool("write", false, "write truth.vti / sample.vtp / recon_<method>.vti artifacts")
+	flag.Parse()
+
+	gen, err := fillvoid.Dataset("combustion", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := fillvoid.GenerateVolume(gen, 36, 48, 10, 60)
+	fmt.Printf("dataset: %s[%s] %dx%dx%d t=60\n",
+		gen.Name(), gen.FieldName(), truth.NX, truth.NY, truth.NZ)
+
+	opts := fillvoid.DefaultOptions()
+	opts.Hidden = []int{96, 64, 32, 16}
+	opts.Epochs = 150
+	opts.MaxTrainRows = 14000
+	opts.BatchSize = 128
+	opts.Seed = 1
+	fmt.Println("pretraining FCNN...")
+	model, err := fillvoid.Pretrain(truth, gen.FieldName(), fillvoid.NewImportanceSampler(3), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := fillvoid.SpecOf(truth)
+	if *write {
+		f, err := os.Create("truth.vti")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fillvoid.WriteVTI(f, truth, gen.FieldName()); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	methods := []string{"linear", "linear-seq", "natural", "shepard", "nearest", "rbf"}
+	for _, frac := range []float64{0.01, 0.03} {
+		cloud, _, err := fillvoid.NewImportanceSampler(11).Sample(truth, gen.FieldName(), frac)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- sampling %.0f%% -> %d points ---\n", frac*100, cloud.Len())
+		fmt.Printf("%-12s %10s %12s\n", "method", "SNR (dB)", "time")
+
+		if *write && frac == 0.01 {
+			f, err := os.Create("sample.vtp")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fillvoid.WriteVTP(f, cloud); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+
+		start := time.Now()
+		recon, err := model.Reconstruct(cloud, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		s, _ := fillvoid.SNR(truth, recon)
+		fmt.Printf("%-12s %10.2f %12s\n", "fcnn", s, elapsed.Round(time.Millisecond))
+
+		for _, name := range methods {
+			m, err := fillvoid.ReconstructorByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			recon, err := m.Reconstruct(cloud, spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			s, _ := fillvoid.SNR(truth, recon)
+			fmt.Printf("%-12s %10.2f %12s\n", name, s, elapsed.Round(time.Millisecond))
+			if *write && frac == 0.01 {
+				f, err := os.Create("recon_" + name + ".vti")
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := fillvoid.WriteVTI(f, recon, gen.FieldName()); err != nil {
+					log.Fatal(err)
+				}
+				f.Close()
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Insitu: the deployment loop the paper's introduction motivates. A
+// "simulation" (the Isabel analog) advances timestep by timestep; at
+// each step the pipeline importance-samples the field down to a 1%
+// storage budget, keeps the FCNN current (pretrain on the first step,
+// 10-epoch Case 1 fine-tune afterwards), reconstructs the full field
+// from the stored samples, and accounts for everything that actually
+// hit storage. The final line reports the end-to-end compression ratio.
+//
+// Run with: go run ./examples/insitu
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fillvoid"
+)
+
+func main() {
+	gen, err := fillvoid.Dataset("isabel", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const nx, ny, nz = 32, 32, 10
+
+	opts := fillvoid.DefaultOptions()
+	opts.Hidden = []int{96, 64, 32, 16}
+	opts.Epochs = 120
+	opts.MaxTrainRows = 10000
+	opts.BatchSize = 128
+	opts.Seed = 1
+
+	pipe, err := fillvoid.NewPipeline(fillvoid.PipelineConfig{
+		Fraction:       0.01,
+		FieldName:      gen.FieldName(),
+		Mode:           fillvoid.FineTuneAll,
+		FineTuneEpochs: 10,
+		Options:        opts,
+		SamplerSeed:    7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-9s %10s %10s %12s %12s %12s\n",
+		"timestep", "SNR (dB)", "samples", "stored", "train", "reconstruct")
+	for t := 0; t < 24; t += 4 {
+		// In a real deployment this volume exists only inside the
+		// simulation's memory for the duration of the step.
+		truth := fillvoid.GenerateVolume(gen, nx, ny, nz, t)
+		rep, err := pipe.Step(truth, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9d %10.2f %10d %11.1fK %12s %12s\n",
+			rep.Timestep, rep.SNR, rep.SampleCount,
+			float64(rep.SampleBytes+rep.ModelBytes)/1024,
+			rep.TrainTime.Round(time.Millisecond),
+			rep.ReconTime.Round(time.Millisecond))
+	}
+
+	sampleBytes, modelBytes, trainTime, reconTime := pipe.Totals()
+	fmt.Printf("\ntotals: %.1fK samples + %.1fK model state, %s training, %s reconstruction\n",
+		float64(sampleBytes)/1024, float64(modelBytes)/1024,
+		trainTime.Round(time.Millisecond), reconTime.Round(time.Millisecond))
+	fmt.Printf("compression ratio vs storing raw fields: %.1fx\n",
+		pipe.CompressionRatio(nx*ny*nz))
+}

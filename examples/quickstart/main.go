@@ -1,0 +1,87 @@
+// Quickstart: the full fillvoid workflow on one timestep of the
+// Hurricane Isabel analog — generate a volume, importance-sample 1% of
+// it, pretrain the FCNN reconstructor, reconstruct the full volume from
+// the samples, and compare SNR against Delaunay linear interpolation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fillvoid"
+)
+
+func main() {
+	// 1. A simulation timestep (40x40x12 analog of Isabel's pressure).
+	gen, err := fillvoid.Dataset("isabel", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := fillvoid.GenerateVolume(gen, 40, 40, 12, 10)
+	fmt.Printf("ground truth: %s[%s] %dx%dx%d (%d points)\n",
+		gen.Name(), gen.FieldName(), truth.NX, truth.NY, truth.NZ, truth.Len())
+
+	// 2. Pretrain the FCNN on this timestep (the paper trains on the
+	// void locations of 1%+5% sampled copies). Scaled-down settings so
+	// this example finishes in ~a minute.
+	opts := fillvoid.DefaultOptions()
+	opts.Hidden = []int{96, 64, 32, 16}
+	opts.Epochs = 150
+	opts.MaxTrainRows = 14000
+	opts.BatchSize = 128
+	opts.Seed = 1
+	fmt.Println("pretraining FCNN...")
+	start := time.Now()
+	model, err := fillvoid.Pretrain(truth, gen.FieldName(), fillvoid.NewImportanceSampler(3), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	losses := model.Losses()
+	fmt.Printf("trained %d params in %s (loss %.4f -> %.5f)\n",
+		model.Network().ParamCount(), time.Since(start).Round(time.Millisecond),
+		losses[0], losses[len(losses)-1])
+
+	// 3. The in situ storage scenario: only a 1% sample survives.
+	cloud, _, err := fillvoid.NewImportanceSampler(7).Sample(truth, gen.FieldName(), 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored sample: %d of %d points (1%%)\n", cloud.Len(), truth.Len())
+
+	// 4. Reconstruct the full volume from the sample, twice: with the
+	// FCNN and with the strongest rule-based baseline.
+	spec := fillvoid.SpecOf(truth)
+	start = time.Now()
+	fcnnRecon, err := model.Reconstruct(cloud, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcnnTime := time.Since(start)
+
+	linear, err := fillvoid.ReconstructorByName("linear")
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	linRecon, err := linear.Reconstruct(cloud, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	linTime := time.Since(start)
+
+	// 5. Quality comparison.
+	fcnnSNR, err := fillvoid.SNR(truth, fcnnRecon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	linSNR, err := fillvoid.SNR(truth, linRecon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-22s %10s %12s\n", "method", "SNR (dB)", "time")
+	fmt.Printf("%-22s %10.2f %12s\n", "fcnn (ours)", fcnnSNR, fcnnTime.Round(time.Millisecond))
+	fmt.Printf("%-22s %10.2f %12s\n", "linear (Delaunay)", linSNR, linTime.Round(time.Millisecond))
+}

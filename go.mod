@@ -1,0 +1,3 @@
+module fillvoid
+
+go 1.22

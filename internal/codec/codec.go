@@ -1,0 +1,313 @@
+// Package codec implements the compact on-disk encoding for sampled
+// simulation output. The .vtp format stores four float64s per sample
+// (32 bytes); but in the paper's workflow every sample *is* a grid
+// point of a known grid, so its position is fully described by a flat
+// grid index, and scalar values tolerate bounded quantization (the
+// same observation behind the error-bounded lossy compressors the
+// paper cites as related work, Di et al. 2024). The codec stores:
+//
+//   - the grid geometry (dims, origin, spacing),
+//   - sorted sample indices, delta-encoded as uvarints,
+//   - values min-max quantized to a configurable bit depth with a
+//     guaranteed absolute error bound of range/(2^bits-1)/2.
+//
+// At 1% sampling and 16-bit values this is ~4-5 bytes per sample vs 32
+// raw — a further 6-8x on top of the sampling reduction — and the
+// decoder reproduces positions exactly.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+	"fillvoid/internal/pointcloud"
+)
+
+// magic identifies the format; the version byte follows it.
+var magic = [4]byte{'F', 'V', 'S', 'C'}
+
+const version = 1
+
+// Options controls encoding.
+type Options struct {
+	// ValueBits is the quantization depth in [4, 32]; default 16.
+	ValueBits int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.ValueBits == 0 {
+		o.ValueBits = 16
+	}
+	if o.ValueBits < 4 || o.ValueBits > 32 {
+		return o, fmt.Errorf("codec: ValueBits %d outside [4, 32]", o.ValueBits)
+	}
+	return o, nil
+}
+
+// MaxQuantizationError returns the worst-case absolute value error the
+// encoder introduces for data spanning (hi - lo) at the given depth.
+func MaxQuantizationError(lo, hi float64, bits int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	levels := float64(uint64(1)<<uint(bits) - 1)
+	return (hi - lo) / levels / 2
+}
+
+// Encode writes the sampled indices and values of volume geometry g.
+// idxs must be sorted ascending (as the samplers return them) and
+// values[i] is the scalar at idxs[i].
+func Encode(w io.Writer, g *grid.Volume, fieldName string, idxs []int, values []float64, opts Options) error {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return err
+	}
+	if len(idxs) != len(values) {
+		return errors.New("codec: index/value length mismatch")
+	}
+	for i := 1; i < len(idxs); i++ {
+		if idxs[i] <= idxs[i-1] {
+			return errors.New("codec: indices must be strictly ascending")
+		}
+	}
+	if len(idxs) > 0 && (idxs[0] < 0 || idxs[len(idxs)-1] >= g.Len()) {
+		return errors.New("codec: index out of grid range")
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("codec: non-finite value")
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if len(values) == 0 {
+		lo, hi = 0, 0
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(opts.ValueBits)); err != nil {
+		return err
+	}
+	writeString := func(s string) error {
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], uint64(len(s)))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeString(fieldName); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint32(g.NX), uint32(g.NY), uint32(g.NZ),
+		g.Origin.X, g.Origin.Y, g.Origin.Z,
+		g.Spacing.X, g.Spacing.Y, g.Spacing.Z,
+		lo, hi,
+		uint64(len(idxs)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+
+	// Delta-encoded indices.
+	var buf [binary.MaxVarintLen64]byte
+	prev := -1
+	for _, idx := range idxs {
+		n := binary.PutUvarint(buf[:], uint64(idx-prev))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = idx
+	}
+
+	// Bit-packed quantized values.
+	levels := uint64(1)<<uint(opts.ValueBits) - 1
+	scale := 0.0
+	if hi > lo {
+		scale = float64(levels) / (hi - lo)
+	}
+	var acc uint64
+	accBits := 0
+	for _, v := range values {
+		q := uint64((v-lo)*scale + 0.5)
+		if q > levels {
+			q = levels
+		}
+		acc |= q << uint(accBits)
+		accBits += opts.ValueBits
+		for accBits >= 8 {
+			if err := bw.WriteByte(byte(acc)); err != nil {
+				return err
+			}
+			acc >>= 8
+			accBits -= 8
+		}
+	}
+	if accBits > 0 {
+		if err := bw.WriteByte(byte(acc)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decoded is the result of Decode: the cloud (positions reconstructed
+// exactly from grid indices, values dequantized), the grid geometry it
+// came from, and the flat indices.
+type Decoded struct {
+	Cloud     *pointcloud.Cloud
+	Indices   []int
+	NX        int
+	NY        int
+	NZ        int
+	Origin    mathutil.Vec3
+	Spacing   mathutil.Vec3
+	FieldName string
+	// MaxError is the guaranteed bound on the per-value decoding error.
+	MaxError float64
+}
+
+// Grid returns an empty volume with the decoded geometry.
+func (d *Decoded) Grid() *grid.Volume {
+	return grid.NewWithGeometry(d.NX, d.NY, d.NZ, d.Origin, d.Spacing)
+}
+
+// Decode reads a stream written by Encode.
+func Decode(r io.Reader) (*Decoded, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("codec: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("codec: bad magic")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("codec: unsupported version %d", ver)
+	}
+	bitsByte, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	bits := int(bitsByte)
+	if bits < 4 || bits > 32 {
+		return nil, fmt.Errorf("codec: invalid value depth %d", bits)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, errors.New("codec: implausible field-name length")
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, err
+	}
+
+	var nx, ny, nz uint32
+	var ox, oy, oz, sx, sy, sz, lo, hi float64
+	var count uint64
+	for _, p := range []any{&nx, &ny, &nz, &ox, &oy, &oz, &sx, &sy, &sz, &lo, &hi, &count} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if nx < 1 || ny < 1 || nz < 1 || sx <= 0 || sy <= 0 || sz <= 0 {
+		return nil, errors.New("codec: invalid grid geometry")
+	}
+	total := uint64(nx) * uint64(ny) * uint64(nz)
+	if count > total {
+		return nil, errors.New("codec: more samples than grid points")
+	}
+
+	d := &Decoded{
+		NX: int(nx), NY: int(ny), NZ: int(nz),
+		Origin:    mathutil.Vec3{X: ox, Y: oy, Z: oz},
+		Spacing:   mathutil.Vec3{X: sx, Y: sy, Z: sz},
+		FieldName: string(nameBuf),
+		MaxError:  MaxQuantizationError(lo, hi, bits),
+	}
+	g := d.Grid()
+
+	d.Indices = make([]int, count)
+	prev := -1
+	for i := range d.Indices {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		idx := prev + int(delta)
+		if idx < prev+1 || idx >= g.Len() {
+			return nil, errors.New("codec: index stream out of range")
+		}
+		d.Indices[i] = idx
+		prev = idx
+	}
+
+	levels := uint64(1)<<uint(bits) - 1
+	inv := 0.0
+	if levels > 0 && hi > lo {
+		inv = (hi - lo) / float64(levels)
+	}
+	d.Cloud = pointcloud.New(d.FieldName, int(count))
+	var acc uint64
+	accBits := 0
+	for _, idx := range d.Indices {
+		for accBits < bits {
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("codec: value stream truncated: %w", err)
+			}
+			acc |= uint64(b) << uint(accBits)
+			accBits += 8
+		}
+		q := acc & levels
+		acc >>= uint(bits)
+		accBits -= bits
+		d.Cloud.Add(g.PointAt(idx), lo+float64(q)*inv)
+	}
+	return d, nil
+}
+
+// EncodedSize returns the exact number of bytes Encode would produce
+// (useful for storage accounting without writing).
+func EncodedSize(g *grid.Volume, fieldName string, idxs []int, opts Options) (int64, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	var n int64 = 4 + 1 + 1 // magic + version + bits
+	var lenBuf [binary.MaxVarintLen64]byte
+	n += int64(binary.PutUvarint(lenBuf[:], uint64(len(fieldName)))) + int64(len(fieldName))
+	n += 3*4 + 6*8 + 2*8 + 8 // dims + geometry + range + count
+	prev := -1
+	for _, idx := range idxs {
+		n += int64(binary.PutUvarint(lenBuf[:], uint64(idx-prev)))
+		prev = idx
+	}
+	n += int64((len(idxs)*opts.ValueBits + 7) / 8)
+	return n, nil
+}

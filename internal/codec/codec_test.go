@@ -1,0 +1,189 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fillvoid/internal/datasets"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+	"fillvoid/internal/sampling"
+)
+
+func sampleFixture(t *testing.T) (*grid.Volume, []int, []float64) {
+	t.Helper()
+	gen := datasets.NewIsabel(5)
+	v := datasets.Volume(gen, 20, 18, 8, 6)
+	_, idxs, err := (&sampling.Importance{Seed: 3}).Sample(v, "pressure", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, len(idxs))
+	for i, idx := range idxs {
+		values[i] = v.Data[idx]
+	}
+	return v, idxs, values
+}
+
+func TestRoundTripPositionsExactValuesBounded(t *testing.T) {
+	v, idxs, values := sampleFixture(t)
+	for _, bits := range []int{8, 16, 32} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, v, "pressure", idxs, values, Options{ValueBits: bits}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.FieldName != "pressure" {
+			t.Fatalf("field %q", d.FieldName)
+		}
+		if d.NX != v.NX || d.NY != v.NY || d.NZ != v.NZ || d.Origin != v.Origin || d.Spacing != v.Spacing {
+			t.Fatal("geometry mismatch")
+		}
+		if len(d.Indices) != len(idxs) {
+			t.Fatalf("count %d want %d", len(d.Indices), len(idxs))
+		}
+		lo, hi := values[0], values[0]
+		for _, x := range values {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		wantErr := MaxQuantizationError(lo, hi, bits)
+		if math.Abs(d.MaxError-wantErr) > 1e-15*(wantErr+1) {
+			t.Fatalf("bits=%d reported error %g want %g", bits, d.MaxError, wantErr)
+		}
+		for i, idx := range idxs {
+			if d.Indices[i] != idx {
+				t.Fatalf("bits=%d: index %d decoded as %d", bits, idx, d.Indices[i])
+			}
+			if d.Cloud.Points[i] != v.PointAt(idx) {
+				t.Fatalf("bits=%d: position not exact at %d", bits, i)
+			}
+			if e := math.Abs(d.Cloud.Values[i] - values[i]); e > wantErr*1.000001 {
+				t.Fatalf("bits=%d: value error %g exceeds bound %g", bits, e, wantErr)
+			}
+		}
+	}
+}
+
+func TestCompressionBeatsRawVTP(t *testing.T) {
+	v, idxs, values := sampleFixture(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, v, "pressure", idxs, values, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := int64(len(idxs)) * 32 // x, y, z, value float64
+	t.Logf("codec: %d bytes vs %d raw (%.1fx)", buf.Len(), raw, float64(raw)/float64(buf.Len()))
+	if int64(buf.Len())*4 > raw {
+		t.Fatalf("codec only reached %d bytes for %d raw", buf.Len(), raw)
+	}
+	// EncodedSize predicts the exact length.
+	n, err := EncodedSize(v, "pressure", idxs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("EncodedSize %d, actual %d", n, buf.Len())
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	v, idxs, values := sampleFixture(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, v, "f", idxs, values[:1], Options{}); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	bad := append([]int{}, idxs...)
+	bad[1] = bad[0]
+	if err := Encode(&buf, v, "f", bad, values, Options{}); err == nil {
+		t.Fatal("accepted duplicate indices")
+	}
+	if err := Encode(&buf, v, "f", []int{v.Len()}, []float64{1}, Options{}); err == nil {
+		t.Fatal("accepted out-of-range index")
+	}
+	if err := Encode(&buf, v, "f", []int{0}, []float64{math.NaN()}, Options{}); err == nil {
+		t.Fatal("accepted NaN value")
+	}
+	if err := Encode(&buf, v, "f", idxs, values, Options{ValueBits: 3}); err == nil {
+		t.Fatal("accepted 3-bit quantization")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	v, idxs, values := sampleFixture(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, v, "f", idxs, values, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncations at every region boundary-ish offset must error.
+	for _, cut := range []int{0, 3, 5, 20, 40, len(full) / 2, len(full) - 1} {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("accepted truncation to %d bytes", cut)
+		}
+	}
+	// Bad magic.
+	corrupt := append([]byte{}, full...)
+	corrupt[0] = 'X'
+	if _, err := Decode(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Bad version.
+	corrupt = append([]byte{}, full...)
+	corrupt[4] = 99
+	if _, err := Decode(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("accepted bad version")
+	}
+}
+
+func TestEmptySampleSet(t *testing.T) {
+	v := grid.New(4, 4, 4)
+	var buf bytes.Buffer
+	if err := Encode(&buf, v, "f", nil, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cloud.Len() != 0 {
+		t.Fatalf("decoded %d points", d.Cloud.Len())
+	}
+}
+
+func TestQuantizationErrorBoundProperty(t *testing.T) {
+	// Property: for random values and depths, every decoded value is
+	// within the promised bound.
+	f := func(seed int64, bitsRaw uint8) bool {
+		bits := 4 + int(bitsRaw)%29 // [4, 32]
+		v := grid.New(6, 6, 6)
+		rng := mathutil.NewRNG(seed)
+		var idxs []int
+		var values []float64
+		for i := 0; i < v.Len(); i += 1 + rng.Intn(4) {
+			idxs = append(idxs, i)
+			values = append(values, rng.NormFloat64()*100)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, v, "f", idxs, values, Options{ValueBits: bits}); err != nil {
+			return false
+		}
+		d, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range values {
+			if math.Abs(d.Cloud.Values[i]-values[i]) > d.MaxError*1.000001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

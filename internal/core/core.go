@@ -1,0 +1,538 @@
+// Package core implements the paper's primary contribution: a fully
+// connected neural network (FCNN) that reconstructs full-resolution
+// regular-grid scalar fields from aggressively sampled, unstructured
+// point clouds.
+//
+// The workflow matches Section III of the paper:
+//
+//  1. Pretrain: at one timestep where the full field is available in
+//     situ, sample it at the training fractions (1% and 5% by default),
+//     extract a [1×23] feature vector per void location (five nearest
+//     sampled points + the void position) with a [1×4] target (value +
+//     gradients), and train the FCNN with Adam/MSE.
+//  2. Reconstruct: given any sampled cloud of any timestep at any
+//     sampling percentage — and any output resolution or spatial domain
+//     — predict every void location in one batched inference pass.
+//     Reconstruction cost is constant in the sampling percentage.
+//  3. Fine-tune: adapt the pretrained model to a new timestep or
+//     resolution with a few epochs. Case 1 retrains all layers
+//     (~10 epochs); Case 2 retrains only the last two layers (cheaper
+//     to store per timestep, needs more epochs).
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"fillvoid/internal/features"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/interp"
+	"fillvoid/internal/kdtree"
+	"fillvoid/internal/nn"
+	"fillvoid/internal/parallel"
+	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/sampling"
+)
+
+// Options configures pretraining and reconstruction.
+type Options struct {
+	// Features controls the k-NN feature engineering (default: K = 5
+	// with gradient targets).
+	Features features.Config
+	// Hidden lists hidden-layer widths (default: the paper's five
+	// layers, 512–16).
+	Hidden []int
+	// Epochs is the full-training epoch count (the paper uses 500).
+	Epochs int
+	// FineTuneEpochs is the default Case 1 fine-tune epoch count (~10).
+	FineTuneEpochs int
+	// TrainFractions are the sampling percentages whose void features
+	// form the training set; the paper concatenates 1% and 5%.
+	TrainFractions []float64
+	// MaxTrainRows caps the training set size by uniform subsampling
+	// (0 = unlimited). Table II shows quality is insensitive to this.
+	MaxTrainRows int
+	// BatchSize is the minibatch size (default 256).
+	BatchSize int
+	// Workers bounds parallelism (<= 0: all cores).
+	Workers int
+	// Seed drives sampling, init, and shuffling.
+	Seed int64
+	// LearningRate for Adam (default 1e-3, the paper's setting).
+	LearningRate float64
+	// SubsampleSeed drives MaxTrainRows subsampling.
+	SubsampleSeed int64
+	// RowSelection picks how MaxTrainRows trims the training set:
+	// uniform (the paper's Table II protocol) or gradient-weighted (the
+	// paper's "intelligent training set creation" future work).
+	RowSelection RowSelection
+	// ReconBatch bounds how many void locations are featurized and
+	// predicted at once during reconstruction (default 1<<18). At the
+	// paper's ionization resolution the void set is ~37M points, whose
+	// full feature matrix would need ~7 GB; batching keeps memory flat.
+	ReconBatch int
+	// ValidationFraction, when > 0, holds out that fraction of the
+	// training rows for per-epoch validation with early stopping
+	// (Patience epochs without improvement; best weights restored).
+	// The paper trains a fixed 500 epochs; this is an optional
+	// production refinement.
+	ValidationFraction float64
+	// Patience is the early-stopping patience (default 20) when
+	// ValidationFraction > 0.
+	Patience int
+}
+
+// RowSelection is the training-row trimming strategy.
+type RowSelection int
+
+const (
+	// SelectUniform keeps a uniform random subset (paper Table II).
+	SelectUniform RowSelection = iota
+	// SelectGradient keeps rows with probability proportional to the
+	// target gradient magnitude, concentrating the budget on
+	// feature-rich regions.
+	SelectGradient
+)
+
+// String implements fmt.Stringer.
+func (s RowSelection) String() string {
+	switch s {
+	case SelectUniform:
+		return "uniform"
+	case SelectGradient:
+		return "gradient"
+	default:
+		return fmt.Sprintf("RowSelection(%d)", int(s))
+	}
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Features:       features.DefaultConfig(),
+		Hidden:         nn.PaperHidden(),
+		Epochs:         500,
+		FineTuneEpochs: 10,
+		TrainFractions: []float64{0.01, 0.05},
+		LearningRate:   1e-3,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Features.K == 0 {
+		o.Features = features.DefaultConfig()
+	}
+	if o.Hidden == nil {
+		o.Hidden = nn.PaperHidden()
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 500
+	}
+	if o.FineTuneEpochs == 0 {
+		o.FineTuneEpochs = 10
+	}
+	if len(o.TrainFractions) == 0 {
+		o.TrainFractions = []float64{0.01, 0.05}
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 1e-3
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 256
+	}
+	return o
+}
+
+// FineTuneMode selects the paper's two fine-tuning strategies.
+type FineTuneMode int
+
+const (
+	// FineTuneAll retrains every layer (Case 1): converges in ~10
+	// epochs but a full model must be stored per timestep if models are
+	// kept.
+	FineTuneAll FineTuneMode = iota
+	// FineTuneLastTwo freezes all but the last two layers (Case 2):
+	// only those layers change per timestep, shrinking storage, but
+	// convergence needs ~300-500 epochs.
+	FineTuneLastTwo
+)
+
+// String implements fmt.Stringer.
+func (m FineTuneMode) String() string {
+	switch m {
+	case FineTuneAll:
+		return "case1-all-layers"
+	case FineTuneLastTwo:
+		return "case2-last-two"
+	default:
+		return fmt.Sprintf("FineTuneMode(%d)", int(m))
+	}
+}
+
+// FCNN is a trained (or in-training) neural reconstructor.
+type FCNN struct {
+	opts Options
+	net  *nn.Network
+	// norm carries the value scaling fitted at pretraining time;
+	// position scaling is refit to each reconstruction grid so the
+	// model transfers across resolutions and spatial domains (Fig 13).
+	norm      *features.Normalizer
+	fieldName string
+}
+
+// Pretrain samples truth at each training fraction with the given
+// sampler, builds the combined training set, and trains a fresh FCNN.
+// It returns the trained reconstructor; per-epoch losses are available
+// via Losses.
+func Pretrain(truth *grid.Volume, fieldName string, sampler sampling.Sampler, opts Options) (*FCNN, error) {
+	opts = opts.withDefaults()
+	ts, norm, err := buildTrainingSet(truth, fieldName, sampler, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	net, err := nn.New(nn.Config{
+		In:        opts.Features.InputWidth(),
+		Out:       opts.Features.OutputWidth(),
+		Hidden:    opts.Hidden,
+		Seed:      opts.Seed,
+		BatchSize: opts.BatchSize,
+		Workers:   opts.Workers,
+		Adam:      nn.AdamConfig{LearningRate: opts.LearningRate},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &FCNN{opts: opts, net: net, norm: norm, fieldName: fieldName}
+	if opts.ValidationFraction > 0 {
+		train, val, err := ts.Split(opts.ValidationFraction, opts.Seed^0x5a11d)
+		if err != nil {
+			return nil, err
+		}
+		patience := opts.Patience
+		if patience <= 0 {
+			patience = 20
+		}
+		if _, _, err := net.TrainWithValidation(train.X, train.Y, val.X, val.Y, opts.Epochs, patience); err != nil {
+			return nil, err
+		}
+	} else if _, err := net.TrainEpochs(ts.X, ts.Y, opts.Epochs); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildTrainingSet assembles the concatenated multi-fraction training
+// set. With baseNorm == nil (pretraining) the normalizer's value and
+// gradient scaling are fitted here — value range from the densest
+// sampled cloud, gradient balance so the gradient targets match the
+// value targets in RMS. With a baseNorm (fine-tuning) the fitted value
+// and gradient scaling are kept — the model's output semantics must not
+// shift under it — and only the position scaling is refit to the new
+// grid's bounds, which is what lets fine-tuning cross resolutions and
+// spatial domains.
+func buildTrainingSet(truth *grid.Volume, fieldName string, sampler sampling.Sampler, opts Options, baseNorm *features.Normalizer) (*features.TrainingSet, *features.Normalizer, error) {
+	if sampler == nil {
+		sampler = &sampling.Importance{Seed: opts.Seed}
+	}
+	type sampled struct {
+		cloud *pointcloud.Cloud
+		void  []int
+		frac  float64
+	}
+	var all []sampled
+	for _, frac := range opts.TrainFractions {
+		cloud, idxs, err := sampler.Sample(truth, fieldName, frac)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: sampling at %g: %w", frac, err)
+		}
+		all = append(all, sampled{cloud: cloud, void: sampling.VoidIndices(truth, idxs), frac: frac})
+	}
+	if len(all) == 0 {
+		return nil, nil, errors.New("core: no training fractions")
+	}
+
+	var norm *features.Normalizer
+	if baseNorm == nil {
+		densest := all[0]
+		for _, s := range all[1:] {
+			if s.frac > densest.frac {
+				densest = s
+			}
+		}
+		norm = features.NormalizerFor(densest.cloud, truth.Bounds())
+		if opts.Features.WithGradients {
+			// Balance gradient targets against the value targets: fit
+			// on a bounded sample of void locations for speed.
+			fit := densest.void
+			if len(fit) > 20000 {
+				fit = fit[:20000]
+			}
+			norm.FitGradScale(truth, fit, gradTargetRMS)
+		}
+	} else {
+		n := *baseNorm
+		pos := features.NewNormalizer(truth.Bounds(), 0, 1)
+		n.PosMin = pos.PosMin
+		n.PosScale = pos.PosScale
+		norm = &n
+	}
+
+	var combined *features.TrainingSet
+	for _, s := range all {
+		ts, err := features.Build(opts.Features, truth, s.cloud, s.void, norm)
+		if err != nil {
+			return nil, nil, err
+		}
+		if combined == nil {
+			combined = ts
+		} else if err := combined.Append(ts); err != nil {
+			return nil, nil, err
+		}
+	}
+	if combined == nil || combined.Len() == 0 {
+		return nil, nil, errors.New("core: empty training set")
+	}
+	if opts.MaxTrainRows > 0 && combined.Len() > opts.MaxTrainRows {
+		frac := float64(opts.MaxTrainRows) / float64(combined.Len())
+		var sub *features.TrainingSet
+		var err error
+		if opts.RowSelection == SelectGradient {
+			if w := combined.GradientWeights(0); w != nil {
+				sub, err = combined.SubsampleWeighted(frac, w, opts.SubsampleSeed)
+			} else {
+				// No gradient targets to weight by: fall back to uniform.
+				sub, err = combined.Subsample(frac, opts.SubsampleSeed)
+			}
+		} else {
+			sub, err = combined.Subsample(frac, opts.SubsampleSeed)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		combined = sub
+	}
+	return combined, norm, nil
+}
+
+// gradTargetRMS is the RMS the gradient target components are scaled to
+// — comparable to the spread of the min-max normalized value component,
+// so the four-way MSE weights value and gradients evenly.
+const gradTargetRMS = 0.2
+
+// FineTune adapts the model to a new timestep (or resolution/domain)
+// whose ground truth is available in situ, using epochs epochs of the
+// given mode. Pass epochs <= 0 for the mode's default (FineTuneEpochs
+// for Case 1, 30× that for Case 2). The model's freeze state is
+// restored to fully-trainable afterwards.
+func (r *FCNN) FineTune(truth *grid.Volume, sampler sampling.Sampler, mode FineTuneMode, epochs int) error {
+	opts := r.opts
+	if epochs <= 0 {
+		epochs = opts.FineTuneEpochs
+		if mode == FineTuneLastTwo {
+			epochs = opts.FineTuneEpochs * 30
+		}
+	}
+	ts, _, err := buildTrainingSet(truth, r.fieldName, sampler, opts, r.norm)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case FineTuneAll:
+		r.net.UnfreezeAll()
+	case FineTuneLastTwo:
+		r.net.FreezeAllButLast(2)
+	default:
+		return fmt.Errorf("core: unknown fine-tune mode %v", mode)
+	}
+	_, err = r.net.TrainEpochs(ts.X, ts.Y, epochs)
+	r.net.UnfreezeAll()
+	return err
+}
+
+// Name implements interp.Reconstructor.
+func (r *FCNN) Name() string { return "fcnn" }
+
+// Reconstruct implements interp.Reconstructor: it fills the spec'd grid
+// from the sampled cloud. Grid nodes coinciding with samples keep their
+// exact sampled value; every other node (the void locations) is
+// predicted by the network in one parallel batched pass. The position
+// normalization is refit to the output grid's bounds, which is what
+// lets a model trained on one resolution/domain reconstruct another.
+func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (*grid.Volume, error) {
+	if c.Len() < r.opts.Features.K {
+		return nil, fmt.Errorf("core: cloud has %d points, need >= %d", c.Len(), r.opts.Features.K)
+	}
+	out := spec.NewVolume()
+	norm := &features.Normalizer{ValMin: r.norm.ValMin, ValScale: r.norm.ValScale}
+	posNorm := features.NewNormalizer(out.Bounds(), 0, 1)
+	norm.PosMin = posNorm.PosMin
+	norm.PosScale = posNorm.PosScale
+
+	ex, err := features.NewExtractor(r.opts.Features, c, norm)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split grid nodes into exact sample hits and void locations.
+	n := out.Len()
+	eps2 := minSpacing2(spec) * 1e-12
+	voidIdx := make([]int, 0, n)
+	exact := make([]float64, n)
+	isExact := make([]bool, n)
+	nearest := nearestSampleTable(c, out, r.opts.Workers)
+	for idx := 0; idx < n; idx++ {
+		if nearest.d2[idx] <= eps2 {
+			exact[idx] = c.Values[nearest.idx[idx]]
+			isExact[idx] = true
+		} else {
+			voidIdx = append(voidIdx, idx)
+		}
+	}
+
+	batch := r.opts.ReconBatch
+	if batch <= 0 {
+		batch = 1 << 18
+	}
+	for start := 0; start < len(voidIdx); start += batch {
+		end := start + batch
+		if end > len(voidIdx) {
+			end = len(voidIdx)
+		}
+		chunk := voidIdx[start:end]
+		x := ex.GridMatrix(out, chunk)
+		pred, err := r.net.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		parallel.For(len(chunk), r.opts.Workers, func(i int) {
+			out.Data[chunk[i]] = norm.Denorm(pred.At(i, 0))
+		})
+	}
+	for idx := 0; idx < n; idx++ {
+		if isExact[idx] {
+			out.Data[idx] = exact[idx]
+		}
+	}
+	return out, nil
+}
+
+type nearestTable struct {
+	idx []int32
+	d2  []float64
+}
+
+func nearestSampleTable(c *pointcloud.Cloud, v *grid.Volume, workers int) *nearestTable {
+	t := &nearestTable{idx: make([]int32, v.Len()), d2: make([]float64, v.Len())}
+	tree := kdtree.Build(c.Points)
+	parallel.For(v.Len(), workers, func(i int) {
+		ni, d2 := tree.Nearest(v.PointAt(i))
+		t.idx[i] = int32(ni)
+		t.d2[i] = d2
+	})
+	return t
+}
+
+func minSpacing2(spec interp.GridSpec) float64 {
+	m := spec.Spacing.X
+	if spec.Spacing.Y < m {
+		m = spec.Spacing.Y
+	}
+	if spec.Spacing.Z < m {
+		m = spec.Spacing.Z
+	}
+	return m * m
+}
+
+// Losses returns the concatenated per-epoch training losses (full
+// training followed by fine-tuning epochs); Fig 12 plots these.
+func (r *FCNN) Losses() []float64 { return r.net.Losses }
+
+// Network exposes the underlying model (parameter counts, freezing).
+func (r *FCNN) Network() *nn.Network { return r.net }
+
+// Options returns the reconstructor's configuration.
+func (r *FCNN) Options() Options { return r.opts }
+
+// FieldName returns the scalar attribute this model was trained on.
+func (r *FCNN) FieldName() string { return r.fieldName }
+
+// Clone deep-copies the reconstructor (model weights included) so a
+// pretrained model can be fine-tuned per timestep without mutating the
+// original — the Fig 11 experiment does exactly this.
+func (r *FCNN) Clone() *FCNN {
+	cp := *r
+	cp.net = r.net.Clone()
+	n := *r.norm
+	cp.norm = &n
+	return &cp
+}
+
+// bundle is the gob wire format for a saved FCNN reconstructor.
+type bundle struct {
+	Version   int
+	Opts      Options
+	Norm      features.Normalizer
+	FieldName string
+	Model     []byte
+}
+
+const bundleVersion = 1
+
+// Save writes the reconstructor (options, normalizer, weights) to w.
+func (r *FCNN) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := r.net.Save(&buf); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(&bundle{
+		Version:   bundleVersion,
+		Opts:      r.opts,
+		Norm:      *r.norm,
+		FieldName: r.fieldName,
+		Model:     buf.Bytes(),
+	})
+}
+
+// Load reads a reconstructor previously written with Save.
+func Load(rd io.Reader) (*FCNN, error) {
+	var b bundle
+	if err := gob.NewDecoder(rd).Decode(&b); err != nil {
+		return nil, fmt.Errorf("core: decoding model bundle: %w", err)
+	}
+	if b.Version != bundleVersion {
+		return nil, fmt.Errorf("core: unsupported bundle version %d", b.Version)
+	}
+	net, err := nn.Load(bytes.NewReader(b.Model))
+	if err != nil {
+		return nil, err
+	}
+	norm := b.Norm
+	return &FCNN{opts: b.Opts.withDefaults(), net: net, norm: &norm, fieldName: b.FieldName}, nil
+}
+
+// SaveFile writes the reconstructor to path.
+func (r *FCNN) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a reconstructor from path.
+func LoadFile(path string) (*FCNN, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

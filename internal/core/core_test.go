@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"fillvoid/internal/datasets"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/interp"
+	"fillvoid/internal/metrics"
+	"fillvoid/internal/sampling"
+)
+
+// testOptions returns a configuration small enough for unit tests but
+// structurally identical to the paper's (multi-fraction training set,
+// several hidden layers, gradient targets).
+func testOptions() Options {
+	return Options{
+		Hidden:         []int{96, 64, 32, 16},
+		Epochs:         150,
+		FineTuneEpochs: 8,
+		TrainFractions: []float64{0.02, 0.05},
+		MaxTrainRows:   14000,
+		BatchSize:      128,
+		Seed:           1,
+	}
+}
+
+func testVolume(t *testing.T) *grid.Volume {
+	t.Helper()
+	gen := datasets.NewIsabel(7)
+	return datasets.Volume(gen, 40, 40, 12, 10)
+}
+
+// Pretraining is the expensive step, so all tests share one pretrained
+// model; anything that mutates it works on a Clone.
+var (
+	pretrainOnce sync.Once
+	pretrainR    *FCNN
+	pretrainErr  error
+)
+
+func pretrained(t *testing.T) (*FCNN, *grid.Volume) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("pretraining is too slow for -short")
+	}
+	truth := testVolume(t)
+	pretrainOnce.Do(func() {
+		pretrainR, pretrainErr = Pretrain(truth, "pressure", &sampling.Importance{Seed: 3}, testOptions())
+	})
+	if pretrainErr != nil {
+		t.Fatal(pretrainErr)
+	}
+	return pretrainR, truth
+}
+
+func snrOf(t *testing.T, truth, recon *grid.Volume) float64 {
+	t.Helper()
+	s, err := metrics.SNR(truth, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPretrainAndReconstructBeatsNearest(t *testing.T) {
+	r, truth := pretrained(t)
+
+	cloud, _, err := (&sampling.Importance{Seed: 11}).Sample(truth, "pressure", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := interp.SpecOf(truth)
+
+	recon, err := r.Reconstruct(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcnnSNR := snrOf(t, truth, recon)
+
+	nnRecon, err := (&interp.Nearest{}).Reconstruct(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearSNR := snrOf(t, truth, nnRecon)
+
+	t.Logf("SNR: fcnn=%.2f dB nearest=%.2f dB", fcnnSNR, nearSNR)
+	if fcnnSNR < 12 {
+		t.Fatalf("FCNN SNR %.2f dB is implausibly low", fcnnSNR)
+	}
+	if fcnnSNR <= nearSNR {
+		t.Fatalf("FCNN (%.2f dB) should beat nearest neighbor (%.2f dB)", fcnnSNR, nearSNR)
+	}
+}
+
+func TestLossDecreasesDuringTraining(t *testing.T) {
+	r, _ := pretrained(t)
+	losses := r.Losses()
+	if len(losses) == 0 {
+		t.Fatal("no loss history")
+	}
+	first, last := losses[0], losses[len(losses)-1]
+	if !(last < first*0.5) {
+		t.Fatalf("loss did not decrease enough: first=%g last=%g", first, last)
+	}
+	for _, l := range losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("non-finite loss in history: %v", losses)
+		}
+	}
+}
+
+func TestReconstructionConstantAcrossSamplingPercents(t *testing.T) {
+	// The same pretrained model must work at multiple sampling
+	// percentages (the paper's key flexibility finding).
+	r, truth := pretrained(t)
+	spec := interp.SpecOf(truth)
+	for _, frac := range []float64{0.01, 0.03, 0.05} {
+		cloud, _, err := (&sampling.Importance{Seed: 23}).Sample(truth, "pressure", frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, err := r.Reconstruct(cloud, spec)
+		if err != nil {
+			t.Fatalf("fraction %g: %v", frac, err)
+		}
+		s := snrOf(t, truth, recon)
+		t.Logf("fraction %.3f: SNR %.2f dB", frac, s)
+		if s < 5 {
+			t.Fatalf("fraction %g: SNR %.2f dB too low", frac, s)
+		}
+	}
+}
+
+func TestSampledNodesKeptExact(t *testing.T) {
+	r, truth := pretrained(t)
+	cloud, idxs, err := (&sampling.Importance{Seed: 5}).Sample(truth, "pressure", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := r.Reconstruct(cloud, interp.SpecOf(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range idxs {
+		if recon.Data[idx] != truth.Data[idx] {
+			t.Fatalf("sampled node %d: got %g want exact %g", idx, recon.Data[idx], truth.Data[idx])
+		}
+	}
+}
+
+func TestFineTuneImprovesLaterTimestep(t *testing.T) {
+	r, _ := pretrained(t)
+	gen := datasets.NewIsabel(7)
+	later := datasets.Volume(gen, 40, 40, 12, 40) // far from training t=10
+
+	cloud, _, err := (&sampling.Importance{Seed: 31}).Sample(later, "pressure", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := interp.SpecOf(later)
+
+	before, err := r.Reconstruct(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeSNR := snrOf(t, later, before)
+
+	tuned := r.Clone()
+	if err := tuned.FineTune(later, &sampling.Importance{Seed: 31}, FineTuneAll, 8); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tuned.Reconstruct(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterSNR := snrOf(t, later, after)
+
+	t.Logf("SNR on t=40: pretrained=%.2f dB fine-tuned=%.2f dB", beforeSNR, afterSNR)
+	if afterSNR <= beforeSNR {
+		t.Fatalf("fine-tuning should improve SNR (%.2f -> %.2f)", beforeSNR, afterSNR)
+	}
+}
+
+func TestFineTuneLastTwoOnlyChangesLastTwoLayers(t *testing.T) {
+	r, truth := pretrained(t)
+	tuned := r.Clone()
+	if err := tuned.FineTune(truth, &sampling.Importance{Seed: 3}, FineTuneLastTwo, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Under Case 2, the trainable parameter count during tuning is that
+	// of the last two layers only.
+	tuned.Network().FreezeAllButLast(2)
+	frozenTrainable := tuned.Network().TrainableParamCount()
+	tuned.Network().UnfreezeAll()
+	total := tuned.Network().ParamCount()
+	if frozenTrainable >= total {
+		t.Fatalf("case 2 trainable params (%d) should be < total (%d)", frozenTrainable, total)
+	}
+}
+
+func TestCrossResolutionReconstruction(t *testing.T) {
+	// Train at 40x40x12, reconstruct a 2x-upscaled grid (Fig 13).
+	r, _ := pretrained(t)
+	gen := datasets.NewIsabel(7)
+	hi := datasets.Volume(gen, 80, 80, 24, 10)
+	cloud, _, err := (&sampling.Importance{Seed: 13}).Sample(hi, "pressure", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := r.Reconstruct(cloud, interp.SpecOf(hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := snrOf(t, hi, recon)
+	t.Logf("cross-resolution SNR: %.2f dB", s)
+	if s < 5 {
+		t.Fatalf("cross-resolution SNR %.2f dB too low", s)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r, truth := pretrained(t)
+	cloud, _, err := (&sampling.Importance{Seed: 17}).Sample(truth, "pressure", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := interp.SpecOf(truth)
+	want, err := r.Reconstruct(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.FieldName() != "pressure" {
+		t.Fatalf("field name %q", loaded.FieldName())
+	}
+	got, err := loaded.Reconstruct(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := grid.MaxAbsDiff(want, got); d > 1e-12 {
+		t.Fatalf("reloaded model diverges: max abs diff %g", d)
+	}
+}
+
+func TestPretrainRejectsTinyCloud(t *testing.T) {
+	r, _ := pretrained(t)
+	small := testVolume(t)
+	cloud, _, err := (&sampling.Random{Seed: 1}).Sample(small, "pressure", 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloud.Len() >= r.Options().Features.K {
+		t.Skip("cloud unexpectedly large")
+	}
+	if _, err := r.Reconstruct(cloud, interp.SpecOf(small)); err == nil {
+		t.Fatal("expected error for cloud smaller than K")
+	}
+}
+
+func TestFineTuneModeString(t *testing.T) {
+	if FineTuneAll.String() != "case1-all-layers" {
+		t.Fatal(FineTuneAll.String())
+	}
+	if FineTuneLastTwo.String() != "case2-last-two" {
+		t.Fatal(FineTuneLastTwo.String())
+	}
+	if FineTuneMode(9).String() == "" {
+		t.Fatal("unknown mode should still stringify")
+	}
+}
+
+func TestReconstructBatchSizeInvariant(t *testing.T) {
+	// Chunked reconstruction (small ReconBatch) must produce exactly
+	// the same volume as one big batch.
+	r, truth := pretrained(t)
+	cloud, _, err := (&sampling.Importance{Seed: 41}).Sample(truth, "pressure", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := interp.SpecOf(truth)
+	want, err := r.Reconstruct(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := *r
+	tinyOpts := r.Options()
+	tinyOpts.ReconBatch = 777
+	tiny.opts = tinyOpts
+	got, err := tiny.Reconstruct(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := grid.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("batched reconstruction deviates by %g", d)
+	}
+}
+
+func TestPretrainGradientRowSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	truth := testVolume(t)
+	opts := testOptions()
+	opts.Epochs = 20
+	opts.MaxTrainRows = 3000
+	opts.RowSelection = SelectGradient
+	r, err := Pretrain(truth, "pressure", &sampling.Importance{Seed: 3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, _, err := (&sampling.Importance{Seed: 11}).Sample(truth, "pressure", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := r.Reconstruct(cloud, interp.SpecOf(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := snrOf(t, truth, recon); s < 2 {
+		t.Fatalf("gradient-selected training collapsed: %.2f dB", s)
+	}
+}
+
+func TestRowSelectionString(t *testing.T) {
+	if SelectUniform.String() != "uniform" || SelectGradient.String() != "gradient" {
+		t.Fatal("RowSelection strings")
+	}
+	if RowSelection(7).String() == "" {
+		t.Fatal("unknown selection should stringify")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/interp"
+	"fillvoid/internal/sampling"
+)
+
+// Robustness and failure-injection tests: malformed model files,
+// degenerate fields, and hostile option values must fail loudly (or
+// degrade gracefully), never panic or silently corrupt output.
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a bundle")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestLoadRejectsTruncatedBundle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	truth := testVolume(t)
+	opts := testOptions()
+	opts.Epochs = 2
+	opts.MaxTrainRows = 500
+	r, err := Pretrain(truth, "pressure", &sampling.Importance{Seed: 1}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("accepted bundle truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestPretrainConstantField(t *testing.T) {
+	// A constant field has a degenerate value range and zero gradients
+	// everywhere; pretraining must not blow up (SNR is meaningless on
+	// constants, but the pipeline must stay finite).
+	v := grid.New(12, 12, 6)
+	for i := range v.Data {
+		v.Data[i] = 7
+	}
+	opts := Options{
+		Hidden:         []int{8},
+		Epochs:         3,
+		TrainFractions: []float64{0.05},
+		MaxTrainRows:   500,
+		BatchSize:      128,
+		Seed:           1,
+	}
+	r, err := Pretrain(v, "f", &sampling.Importance{Seed: 1}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, _, err := (&sampling.Importance{Seed: 2}).Sample(v, "f", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := r.Reconstruct(cloud, interp.SpecOf(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range recon.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("non-finite reconstruction at %d: %g", i, x)
+		}
+	}
+}
+
+func TestPretrainRejectsNoFractions(t *testing.T) {
+	v := grid.New(8, 8, 4)
+	opts := Options{Hidden: []int{4}, Epochs: 1, TrainFractions: []float64{-1}}
+	if _, err := Pretrain(v, "f", &sampling.Importance{Seed: 1}, opts); err == nil {
+		t.Fatal("accepted a negative training fraction")
+	}
+}
+
+func TestFineTuneUnknownMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	r, truth := pretrained(t)
+	tuned := r.Clone()
+	if err := tuned.FineTune(truth, &sampling.Importance{Seed: 1}, FineTuneMode(99), 1); err == nil {
+		t.Fatal("accepted unknown fine-tune mode")
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.Epochs != 500 {
+		t.Fatalf("epochs %d, paper uses 500", opts.Epochs)
+	}
+	if opts.LearningRate != 1e-3 {
+		t.Fatalf("lr %g, paper uses 1e-3", opts.LearningRate)
+	}
+	if len(opts.Hidden) != 5 {
+		t.Fatalf("%d hidden layers, paper uses 5", len(opts.Hidden))
+	}
+	if opts.Features.K != 5 || !opts.Features.WithGradients {
+		t.Fatalf("features %+v, paper uses K=5 with gradients", opts.Features)
+	}
+	if len(opts.TrainFractions) != 2 || opts.TrainFractions[0] != 0.01 || opts.TrainFractions[1] != 0.05 {
+		t.Fatalf("train fractions %v, paper uses 1%%+5%%", opts.TrainFractions)
+	}
+}
+
+func TestPretrainWithValidationEarlyStopping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	truth := testVolume(t)
+	opts := testOptions()
+	opts.Epochs = 60
+	opts.MaxTrainRows = 4000
+	opts.ValidationFraction = 0.2
+	opts.Patience = 5
+	r, err := Pretrain(truth, "pressure", &sampling.Importance{Seed: 3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, _, err := (&sampling.Importance{Seed: 8}).Sample(truth, "pressure", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := r.Reconstruct(cloud, interp.SpecOf(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := snrOf(t, truth, recon); s < 3 {
+		t.Fatalf("validation-trained model SNR %.2f dB too low", s)
+	}
+}

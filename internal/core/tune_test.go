@@ -1,0 +1,53 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"fillvoid/internal/datasets"
+	"fillvoid/internal/interp"
+	"fillvoid/internal/sampling"
+)
+
+// TestTuneScratch is a manual tuning harness: FILLVOID_TUNE=1 go test
+// -run TestTuneScratch -v ./internal/core/. It sweeps a few training
+// configurations and prints the SNR each achieves, to guide the default
+// small-scale settings. Skipped in normal runs.
+func TestTuneScratch(t *testing.T) {
+	if os.Getenv("FILLVOID_TUNE") == "" {
+		t.Skip("set FILLVOID_TUNE=1 to run")
+	}
+	truth := testVolume(t)
+	cloud, _, err := (&sampling.Importance{Seed: 11}).Sample(truth, "pressure", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := interp.SpecOf(truth)
+	near, _ := (&interp.Nearest{}).Reconstruct(cloud, spec)
+	t.Logf("nearest: %.2f dB", snrOf(t, truth, near))
+	lin, _ := (&interp.Linear{}).Reconstruct(cloud, spec)
+	t.Logf("linear:  %.2f dB", snrOf(t, truth, lin))
+
+	configs := []Options{
+		{Hidden: []int{48, 32, 16}, Epochs: 40, TrainFractions: []float64{0.02, 0.05}, MaxTrainRows: 9000, BatchSize: 256, Seed: 1},
+		{Hidden: []int{64, 48, 32, 16}, Epochs: 100, TrainFractions: []float64{0.02, 0.05}, MaxTrainRows: 12000, BatchSize: 256, Seed: 1},
+		{Hidden: []int{96, 64, 32, 16}, Epochs: 200, TrainFractions: []float64{0.02, 0.05}, MaxTrainRows: 16000, BatchSize: 128, Seed: 1},
+		{Hidden: []int{128, 64, 32, 16, 8}, Epochs: 300, TrainFractions: []float64{0.02, 0.05}, MaxTrainRows: 20000, BatchSize: 128, Seed: 1},
+	}
+	gen := datasets.NewIsabel(7)
+	_ = gen
+	for i, opts := range configs {
+		r, err := Pretrain(truth, "pressure", &sampling.Importance{Seed: 3}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, err := r.Reconstruct(cloud, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses := r.Losses()
+		t.Logf("config %d (hidden=%v epochs=%d rows<=%d): SNR %.2f dB, loss %.5f -> %.5f",
+			i, opts.Hidden, opts.Epochs, opts.MaxTrainRows,
+			snrOf(t, truth, recon), losses[0], losses[len(losses)-1])
+	}
+}

@@ -1,0 +1,70 @@
+package datasets
+
+import (
+	"math"
+
+	"fillvoid/internal/mathutil"
+)
+
+// Combustion is the turbulent-combustion mixture-fraction analog. The
+// real Mixfrac attribute is a [0, 1] field separating fuel (1) from
+// oxidizer (0) across a thin, heavily wrinkled flame sheet — a sharp
+// mid-range gradient surface that linear interpolation smears and that
+// the paper's Fig 2 uses for its qualitative comparison. The analog is
+// a smoothstep across an interface whose position is perturbed by
+// multi-octave turbulence that advects and intensifies with time over
+// 122 timesteps.
+type Combustion struct {
+	seed uint64
+}
+
+// NewCombustion returns the combustion analog for a seed.
+func NewCombustion(seed int64) *Combustion { return &Combustion{seed: uint64(seed)} }
+
+// Name implements Generator.
+func (g *Combustion) Name() string { return "combustion" }
+
+// FieldName implements Generator.
+func (g *Combustion) FieldName() string { return "mixfrac" }
+
+// NumTimesteps implements Generator. The paper's combustion run has 122.
+func (g *Combustion) NumTimesteps() int { return 122 }
+
+// DefaultDims implements Generator: 240x360x60 at divisor 1.
+func (g *Combustion) DefaultDims(divisor int) (int, int, int) {
+	return scaleDims(240, 360, 60, divisor)
+}
+
+// Eval implements Generator.
+func (g *Combustion) Eval(p mathutil.Vec3, t int) float64 {
+	tn := clampT(t, g.NumTimesteps())
+
+	// Fuel jet enters from low y; the nominal interface sits at
+	// y = y0 and recedes slowly as the fuel burns out.
+	y0 := 0.55 - 0.15*tn
+
+	// Flame wrinkling: turbulence displaces the interface. Amplitude
+	// grows with time (transition to turbulence) and with distance from
+	// the jet nozzle plane (x-z walls).
+	amp := 0.05 + 0.09*tn
+	wrinkle := amp * fbm(p.X*6+2.5*tn, p.Z*6-1.5*tn, tn*3, 4, g.seed)
+	// Large-scale flapping of the sheet.
+	wrinkle += 0.04 * math.Sin(2*math.Pi*(p.X+0.7*tn)) * math.Sin(math.Pi*p.Z)
+
+	// Flame-sheet thickness: thin, so the transition is sharp relative
+	// to grid spacing — the regime where FCNN beats linear interpolation.
+	thickness := 0.035
+	d := (p.Y - (y0 + wrinkle)) / thickness
+	sheet := 1 - mathutil.SmoothStep((d+1)/2) // 1 below the sheet (fuel), 0 above
+
+	// Pockets of unmixed fuel detached from the sheet (burnt-out
+	// islands) driven by slower, larger-scale turbulence.
+	pocket := fbm(p.X*3-0.9*tn, p.Y*3, p.Z*3+0.6*tn, 3, g.seed^0x5bd1)
+	island := 0.35 * mathutil.SmoothStep((pocket-0.25)*4) *
+		mathutil.SmoothStep((p.Y-y0)*6)
+
+	v := sheet + island
+	// Mild in-fuel inhomogeneity so the fuel side is not constant.
+	v -= 0.08 * (1 - p.Y) * (fbm(p.X*8, p.Y*8, p.Z*8+tn, 2, g.seed^0xabcd) + 1) / 2
+	return mathutil.Clamp(v, 0, 1)
+}

@@ -1,0 +1,106 @@
+package datasets
+
+import (
+	"fmt"
+	"sort"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+)
+
+// Generator is a continuous spatiotemporal scalar field that can be
+// sampled onto any regular grid at any timestep. All generators are
+// deterministic for a given seed.
+type Generator interface {
+	// Name is the dataset identifier ("isabel", "combustion", "ionization").
+	Name() string
+	// FieldName is the scalar attribute the paper reconstructs
+	// ("pressure", "mixfrac", "density").
+	FieldName() string
+	// NumTimesteps is the length of the simulated run (48, 122, 200 in
+	// the paper).
+	NumTimesteps() int
+	// DefaultDims returns the paper's native resolution for this
+	// dataset, scaled by the given divisor (1 = full paper resolution).
+	DefaultDims(divisor int) (nx, ny, nz int)
+	// Eval returns the field value at world position p and timestep t
+	// (clamped to [0, NumTimesteps-1]). World space is the unit cube
+	// [0,1]^3 for the default domain, but Eval is defined everywhere.
+	Eval(p mathutil.Vec3, t int) float64
+}
+
+// Volume samples g onto an nx*ny*nz grid over the unit cube at t.
+func Volume(g Generator, nx, ny, nz, t int) *grid.Volume {
+	return VolumeOnDomain(g, nx, ny, nz, t,
+		mathutil.Vec3{},
+		unitSpacing(nx, ny, nz))
+}
+
+// VolumeOnDomain samples g onto an arbitrary grid placement; used by
+// the cross-resolution / shifted-domain experiment.
+func VolumeOnDomain(g Generator, nx, ny, nz, t int, origin, spacing mathutil.Vec3) *grid.Volume {
+	v := grid.NewWithGeometry(nx, ny, nz, origin, spacing)
+	v.Fill(func(_, _, _ int, p mathutil.Vec3) float64 {
+		return g.Eval(p, t)
+	})
+	return v
+}
+
+func unitSpacing(nx, ny, nz int) mathutil.Vec3 {
+	s := func(n int) float64 {
+		if n <= 1 {
+			return 1
+		}
+		return 1 / float64(n-1)
+	}
+	return mathutil.Vec3{X: s(nx), Y: s(ny), Z: s(nz)}
+}
+
+// ByName constructs the named generator with the given seed. Known
+// names: isabel, combustion, ionization.
+func ByName(name string, seed int64) (Generator, error) {
+	switch name {
+	case "isabel":
+		return NewIsabel(seed), nil
+	case "combustion":
+		return NewCombustion(seed), nil
+	case "ionization":
+		return NewIonization(seed), nil
+	default:
+		return nil, fmt.Errorf("datasets: unknown dataset %q (want one of %v)", name, Names())
+	}
+}
+
+// Names lists the available dataset analogs, sorted.
+func Names() []string {
+	names := []string{"isabel", "combustion", "ionization"}
+	sort.Strings(names)
+	return names
+}
+
+func clampT(t, n int) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if t > n-1 {
+		t = n - 1
+	}
+	if n <= 1 {
+		return 0
+	}
+	return float64(t) / float64(n-1)
+}
+
+func scaleDims(nx, ny, nz, divisor int) (int, int, int) {
+	if divisor < 1 {
+		divisor = 1
+	}
+	d := func(n int) int {
+		n /= divisor
+		if n < 2 {
+			n = 2
+		}
+		return n
+	}
+	return d(nx), d(ny), d(nz)
+}

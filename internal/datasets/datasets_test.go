@@ -1,0 +1,259 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fillvoid/internal/mathutil"
+)
+
+func generators() []Generator {
+	return []Generator{NewIsabel(1), NewCombustion(1), NewIonization(1)}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		g, err := ByName(name, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, g.Name())
+		}
+	}
+	if _, err := ByName("bogus", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	cases := []struct {
+		g          Generator
+		field      string
+		steps      int
+		nx, ny, nz int
+	}{
+		{NewIsabel(1), "pressure", 48, 250, 250, 50},
+		{NewCombustion(1), "mixfrac", 122, 240, 360, 60},
+		{NewIonization(1), "density", 200, 600, 248, 248},
+	}
+	for _, c := range cases {
+		if c.g.FieldName() != c.field {
+			t.Fatalf("%s field %q", c.g.Name(), c.g.FieldName())
+		}
+		if c.g.NumTimesteps() != c.steps {
+			t.Fatalf("%s steps %d", c.g.Name(), c.g.NumTimesteps())
+		}
+		nx, ny, nz := c.g.DefaultDims(1)
+		if nx != c.nx || ny != c.ny || nz != c.nz {
+			t.Fatalf("%s dims %dx%dx%d", c.g.Name(), nx, ny, nz)
+		}
+		// Divisor scales down, floored at 2.
+		sx, sy, sz := c.g.DefaultDims(10)
+		if sx != c.nx/10 || sy != c.ny/10 || sz != c.nz/10 {
+			t.Fatalf("%s scaled dims %dx%dx%d", c.g.Name(), sx, sy, sz)
+		}
+		if x, y, z := c.g.DefaultDims(100000); x < 2 || y < 2 || z < 2 {
+			t.Fatalf("%s: dims must floor at 2, got %dx%dx%d", c.g.Name(), x, y, z)
+		}
+	}
+}
+
+func TestFieldsFiniteAndVarying(t *testing.T) {
+	for _, g := range generators() {
+		v := Volume(g, 16, 16, 8, g.NumTimesteps()/2)
+		s := v.Stats()
+		if math.IsNaN(s.Mean()) || math.IsInf(s.Mean(), 0) {
+			t.Fatalf("%s: non-finite values", g.Name())
+		}
+		if s.StdDev() == 0 {
+			t.Fatalf("%s: constant field is useless for reconstruction", g.Name())
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	for _, name := range Names() {
+		g1, _ := ByName(name, 9)
+		g2, _ := ByName(name, 9)
+		v1 := Volume(g1, 8, 8, 4, 3)
+		v2 := Volume(g2, 8, 8, 4, 3)
+		for i := range v1.Data {
+			if v1.Data[i] != v2.Data[i] {
+				t.Fatalf("%s: same seed diverged", name)
+			}
+		}
+		g3, _ := ByName(name, 10)
+		v3 := Volume(g3, 8, 8, 4, 3)
+		same := true
+		for i := range v1.Data {
+			if v1.Data[i] != v3.Data[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical fields", name)
+		}
+	}
+}
+
+func TestTimeEvolution(t *testing.T) {
+	// Fields must change across timesteps (they are spatiotemporal) but
+	// be identical for the same timestep.
+	for _, g := range generators() {
+		a := Volume(g, 12, 12, 6, 0)
+		b := Volume(g, 12, 12, 6, g.NumTimesteps()-1)
+		diff := 0.0
+		for i := range a.Data {
+			diff += math.Abs(a.Data[i] - b.Data[i])
+		}
+		if diff == 0 {
+			t.Fatalf("%s: field did not evolve in time", g.Name())
+		}
+	}
+}
+
+func TestTimestepClamping(t *testing.T) {
+	g := NewIsabel(4)
+	lo := Volume(g, 8, 8, 4, -5)
+	zero := Volume(g, 8, 8, 4, 0)
+	for i := range lo.Data {
+		if lo.Data[i] != zero.Data[i] {
+			t.Fatal("negative timestep should clamp to 0")
+		}
+	}
+	hi := Volume(g, 8, 8, 4, 1e6)
+	last := Volume(g, 8, 8, 4, g.NumTimesteps()-1)
+	for i := range hi.Data {
+		if hi.Data[i] != last.Data[i] {
+			t.Fatal("overlarge timestep should clamp to the last")
+		}
+	}
+}
+
+func TestEvalContinuity(t *testing.T) {
+	// The analogs are continuous fields: nearby points must have nearby
+	// values (no jumps above a generous Lipschitz-ish bound). This is
+	// what makes them usable at any resolution.
+	for _, g := range generators() {
+		scale := fieldScale(g)
+		f := func(x, y, z float64) bool {
+			p := mathutil.Vec3{
+				X: wrap01(x), Y: wrap01(y), Z: wrap01(z),
+			}
+			q := p.Add(mathutil.Vec3{X: 1e-5, Y: -1e-5, Z: 1e-5})
+			dv := math.Abs(g.Eval(p, 10) - g.Eval(q, 10))
+			return dv < scale*0.05
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+	}
+}
+
+func fieldScale(g Generator) float64 {
+	v := Volume(g, 12, 12, 6, 10)
+	s := v.Stats()
+	return s.Max() - s.Min() + 1e-9
+}
+
+func wrap01(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Abs(x)
+	return x - math.Floor(x)
+}
+
+func TestCombustionRange(t *testing.T) {
+	// Mixture fraction is physically in [0, 1].
+	g := NewCombustion(3)
+	for _, ts := range []int{0, 60, 121} {
+		v := Volume(g, 16, 16, 8, ts)
+		s := v.Stats()
+		if s.Min() < 0 || s.Max() > 1 {
+			t.Fatalf("mixfrac out of [0,1]: [%g, %g]", s.Min(), s.Max())
+		}
+	}
+}
+
+func TestIonizationStructure(t *testing.T) {
+	// Mid-run: the ionized interior (near the source at x=-0.05) must
+	// be much less dense than the neutral gas far ahead of the front.
+	g := NewIonization(3)
+	inner := g.Eval(mathutil.Vec3{X: 0.05, Y: 0.5, Z: 0.5}, 100)
+	outerStats := mathutil.NewRunningStats()
+	for i := 0; i < 10; i++ {
+		outerStats.Add(g.Eval(mathutil.Vec3{X: 0.99, Y: 0.1 + 0.08*float64(i), Z: 0.5}, 20))
+	}
+	if inner > outerStats.Mean()*0.3 {
+		t.Fatalf("interior density %g not well below ambient %g", inner, outerStats.Mean())
+	}
+}
+
+func TestIsabelEyeIsLowPressure(t *testing.T) {
+	// The eye (storm center) must be a pronounced pressure minimum
+	// relative to the domain at the surface level.
+	g := NewIsabel(3)
+	v := Volume(g, 32, 32, 8, 24)
+	s := v.Stats()
+	// Eye at t=24 (midway): cx = 0.75-0.55*tn, cy = .25+.55*tn+...
+	tn := 24.0 / 47.0
+	cx := 0.75 - 0.55*tn
+	cy := 0.25 + 0.55*tn + 0.08*math.Sin(3*math.Pi*tn)
+	eye := g.Eval(mathutil.Vec3{X: cx, Y: cy, Z: 0}, 24)
+	if eye > s.Mean()-2*s.StdDev() {
+		t.Fatalf("eye pressure %g not a strong minimum (mean %g, std %g)", eye, s.Mean(), s.StdDev())
+	}
+}
+
+func TestVolumeOnDomain(t *testing.T) {
+	// Sampling a sub-domain with the same world positions must agree
+	// with the full-domain evaluation (the generators are continuous
+	// functions of world position).
+	g := NewIsabel(5)
+	sub := VolumeOnDomain(g, 8, 8, 4, 10,
+		mathutil.Vec3{X: 0.25, Y: 0.25, Z: 0.25},
+		mathutil.Vec3{X: 0.05, Y: 0.05, Z: 0.05})
+	for idx := 0; idx < sub.Len(); idx++ {
+		p := sub.PointAt(idx)
+		if sub.Data[idx] != g.Eval(p, 10) {
+			t.Fatal("domain sampling disagrees with Eval")
+		}
+	}
+}
+
+func TestNoiseProperties(t *testing.T) {
+	// Value noise is deterministic and bounded in [-1, 1].
+	f := func(x, y, z float64, seed uint64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) ||
+			math.Abs(x) > 1e9 || math.Abs(y) > 1e9 || math.Abs(z) > 1e9 {
+			return true
+		}
+		v1 := valueNoise3(x, y, z, seed)
+		v2 := valueNoise3(x, y, z, seed)
+		return v1 == v2 && v1 >= -1 && v1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFBMBounded(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) ||
+			math.Abs(x) > 1e6 || math.Abs(y) > 1e6 || math.Abs(z) > 1e6 {
+			return true
+		}
+		v := fbm(x, y, z, 4, 7)
+		return v >= -1.001 && v <= 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if fbm(1, 2, 3, 0, 1) != 0 {
+		t.Fatal("zero octaves should yield 0")
+	}
+}

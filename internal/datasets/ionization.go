@@ -1,0 +1,92 @@
+package datasets
+
+import (
+	"math"
+
+	"fillvoid/internal/mathutil"
+)
+
+// Ionization is the Ionization Front Instabilities density analog
+// (Whalen & Norman 2008): a radiation front expands through neutral
+// hydrogen from a source, leaving low-density ionized gas behind a
+// compressed high-density shell, and the front develops finger-like
+// instabilities as it propagates. Density spans a large dynamic range —
+// very low inside the ionized bubble, peaking in the shell, moderate in
+// the undisturbed neutral gas — the structure visible in the paper's
+// Fig 3. The run covers 200 timesteps.
+type Ionization struct {
+	seed uint64
+}
+
+// NewIonization returns the ionization-front analog for a seed.
+func NewIonization(seed int64) *Ionization { return &Ionization{seed: uint64(seed)} }
+
+// Name implements Generator.
+func (g *Ionization) Name() string { return "ionization" }
+
+// FieldName implements Generator.
+func (g *Ionization) FieldName() string { return "density" }
+
+// NumTimesteps implements Generator. The paper's run has 200.
+func (g *Ionization) NumTimesteps() int { return 200 }
+
+// DefaultDims implements Generator: 600x248x248 at divisor 1.
+func (g *Ionization) DefaultDims(divisor int) (int, int, int) {
+	return scaleDims(600, 248, 248, divisor)
+}
+
+// Eval implements Generator.
+func (g *Ionization) Eval(p mathutil.Vec3, t int) float64 {
+	tn := clampT(t, g.NumTimesteps())
+
+	// Source sits at the -x face centre; the front propagates in +x.
+	src := mathutil.Vec3{X: -0.05, Y: 0.5, Z: 0.5}
+	d := p.Sub(src)
+	r := d.Norm()
+
+	// Nominal front radius grows sub-linearly (D-type front slowdown).
+	front := 0.15 + 0.85*math.Pow(tn, 0.7)
+
+	// Instability fingers: perturb the front radius along the ray
+	// direction; amplitude grows with time (shadowing instability).
+	var pert float64
+	if r > 1e-9 {
+		dir := d.Scale(1 / r)
+		growth := 0.02 + 0.10*tn
+		pert = growth * fbm(dir.X*4, dir.Y*4, dir.Z*4+0.4*tn, 3, g.seed)
+		// Smaller-scale fingering, kept coarse enough that a sparse
+		// sample can still resolve it.
+		pert += 0.4 * growth * valueNoise3(dir.Y*7, dir.Z*7, tn*2, g.seed^0x17)
+	}
+	localFront := front * (1 + pert)
+
+	// Density profile across the front:
+	//   ionized interior: ~0.05 of ambient,
+	//   compressed shell just ahead of the front: ~4x ambient,
+	//   neutral ambient with clumpy structure far ahead.
+	shellWidth := 0.035
+	u := (r - localFront) / shellWidth
+
+	interior := 0.05
+	// Clumpy neutral medium, but coarse enough that reconstruction
+	// from sparse samples is information-theoretically possible (the
+	// real dataset's ambient structure is similarly large-scale).
+	ambient := 1.0 + 0.3*fbm(p.X*2.5, p.Y*2.5, p.Z*2.5, 2, g.seed^0xfeed)
+	shellPeak := 4.2 * (0.6 + 0.4*tn) // shell sweeps up more mass over time
+
+	switch {
+	case u < -1:
+		// Inside the bubble: low density, slightly rising toward the shell.
+		return interior * (1 + 0.3*mathutil.SmoothStep((u+4)/3))
+	case u < 0:
+		// Inner shell ramp.
+		s := mathutil.SmoothStep(u + 1)
+		return interior + (shellPeak-interior)*s
+	case u < 1.5:
+		// Outer shell decay into ambient.
+		s := mathutil.SmoothStep(u / 1.5)
+		return shellPeak + (ambient-shellPeak)*s
+	default:
+		return ambient
+	}
+}

@@ -1,0 +1,75 @@
+package datasets
+
+import (
+	"math"
+
+	"fillvoid/internal/mathutil"
+)
+
+// Isabel is the Hurricane Isabel pressure analog: a deep low-pressure
+// vortex (the eye) that drifts across the domain over 48 timesteps the
+// way the storm crossed the West Atlantic and made landfall, embedded in
+// a synoptic-scale ambient pressure gradient with spiral rain bands and
+// mild smooth turbulence. Values are in hPa-like units so the field has
+// the large dynamic range of the real pressure attribute.
+type Isabel struct {
+	seed uint64
+}
+
+// NewIsabel returns the Isabel analog for a seed.
+func NewIsabel(seed int64) *Isabel { return &Isabel{seed: uint64(seed)} }
+
+// Name implements Generator.
+func (g *Isabel) Name() string { return "isabel" }
+
+// FieldName implements Generator.
+func (g *Isabel) FieldName() string { return "pressure" }
+
+// NumTimesteps implements Generator. The paper's Isabel run has 48.
+func (g *Isabel) NumTimesteps() int { return 48 }
+
+// DefaultDims implements Generator: 250x250x50 at divisor 1.
+func (g *Isabel) DefaultDims(divisor int) (int, int, int) {
+	return scaleDims(250, 250, 50, divisor)
+}
+
+// Eval implements Generator.
+func (g *Isabel) Eval(p mathutil.Vec3, t int) float64 {
+	tn := clampT(t, g.NumTimesteps())
+
+	// Eye track: enters at the lower-right quadrant, curves northwest
+	// and exits top-left — a stylized Gulf-crossing track.
+	cx := 0.75 - 0.55*tn
+	cy := 0.25 + 0.55*tn + 0.08*math.Sin(3*math.Pi*tn)
+
+	dx := p.X - cx
+	dy := p.Y - cy
+	r := math.Hypot(dx, dy)
+
+	// Storm intensity: deepens mid-run, weakens at landfall.
+	depth := 55 * (0.6 + 0.4*math.Sin(math.Pi*mathutil.Clamp(tn*1.2, 0, 1)))
+	eyeRadius := 0.085 + 0.02*math.Sin(2*math.Pi*tn)
+
+	// Central pressure deficit with a Gaussian-like radial profile and
+	// decay with altitude (storms are surface-intense).
+	vert := math.Exp(-2.2 * p.Z)
+	core := -depth * math.Exp(-(r*r)/(2*eyeRadius*eyeRadius)) * vert
+
+	// Spiral rain bands: pressure ripples winding around the eye.
+	theta := math.Atan2(dy, dx)
+	band := 0.0
+	if r > 1e-9 {
+		band = -4.5 * vert * math.Exp(-r/0.45) *
+			math.Sin(3*theta-14*r+6*math.Pi*tn)
+	}
+
+	// Synoptic background: gentle planetary-scale gradient plus a high
+	// pressure ridge to the north-east.
+	ambient := 1010 + 6*(p.X-0.5) - 9*(p.Y-0.5) + 14*p.Z
+	ridge := 5 * math.Exp(-((p.X-0.9)*(p.X-0.9)+(p.Y-0.9)*(p.Y-0.9))/0.18)
+
+	// Smooth mesoscale variability, advecting slowly with time.
+	turb := 2.2 * fbm(p.X*4+tn*0.8, p.Y*4, p.Z*3, 3, g.seed)
+
+	return ambient + ridge + core + band + turb
+}

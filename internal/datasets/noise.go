@@ -1,0 +1,88 @@
+// Package datasets provides procedural analogs of the paper's three
+// benchmark simulations — Hurricane Isabel (pressure), turbulent
+// combustion (mixture fraction), and Ionization Front Instabilities
+// (density). The real datasets are multi-gigabyte downloads that this
+// offline reproduction cannot ship, so each analog is a *continuous*
+// deterministic field f(p, t) over world space that captures the same
+// structure the reconstructors are sensitive to: one dominant sharp
+// feature embedded in smooth large-scale variation, evolving over time.
+// Because the fields are continuous they can be sampled at any grid
+// resolution and over any spatial sub-domain, which is exactly what the
+// cross-resolution experiment (Fig 13) requires.
+package datasets
+
+import "math"
+
+// valueNoise3 is deterministic lattice value noise: hash the integer
+// lattice around p, trilinearly blend with a smooth fade. Output is in
+// [-1, 1]. It is the turbulence primitive behind the flame-sheet
+// wrinkles and the front instabilities.
+func valueNoise3(x, y, z float64, seed uint64) float64 {
+	x0 := math.Floor(x)
+	y0 := math.Floor(y)
+	z0 := math.Floor(z)
+	tx := fade(x - x0)
+	ty := fade(y - y0)
+	tz := fade(z - z0)
+	ix, iy, iz := int64(x0), int64(y0), int64(z0)
+	c000 := latticeValue(ix, iy, iz, seed)
+	c100 := latticeValue(ix+1, iy, iz, seed)
+	c010 := latticeValue(ix, iy+1, iz, seed)
+	c110 := latticeValue(ix+1, iy+1, iz, seed)
+	c001 := latticeValue(ix, iy, iz+1, seed)
+	c101 := latticeValue(ix+1, iy, iz+1, seed)
+	c011 := latticeValue(ix, iy+1, iz+1, seed)
+	c111 := latticeValue(ix+1, iy+1, iz+1, seed)
+	c00 := c000 + (c100-c000)*tx
+	c10 := c010 + (c110-c010)*tx
+	c01 := c001 + (c101-c001)*tx
+	c11 := c011 + (c111-c011)*tx
+	c0 := c00 + (c10-c00)*ty
+	c1 := c01 + (c11-c01)*ty
+	return c0 + (c1-c0)*tz
+}
+
+// fade is the quintic smoothing 6t^5-15t^4+10t^3 (C2-continuous).
+func fade(t float64) float64 { return t * t * t * (t*(t*6-15) + 10) }
+
+// latticeValue hashes an integer lattice point to a value in [-1, 1].
+func latticeValue(x, y, z int64, seed uint64) float64 {
+	h := seed
+	h ^= uint64(x) * 0x9e3779b97f4a7c15
+	h = mix64(h)
+	h ^= uint64(y) * 0xbf58476d1ce4e5b9
+	h = mix64(h)
+	h ^= uint64(z) * 0x94d049bb133111eb
+	h = mix64(h)
+	// Use the top 53 bits for a uniform float in [0, 1).
+	return float64(h>>11)/float64(1<<53)*2 - 1
+}
+
+// mix64 is the splitmix64 finalizer, a fast high-quality bit mixer.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// fbm sums octaves of value noise with lacunarity 2 and gain 0.5,
+// normalized so the output stays roughly within [-1, 1].
+func fbm(x, y, z float64, octaves int, seed uint64) float64 {
+	sum := 0.0
+	amp := 0.5
+	norm := 0.0
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * valueNoise3(x*freq, y*freq, z*freq, seed+uint64(o)*0x9e37)
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	if norm == 0 {
+		return 0
+	}
+	return sum / norm
+}

@@ -1,0 +1,326 @@
+package delaunay
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fillvoid/internal/mathutil"
+)
+
+func randomPoints(n int, seed int64) ([]mathutil.Vec3, []float64) {
+	rng := mathutil.NewRNG(seed)
+	pts := make([]mathutil.Vec3, n)
+	vals := make([]float64, n)
+	for i := range pts {
+		pts[i] = mathutil.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		vals[i] = rng.NormFloat64()
+	}
+	return pts, vals
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(make([]mathutil.Vec3, 3), make([]float64, 3)); err == nil {
+		t.Fatal("expected error for < 4 points")
+	}
+	if _, err := Build(make([]mathutil.Vec3, 5), make([]float64, 4)); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	same := make([]mathutil.Vec3, 10)
+	if _, err := Build(same, make([]float64, 10)); err == nil {
+		t.Fatal("expected error for coincident points")
+	}
+}
+
+func TestStructuralInvariantsRandom(t *testing.T) {
+	for _, n := range []int{4, 10, 50, 200, 1000} {
+		pts, vals := randomPoints(n, int64(n))
+		tri, err := Build(pts, vals)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := tri.NumVertices(); got != n {
+			t.Fatalf("n=%d: NumVertices=%d", n, got)
+		}
+		if _, err := tri.Validate(n <= 200); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestStructuralInvariantsGrid(t *testing.T) {
+	// Regular-grid points are maximally degenerate (cospherical
+	// everywhere); the jitter must keep the build healthy.
+	var pts []mathutil.Vec3
+	var vals []float64
+	for k := 0; k < 5; k++ {
+		for j := 0; j < 6; j++ {
+			for i := 0; i < 7; i++ {
+				pts = append(pts, mathutil.Vec3{X: float64(i), Y: float64(j), Z: float64(k)})
+				vals = append(vals, float64(i+j+k))
+			}
+		}
+	}
+	tri, err := Build(pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tri.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A linear field must be reproduced exactly (up to jitter) by the
+// piecewise-linear interpolant at any point inside the convex hull.
+func TestLinearFieldReproduction(t *testing.T) {
+	lin := func(p mathutil.Vec3) float64 { return 3*p.X - 2*p.Y + 0.5*p.Z + 7 }
+	pts, _ := randomPoints(500, 42)
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = lin(p)
+	}
+	tri, err := Build(pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := tri.NewLocator()
+	rng := mathutil.NewRNG(7)
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		// Interior queries: stay away from the hull boundary.
+		q := mathutil.Vec3{
+			X: 0.2 + 0.6*rng.Float64(),
+			Y: 0.2 + 0.6*rng.Float64(),
+			Z: 0.2 + 0.6*rng.Float64(),
+		}
+		got, ok := loc.Interpolate(q)
+		if !ok {
+			continue // can land outside the hull of the random points
+		}
+		checked++
+		if math.Abs(got-lin(q)) > 1e-4 {
+			t.Fatalf("query %v: got %g want %g", q, got, lin(q))
+		}
+	}
+	if checked < 1500 {
+		t.Fatalf("only %d/2000 queries landed inside the hull", checked)
+	}
+}
+
+func TestInterpolateOutsideHull(t *testing.T) {
+	pts, vals := randomPoints(100, 3)
+	tri, err := Build(pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := tri.NewLocator()
+	if _, ok := loc.Interpolate(mathutil.Vec3{X: 50, Y: 50, Z: 50}); ok {
+		t.Fatal("expected ok=false far outside the hull")
+	}
+}
+
+// Property: interpolation never extrapolates — the interpolated value
+// lies within [min, max] of the vertex values (convexity of barycentric
+// weights after clamping).
+func TestInterpolationConvexHullProperty(t *testing.T) {
+	pts, vals := randomPoints(300, 11)
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	tri, err := Build(pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y, z float64) bool {
+		q := mathutil.Vec3{
+			X: mathutil.Clamp(math.Abs(x)-math.Floor(math.Abs(x)), 0, 1),
+			Y: mathutil.Clamp(math.Abs(y)-math.Floor(math.Abs(y)), 0, 1),
+			Z: mathutil.Clamp(math.Abs(z)-math.Floor(math.Abs(z)), 0, 1),
+		}
+		loc := tri.NewLocator()
+		got, ok := loc.Interpolate(q)
+		if !ok {
+			return true
+		}
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarycentricAtVertices(t *testing.T) {
+	a := mathutil.Vec3{X: 0, Y: 0, Z: 0}
+	b := mathutil.Vec3{X: 1, Y: 0, Z: 0}
+	c := mathutil.Vec3{X: 0, Y: 1, Z: 0}
+	d := mathutil.Vec3{X: 0, Y: 0, Z: 1}
+	for i, q := range []mathutil.Vec3{a, b, c, d} {
+		w, ok := barycentric(a, b, c, d, q)
+		if !ok {
+			t.Fatalf("vertex %d: degenerate", i)
+		}
+		for j := range w {
+			want := 0.0
+			if j == i {
+				want = 1.0
+			}
+			if math.Abs(w[j]-want) > 1e-12 {
+				t.Fatalf("vertex %d: w=%v", i, w)
+			}
+		}
+	}
+	// Centroid has equal weights.
+	q := a.Add(b).Add(c).Add(d).Scale(0.25)
+	w, _ := barycentric(a, b, c, d, q)
+	for _, wi := range w {
+		if math.Abs(wi-0.25) > 1e-12 {
+			t.Fatalf("centroid weights %v", w)
+		}
+	}
+}
+
+func TestBarycentricDegenerate(t *testing.T) {
+	a := mathutil.Vec3{}
+	if _, ok := barycentric(a, a, a, a, a); ok {
+		t.Fatal("expected degenerate tet to fail")
+	}
+}
+
+func TestClusteredPoints(t *testing.T) {
+	// Tight clusters with huge empty space between them stress the
+	// walk and the cavity logic.
+	rng := mathutil.NewRNG(99)
+	var pts []mathutil.Vec3
+	var vals []float64
+	centers := []mathutil.Vec3{{X: 0, Y: 0, Z: 0}, {X: 100, Y: 0, Z: 0}, {X: 50, Y: 80, Z: 40}}
+	for _, c := range centers {
+		for i := 0; i < 80; i++ {
+			pts = append(pts, mathutil.Vec3{
+				X: c.X + rng.NormFloat64()*0.01,
+				Y: c.Y + rng.NormFloat64()*0.01,
+				Z: c.Z + rng.NormFloat64()*0.01,
+			})
+			vals = append(vals, c.X)
+		}
+	}
+	tri, err := Build(pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tri.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	// Interpolating at a cluster center returns ~the cluster value.
+	loc := tri.NewLocator()
+	for _, c := range centers {
+		v, ok := loc.Interpolate(c)
+		if !ok {
+			continue
+		}
+		if math.Abs(v-c.X) > 1 {
+			t.Fatalf("cluster at %v interpolates to %g", c, v)
+		}
+	}
+}
+
+func TestCollinearAndCoplanarInput(t *testing.T) {
+	// Perfectly collinear / coplanar inputs are degenerate without
+	// jitter; the builder must survive them.
+	var pts []mathutil.Vec3
+	var vals []float64
+	for i := 0; i < 30; i++ {
+		pts = append(pts, mathutil.Vec3{X: float64(i), Y: 0, Z: 0})
+		vals = append(vals, float64(i))
+	}
+	tri, err := Build(pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tri.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+
+	pts = pts[:0]
+	vals = vals[:0]
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 6; i++ {
+			pts = append(pts, mathutil.Vec3{X: float64(i), Y: float64(j), Z: 0})
+			vals = append(vals, float64(i+j))
+		}
+	}
+	tri, err = Build(pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tri.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocatorsAreIndependent(t *testing.T) {
+	pts, vals := randomPoints(300, 15)
+	tri, err := Build(pts, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent locators must agree with a fresh locator's answers.
+	q := make([]mathutil.Vec3, 200)
+	rng := mathutil.NewRNG(1)
+	for i := range q {
+		q[i] = mathutil.Vec3{X: 0.2 + 0.6*rng.Float64(), Y: 0.2 + 0.6*rng.Float64(), Z: 0.2 + 0.6*rng.Float64()}
+	}
+	type res struct {
+		v  float64
+		ok bool
+	}
+	want := make([]res, len(q))
+	ref := tri.NewLocator()
+	for i, p := range q {
+		v, ok := ref.Interpolate(p)
+		want[i] = res{v, ok}
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			loc := tri.NewLocator()
+			for i := len(q) - 1; i >= 0; i-- { // reversed order: cursor state differs
+				v, ok := loc.Interpolate(q[i])
+				if ok != want[i].ok || (ok && math.Abs(v-want[i].v) > 1e-9) {
+					done <- fmt.Errorf("worker %d query %d: %v/%v vs %v/%v", w, i, v, ok, want[i].v, want[i].ok)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNumTetsGrowsWithPoints(t *testing.T) {
+	prev := 0
+	for _, n := range []int{10, 100, 500} {
+		pts, vals := randomPoints(n, int64(n)+1)
+		tri, err := Build(pts, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nt := tri.NumTets()
+		if nt <= prev {
+			t.Fatalf("n=%d: tets %d did not grow past %d", n, nt, prev)
+		}
+		// A 3-D Delaunay triangulation of n points has O(n^2) tets in
+		// the worst case but ~6-7n for uniform points (+ super-tet
+		// cone tets).
+		if nt > 40*n {
+			t.Fatalf("n=%d: %d tets is implausibly many", n, nt)
+		}
+		prev = nt
+	}
+}

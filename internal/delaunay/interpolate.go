@@ -1,0 +1,163 @@
+package delaunay
+
+import (
+	"math"
+
+	"fillvoid/internal/mathutil"
+)
+
+// Locator is a point-location cursor over a finished triangulation.
+// Walks are dramatically faster when successive queries are spatially
+// coherent (e.g. scanning grid points in order), so each goroutine doing
+// interpolation should hold its own Locator.
+type Locator struct {
+	t    *Triangulation
+	last int32
+}
+
+// NewLocator returns a fresh cursor. Safe to create from any goroutine;
+// the underlying triangulation is read-only.
+func (t *Triangulation) NewLocator() *Locator {
+	return &Locator{t: t, last: t.firstLive}
+}
+
+// Interpolate evaluates the piecewise-linear interpolant at q. ok is
+// false when q falls outside the convex hull of the input points (its
+// containing tet touches a super-tetrahedron corner) or location fails;
+// callers typically fall back to the nearest sample value there.
+func (l *Locator) Interpolate(q mathutil.Vec3) (value float64, ok bool) {
+	t := l.t
+	k, err := t.locate(q, l.last)
+	if err != nil || k == noTet {
+		return 0, false
+	}
+	l.last = k
+	tt := &t.tets[k]
+	for _, v := range tt.verts {
+		if v < 4 {
+			return 0, false // outside the input convex hull
+		}
+	}
+	w, ok := barycentric(
+		t.verts[tt.verts[0]], t.verts[tt.verts[1]],
+		t.verts[tt.verts[2]], t.verts[tt.verts[3]], q)
+	if !ok {
+		return 0, false
+	}
+	value = w[0]*t.values[tt.verts[0]] +
+		w[1]*t.values[tt.verts[1]] +
+		w[2]*t.values[tt.verts[2]] +
+		w[3]*t.values[tt.verts[3]]
+	return value, true
+}
+
+// barycentric returns the barycentric coordinates of q in tet (a,b,c,d),
+// clamped to [0,1] and renormalized to absorb the location tolerance.
+// ok is false for a degenerate tetrahedron.
+func barycentric(a, b, c, d, q mathutil.Vec3) ([4]float64, bool) {
+	vap := q.Sub(a)
+	vab := b.Sub(a)
+	vac := c.Sub(a)
+	vad := d.Sub(a)
+
+	v6 := vab.Dot(vac.Cross(vad)) // 6 * signed volume of the tet
+	if math.Abs(v6) < 1e-300 {
+		return [4]float64{}, false
+	}
+	inv := 1 / v6
+	var w [4]float64
+	w[1] = vap.Dot(vac.Cross(vad)) * inv
+	w[2] = vap.Dot(vad.Cross(vab)) * inv
+	w[3] = vap.Dot(vab.Cross(vac)) * inv
+	w[0] = 1 - w[1] - w[2] - w[3]
+	sum := 0.0
+	for i := range w {
+		if w[i] < 0 {
+			w[i] = 0
+		}
+		sum += w[i]
+	}
+	if sum <= 0 {
+		return [4]float64{}, false
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w, true
+}
+
+// Validate checks structural invariants — mutual neighbor links, live
+// tets having positive orientation, and (expensively, on small meshes)
+// the Delaunay empty-circumsphere property within tolerance. It returns
+// the number of live tets checked.
+func (t *Triangulation) Validate(checkDelaunay bool) (int, error) {
+	live := 0
+	for i := range t.tets {
+		tt := &t.tets[i]
+		if tt.dead {
+			continue
+		}
+		live++
+		// Positive orientation.
+		if orient3d(t.verts[tt.verts[0]], t.verts[tt.verts[1]],
+			t.verts[tt.verts[2]], t.verts[tt.verts[3]]) < 0 {
+			return live, errNegativeTet(i)
+		}
+		// Neighbor symmetry.
+		for f := 0; f < 4; f++ {
+			nb := tt.neighbor[f]
+			if nb == noTet {
+				continue
+			}
+			if t.tets[nb].dead {
+				return live, errDeadNeighbor(i)
+			}
+			back := false
+			for g := 0; g < 4; g++ {
+				if t.tets[nb].neighbor[g] == int32(i) {
+					back = true
+					break
+				}
+			}
+			if !back {
+				return live, errAsymmetricLink(i)
+			}
+		}
+	}
+	if checkDelaunay {
+		for i := range t.tets {
+			tt := &t.tets[i]
+			if tt.dead || math.IsInf(tt.r2, 1) {
+				continue
+			}
+			tol := tt.r2 * 1e-9
+			for v := 4; v < len(t.verts); v++ {
+				if int32(v) == tt.verts[0] || int32(v) == tt.verts[1] ||
+					int32(v) == tt.verts[2] || int32(v) == tt.verts[3] {
+					continue
+				}
+				if t.verts[v].Dist2(tt.center) < tt.r2-tol {
+					return live, errNotDelaunay(i, v)
+				}
+			}
+		}
+	}
+	return live, nil
+}
+
+type validationError string
+
+func (e validationError) Error() string { return string(e) }
+
+func errNegativeTet(i int) error {
+	return validationError("delaunay: tet has negative orientation")
+}
+func errDeadNeighbor(i int) error {
+	return validationError("delaunay: live tet links to dead neighbor")
+}
+func errAsymmetricLink(i int) error {
+	return validationError("delaunay: neighbor link not symmetric")
+}
+func errNotDelaunay(i, v int) error {
+	return validationError("delaunay: circumsphere contains a foreign vertex")
+}

@@ -1,0 +1,86 @@
+package ensemble
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"fillvoid/internal/grid"
+)
+
+// CalibrationReport summarizes how well the ensemble's predictive
+// uncertainty tracks its actual reconstruction error.
+type CalibrationReport struct {
+	// Correlation is the Pearson correlation between |error| and the
+	// predicted standard deviation across all grid points. Well-behaved
+	// ensembles are clearly positive.
+	Correlation float64
+	// Coverage2Sigma is the fraction of points whose true value lies
+	// within mean ± 2*stddev. A perfectly calibrated Gaussian would
+	// give ~0.95; deep ensembles are typically overconfident (lower).
+	Coverage2Sigma float64
+	// ErrorByDecile is the mean absolute error of the points grouped by
+	// predicted-uncertainty decile (decile 0 = most confident). A
+	// useful uncertainty makes this increase along the deciles.
+	ErrorByDecile [10]float64
+}
+
+// Calibrate compares the ensemble output against ground truth.
+func Calibrate(truth, mean, stddev *grid.Volume) (*CalibrationReport, error) {
+	n := truth.Len()
+	if mean.Len() != n || stddev.Len() != n {
+		return nil, errors.New("ensemble: calibration size mismatch")
+	}
+	rep := &CalibrationReport{}
+
+	// Pearson correlation between |err| and sigma.
+	var sumE, sumS, sumEE, sumSS, sumES float64
+	within := 0
+	for i := 0; i < n; i++ {
+		e := math.Abs(truth.Data[i] - mean.Data[i])
+		s := stddev.Data[i]
+		sumE += e
+		sumS += s
+		sumEE += e * e
+		sumSS += s * s
+		sumES += e * s
+		if e <= 2*s {
+			within++
+		}
+	}
+	fn := float64(n)
+	cov := sumES/fn - (sumE/fn)*(sumS/fn)
+	varE := sumEE/fn - (sumE/fn)*(sumE/fn)
+	varS := sumSS/fn - (sumS/fn)*(sumS/fn)
+	if varE > 0 && varS > 0 {
+		rep.Correlation = cov / math.Sqrt(varE*varS)
+	}
+	rep.Coverage2Sigma = float64(within) / fn
+
+	// Error by predicted-uncertainty decile.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return stddev.Data[idx[a]] < stddev.Data[idx[b]] })
+	per := n / 10
+	if per == 0 {
+		per = 1
+	}
+	for d := 0; d < 10; d++ {
+		lo := d * per
+		hi := lo + per
+		if d == 9 || hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		sum := 0.0
+		for _, i := range idx[lo:hi] {
+			sum += math.Abs(truth.Data[i] - mean.Data[i])
+		}
+		rep.ErrorByDecile[d] = sum / float64(hi-lo)
+	}
+	return rep, nil
+}

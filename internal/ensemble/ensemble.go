@@ -1,0 +1,144 @@
+// Package ensemble implements deep-ensemble uncertainty quantification
+// for the FCNN reconstructor — the first of the paper's stated future
+// directions ("investigating neural networks that include measures of
+// uncertainty during reconstruction (e.g., using deep ensembles,
+// Bayesian neural networks)", Section V).
+//
+// An Ensemble pretrains M independently initialized FCNNs on
+// independently sampled copies of the training timestep. At
+// reconstruction time every member predicts each void location; the
+// ensemble mean is the reconstruction and the member standard deviation
+// is a per-point predictive uncertainty. Sampled grid nodes keep their
+// exact value with zero uncertainty.
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"fillvoid/internal/core"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/interp"
+	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/sampling"
+)
+
+// Ensemble is a set of independently trained FCNN reconstructors.
+type Ensemble struct {
+	members []*core.FCNN
+}
+
+// Size returns the number of members.
+func (e *Ensemble) Size() int { return len(e.members) }
+
+// Members exposes the underlying reconstructors (read-only by
+// convention; fine-tune clones instead of mutating).
+func (e *Ensemble) Members() []*core.FCNN { return e.members }
+
+// Pretrain trains an ensemble of size members. Each member gets a
+// distinct initialization seed and a distinct sampling seed, which is
+// the diversity source deep ensembles rely on. Training is sequential
+// per member (each member already parallelizes internally).
+func Pretrain(truth *grid.Volume, fieldName string, size int, baseSampler int64, opts core.Options) (*Ensemble, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("ensemble: size %d, need >= 2", size)
+	}
+	e := &Ensemble{}
+	for m := 0; m < size; m++ {
+		memberOpts := opts
+		memberOpts.Seed = opts.Seed + int64(m)*1009
+		memberOpts.SubsampleSeed = opts.SubsampleSeed + int64(m)*2003
+		sampler := &sampling.Importance{Seed: baseSampler + int64(m)*3001}
+		model, err := core.Pretrain(truth, fieldName, sampler, memberOpts)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: member %d: %w", m, err)
+		}
+		e.members = append(e.members, model)
+	}
+	return e, nil
+}
+
+// FromModels wraps existing trained reconstructors as an ensemble.
+func FromModels(models []*core.FCNN) (*Ensemble, error) {
+	if len(models) < 2 {
+		return nil, errors.New("ensemble: need >= 2 models")
+	}
+	return &Ensemble{members: models}, nil
+}
+
+// FineTune fine-tunes every member on a new timestep (each member keeps
+// its own sampling stream), preserving ensemble diversity across time.
+func (e *Ensemble) FineTune(truth *grid.Volume, baseSampler int64, mode core.FineTuneMode, epochs int) error {
+	for m, member := range e.members {
+		sampler := &sampling.Importance{Seed: baseSampler + int64(m)*3001}
+		if err := member.FineTune(truth, sampler, mode, epochs); err != nil {
+			return fmt.Errorf("ensemble: member %d: %w", m, err)
+		}
+	}
+	return nil
+}
+
+// Reconstruct returns the ensemble-mean reconstruction and the
+// per-point predictive standard deviation on the same grid. Members run
+// concurrently (each member's internal parallelism is bounded by its
+// own Workers setting, so on a single-core box this degrades
+// gracefully).
+func (e *Ensemble) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (mean, stddev *grid.Volume, err error) {
+	if len(e.members) == 0 {
+		return nil, nil, errors.New("ensemble: empty")
+	}
+	recons := make([]*grid.Volume, len(e.members))
+	errs := make([]error, len(e.members))
+	var wg sync.WaitGroup
+	wg.Add(len(e.members))
+	for m, member := range e.members {
+		go func(m int, member *core.FCNN) {
+			defer wg.Done()
+			recons[m], errs[m] = member.Reconstruct(c, spec)
+		}(m, member)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	mean = spec.NewVolume()
+	stddev = spec.NewVolume()
+	invM := 1 / float64(len(e.members))
+	for i := range mean.Data {
+		mu := 0.0
+		for _, r := range recons {
+			mu += r.Data[i]
+		}
+		mu *= invM
+		varsum := 0.0
+		for _, r := range recons {
+			d := r.Data[i] - mu
+			varsum += d * d
+		}
+		mean.Data[i] = mu
+		stddev.Data[i] = sqrt(varsum * invM)
+	}
+	return mean, stddev, nil
+}
+
+// Name implements interp.Reconstructor (returning the mean field).
+func (e *Ensemble) Name() string { return "fcnn-ensemble" }
+
+// ReconstructMean implements the single-output interp.Reconstructor
+// contract: the ensemble mean without the uncertainty field.
+func (e *Ensemble) ReconstructMean(c *pointcloud.Cloud, spec interp.GridSpec) (*grid.Volume, error) {
+	mean, _, err := e.Reconstruct(c, spec)
+	return mean, err
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

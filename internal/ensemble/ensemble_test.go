@@ -1,0 +1,145 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"fillvoid/internal/core"
+	"fillvoid/internal/datasets"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/interp"
+	"fillvoid/internal/metrics"
+	"fillvoid/internal/sampling"
+)
+
+func tinyOptions() core.Options {
+	return core.Options{
+		Hidden:         []int{32, 16},
+		Epochs:         30,
+		FineTuneEpochs: 3,
+		TrainFractions: []float64{0.02, 0.05},
+		MaxTrainRows:   4000,
+		BatchSize:      256,
+		Seed:           1,
+	}
+}
+
+func testVolume() *grid.Volume {
+	gen := datasets.NewIsabel(7)
+	return datasets.Volume(gen, 28, 28, 8, 10)
+}
+
+func TestPretrainValidation(t *testing.T) {
+	v := testVolume()
+	if _, err := Pretrain(v, "pressure", 1, 1, tinyOptions()); err == nil {
+		t.Fatal("accepted ensemble of size 1")
+	}
+}
+
+func TestFromModels(t *testing.T) {
+	if _, err := FromModels(nil); err == nil {
+		t.Fatal("accepted empty model list")
+	}
+}
+
+func TestEnsembleReconstructAndUncertainty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	truth := testVolume()
+	e, err := Pretrain(truth, "pressure", 3, 5, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 3 {
+		t.Fatalf("size %d", e.Size())
+	}
+
+	cloud, idxs, err := (&sampling.Importance{Seed: 9}).Sample(truth, "pressure", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, stddev, err := e.Reconstruct(cloud, interp.SpecOf(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Len() != truth.Len() || stddev.Len() != truth.Len() {
+		t.Fatal("output sizes")
+	}
+	// Standard deviations are non-negative and finite.
+	for i, s := range stddev.Data {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("bad stddev %g at %d", s, i)
+		}
+	}
+	// Sampled nodes are exact in every member, so uncertainty there is 0
+	// up to the rounding of the mean/variance accumulation.
+	for _, idx := range idxs {
+		scale := math.Abs(truth.Data[idx]) + 1
+		if stddev.Data[idx] > 1e-12*scale {
+			t.Fatalf("sampled node %d has nonzero uncertainty %g", idx, stddev.Data[idx])
+		}
+		if math.Abs(mean.Data[idx]-truth.Data[idx]) > 1e-12*scale {
+			t.Fatalf("sampled node %d mean %g != truth %g", idx, mean.Data[idx], truth.Data[idx])
+		}
+	}
+	// The ensemble mean should be at least as good as the worst member.
+	meanSNR, _ := metrics.SNR(truth, mean)
+	worst := math.Inf(1)
+	for _, m := range e.Members() {
+		r, err := m.Reconstruct(cloud, interp.SpecOf(truth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := metrics.SNR(truth, r)
+		if s < worst {
+			worst = s
+		}
+	}
+	t.Logf("ensemble mean %.2f dB, worst member %.2f dB", meanSNR, worst)
+	if meanSNR < worst {
+		t.Fatalf("ensemble mean (%.2f) below worst member (%.2f)", meanSNR, worst)
+	}
+}
+
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	truth := testVolume()
+	e, err := Pretrain(truth, "pressure", 3, 5, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, _, err := (&sampling.Importance{Seed: 9}).Sample(truth, "pressure", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, stddev, err := e.Reconstruct(cloud, interp.SpecOf(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Calibrate(truth, mean, stddev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("corr=%.3f coverage=%.3f deciles=%v", rep.Correlation, rep.Coverage2Sigma, rep.ErrorByDecile)
+	if rep.Correlation < 0 {
+		t.Fatalf("uncertainty anti-correlates with error: %.3f", rep.Correlation)
+	}
+	if rep.Coverage2Sigma < 0 || rep.Coverage2Sigma > 1 {
+		t.Fatalf("coverage %g outside [0,1]", rep.Coverage2Sigma)
+	}
+	// Most-uncertain decile should have higher error than most-confident.
+	if rep.ErrorByDecile[9] <= rep.ErrorByDecile[0] {
+		t.Fatalf("deciles not increasing: %v", rep.ErrorByDecile)
+	}
+}
+
+func TestCalibrateSizeMismatch(t *testing.T) {
+	a := grid.New(2, 2, 2)
+	b := grid.New(3, 2, 2)
+	if _, err := Calibrate(a, a, b); err == nil {
+		t.Fatal("accepted size mismatch")
+	}
+}

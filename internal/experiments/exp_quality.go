@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"fillvoid/internal/datasets"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/interp"
+	"fillvoid/internal/vtk"
+)
+
+// Fig9 regenerates the headline quality comparison: SNR for FCNN,
+// linear, natural neighbor, Shepard and nearest neighbor at sampling
+// percentages from 0.1% to 5%, per dataset.
+func Fig9(cfg *Config) (*Result, error) {
+	gens, err := cfg.datasetsFor()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:      "fig9",
+		Title:   "Reconstruction quality (SNR dB) vs sampling percentage",
+		Columns: []string{"dataset", "sampling", "fcnn", "linear", "natural", "shepard", "nearest"},
+	}
+	for _, gen := range gens {
+		model, truth, err := cfg.pretrained(gen)
+		if err != nil {
+			return nil, err
+		}
+		spec := interp.SpecOf(truth)
+		for _, frac := range cfg.Scale.Fractions {
+			cloud, _, err := cfg.sampler(101).Sample(truth, gen.FieldName(), frac)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{gen.Name(), fmtPct(frac)}
+			recon, err := model.Reconstruct(cloud, spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtF(snr(truth, recon)))
+			for _, m := range reconstructorSet(cfg.Workers) {
+				recon, err := m.Reconstruct(cloud, spec)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtF(snr(truth, recon)))
+			}
+			res.Rows = append(res.Rows, row)
+			cfg.logf("[fig9] %s @%s done", gen.Name(), fmtPct(frac))
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("scale=%s; FCNN pretrained once per dataset on 1%%+5%% samples of timestep T/4", cfg.Scale.Name),
+		"expected shape: fcnn >= linear >= natural >= shepard/nearest, all rising with sampling %")
+	return res, nil
+}
+
+// Fig10 regenerates the timing comparison: seconds to reconstruct at
+// each sampling percentage for every method, including the sequential
+// vs parallel linear contrast (the paper's naive Python vs CGAL+OpenMP).
+func Fig10(cfg *Config) (*Result, error) {
+	gens, err := cfg.datasetsFor()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:      "fig10",
+		Title:   "Reconstruction time (seconds) vs sampling percentage",
+		Columns: []string{"dataset", "sampling", "fcnn", "linear", "linear-seq", "natural", "shepard", "nearest"},
+	}
+	timeIt := func(f func() error) (float64, error) {
+		start := time.Now()
+		err := f()
+		return time.Since(start).Seconds(), err
+	}
+	for _, gen := range gens {
+		model, truth, err := cfg.pretrained(gen)
+		if err != nil {
+			return nil, err
+		}
+		spec := interp.SpecOf(truth)
+		methods := append([]interp.Reconstructor{&interp.Linear{Workers: cfg.Workers}, &interp.Linear{Workers: 1}},
+			reconstructorSet(cfg.Workers)[1:]...)
+		for _, frac := range cfg.Scale.Fractions {
+			cloud, _, err := cfg.sampler(101).Sample(truth, gen.FieldName(), frac)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{gen.Name(), fmtPct(frac)}
+			secs, err := timeIt(func() error {
+				_, err := model.Reconstruct(cloud, spec)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", secs))
+			for _, m := range methods {
+				secs, err := timeIt(func() error {
+					_, err := m.Reconstruct(cloud, spec)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.3f", secs))
+			}
+			res.Rows = append(res.Rows, row)
+			cfg.logf("[fig10] %s @%s done", gen.Name(), fmtPct(frac))
+		}
+	}
+	res.Notes = append(res.Notes,
+		"model training time excluded, as in the paper (amortized; see table1)",
+		"expected shape: fcnn roughly flat vs sampling %; linear grows with sample count; linear-seq >> linear")
+	return res, nil
+}
+
+// qualitative renders the Fig 2/3-style side-by-side slice comparison
+// for one dataset at 1% sampling: ground truth, FCNN, and one rule-based
+// competitor, writing PPM images when cfg.OutDir is set.
+func qualitative(cfg *Config, id, title string, gen datasets.Generator, competitor interp.Reconstructor) (*Result, error) {
+	model, truth, err := cfg.pretrained(gen)
+	if err != nil {
+		return nil, err
+	}
+	spec := interp.SpecOf(truth)
+	cloud, _, err := cfg.sampler(202).Sample(truth, gen.FieldName(), 0.01)
+	if err != nil {
+		return nil, err
+	}
+	fcnnRecon, err := model.Reconstruct(cloud, spec)
+	if err != nil {
+		return nil, err
+	}
+	compRecon, err := competitor.Reconstruct(cloud, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"image", "snr_dB", "rendered_to"},
+	}
+	slice := truth.NZ / 2
+	st := truth.Stats()
+	render := func(label string, v *grid.Volume, s float64) error {
+		path := "-"
+		if cfg.OutDir != "" {
+			path = filepath.Join(cfg.OutDir, fmt.Sprintf("%s_%s.ppm", id, label))
+			if err := vtk.RenderSlicePPMFile(path, v, slice, st.Min(), st.Max()); err != nil {
+				return err
+			}
+		}
+		snrCell := fmtF(s)
+		if label == "original" {
+			snrCell = "-"
+		}
+		res.Rows = append(res.Rows, []string{label, snrCell, path})
+		return nil
+	}
+	if err := render("original", truth, 0); err != nil {
+		return nil, err
+	}
+	if err := render("fcnn", fcnnRecon, snr(truth, fcnnRecon)); err != nil {
+		return nil, err
+	}
+	if err := render(competitor.Name(), compRecon, snr(truth, compRecon)); err != nil {
+		return nil, err
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("1%% sampling, mid z-slice (k=%d); set -out to write PPM images", slice))
+	return res, nil
+}
+
+// Fig2 regenerates the combustion qualitative comparison (FCNN vs
+// linear interpolation at 1% sampling).
+func Fig2(cfg *Config) (*Result, error) {
+	gen := datasets.NewCombustion(cfg.Seed)
+	return qualitative(cfg, "fig2",
+		"Combustion @1%: FCNN vs Delaunay linear interpolation",
+		gen, &interp.Linear{Workers: cfg.Workers})
+}
+
+// Fig3 regenerates the ionization-front qualitative comparison (FCNN vs
+// natural neighbors at 1% sampling).
+func Fig3(cfg *Config) (*Result, error) {
+	gen := datasets.NewIonization(cfg.Seed)
+	return qualitative(cfg, "fig3",
+		"Ionization Front @1%: FCNN vs natural neighbor interpolation",
+		gen, &interp.NaturalNeighbor{Workers: cfg.Workers})
+}

@@ -1,0 +1,90 @@
+package grid
+
+import (
+	"fillvoid/internal/mathutil"
+	"fillvoid/internal/parallel"
+)
+
+// GradientAt computes the scalar-field gradient at grid index (i, j, k)
+// with central differences in the interior and one-sided differences on
+// the boundary, in world units (divided by the physical spacing).
+//
+// These gradients form the last three components of the FCNN's [1x4]
+// training target (Section III-D of the paper): supervising on them
+// forces the network to account for neighbouring values, which is the
+// Fig 8 ablation.
+func (v *Volume) GradientAt(i, j, k int) mathutil.Vec3 {
+	var g mathutil.Vec3
+	g.X = v.axisDiff(i, j, k, 0) / v.Spacing.X
+	g.Y = v.axisDiff(i, j, k, 1) / v.Spacing.Y
+	g.Z = v.axisDiff(i, j, k, 2) / v.Spacing.Z
+	return g
+}
+
+// axisDiff returns the (index-space) finite difference along one axis.
+func (v *Volume) axisDiff(i, j, k, axis int) float64 {
+	var n, c int
+	switch axis {
+	case 0:
+		n, c = v.NX, i
+	case 1:
+		n, c = v.NY, j
+	default:
+		n, c = v.NZ, k
+	}
+	if n == 1 {
+		return 0
+	}
+	step := func(d int) float64 {
+		switch axis {
+		case 0:
+			return v.At(i+d, j, k)
+		case 1:
+			return v.At(i, j+d, k)
+		default:
+			return v.At(i, j, k+d)
+		}
+	}
+	switch {
+	case c == 0:
+		return step(1) - step(0)
+	case c == n-1:
+		return step(0) - step(-1)
+	default:
+		return (step(1) - step(-1)) / 2
+	}
+}
+
+// GradientField computes the gradient at every grid point in parallel,
+// returning three volumes (d/dx, d/dy, d/dz) with the same geometry.
+func (v *Volume) GradientField() (gx, gy, gz *Volume) {
+	gx = NewWithGeometry(v.NX, v.NY, v.NZ, v.Origin, v.Spacing)
+	gy = NewWithGeometry(v.NX, v.NY, v.NZ, v.Origin, v.Spacing)
+	gz = NewWithGeometry(v.NX, v.NY, v.NZ, v.Origin, v.Spacing)
+	parallel.For(v.NZ, 0, func(k int) {
+		for j := 0; j < v.NY; j++ {
+			for i := 0; i < v.NX; i++ {
+				g := v.GradientAt(i, j, k)
+				idx := v.Index(i, j, k)
+				gx.Data[idx] = g.X
+				gy.Data[idx] = g.Y
+				gz.Data[idx] = g.Z
+			}
+		}
+	})
+	return gx, gy, gz
+}
+
+// GradientMagnitudeField computes |∇f| at every grid point in parallel.
+// The importance sampler uses it as the feature-preservation criterion.
+func (v *Volume) GradientMagnitudeField() *Volume {
+	out := NewWithGeometry(v.NX, v.NY, v.NZ, v.Origin, v.Spacing)
+	parallel.For(v.NZ, 0, func(k int) {
+		for j := 0; j < v.NY; j++ {
+			for i := 0; i < v.NX; i++ {
+				out.Data[out.Index(i, j, k)] = v.GradientAt(i, j, k).Norm()
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,126 @@
+// Package interp implements the rule-based point-cloud reconstruction
+// baselines the paper compares against (Section III-B): nearest
+// neighbor, modified Shepard inverse-distance weighting, discrete-Sibson
+// natural neighbor, local radial basis functions, and an adapter over
+// the Delaunay piecewise-linear interpolator. All methods share the
+// Reconstructor interface: unstructured samples in, full regular grid
+// out.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/kdtree"
+	"fillvoid/internal/mathutil"
+	"fillvoid/internal/parallel"
+	"fillvoid/internal/pointcloud"
+)
+
+// GridSpec describes the output grid a reconstructor must fill.
+type GridSpec struct {
+	NX, NY, NZ      int
+	Origin, Spacing mathutil.Vec3
+}
+
+// SpecOf extracts the spec of an existing volume (the usual case:
+// reconstruct back onto the original simulation grid).
+func SpecOf(v *grid.Volume) GridSpec {
+	return GridSpec{NX: v.NX, NY: v.NY, NZ: v.NZ, Origin: v.Origin, Spacing: v.Spacing}
+}
+
+// NewVolume allocates a zeroed volume with this spec's geometry.
+func (s GridSpec) NewVolume() *grid.Volume {
+	return grid.NewWithGeometry(s.NX, s.NY, s.NZ, s.Origin, s.Spacing)
+}
+
+// Len returns the number of grid points in the spec.
+func (s GridSpec) Len() int { return s.NX * s.NY * s.NZ }
+
+// Reconstructor rebuilds a full regular-grid field from a sampled point
+// cloud.
+type Reconstructor interface {
+	// Name identifies the method in experiment output ("nearest",
+	// "shepard", "natural", "linear", "rbf", "fcnn").
+	Name() string
+	// Reconstruct fills the spec'd grid from the cloud.
+	Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error)
+}
+
+// ErrEmptyCloud is returned when a reconstructor receives no samples.
+var ErrEmptyCloud = errors.New("interp: point cloud is empty")
+
+func validate(c *pointcloud.Cloud, spec GridSpec) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Len() == 0 {
+		return ErrEmptyCloud
+	}
+	if spec.NX < 1 || spec.NY < 1 || spec.NZ < 1 {
+		return fmt.Errorf("interp: invalid grid spec %dx%dx%d", spec.NX, spec.NY, spec.NZ)
+	}
+	return nil
+}
+
+// Nearest assigns each grid point the value of its closest sample —
+// fast, but blocky at sparse sampling (the paper's weakest baseline).
+type Nearest struct {
+	// Workers bounds the query parallelism (<= 0 means all cores).
+	Workers int
+}
+
+// Name implements Reconstructor.
+func (r *Nearest) Name() string { return "nearest" }
+
+// Reconstruct implements Reconstructor.
+func (r *Nearest) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error) {
+	if err := validate(c, spec); err != nil {
+		return nil, err
+	}
+	tree := kdtree.Build(c.Points)
+	out := spec.NewVolume()
+	parallel.For(out.Len(), r.Workers, func(idx int) {
+		i, err := nearestIndex(tree, out.PointAt(idx))
+		if err == nil {
+			out.Data[idx] = c.Values[i]
+		}
+	})
+	return out, nil
+}
+
+func nearestIndex(tree *kdtree.Tree, q mathutil.Vec3) (int, error) {
+	i, _ := tree.Nearest(q)
+	if i < 0 {
+		return 0, ErrEmptyCloud
+	}
+	return i, nil
+}
+
+// ByName constructs a reconstructor with its paper-default parameters.
+// Known names: nearest, shepard, natural, rbf, linear, linear-seq.
+func ByName(name string) (Reconstructor, error) {
+	switch name {
+	case "nearest":
+		return &Nearest{}, nil
+	case "shepard":
+		return &Shepard{}, nil
+	case "natural":
+		return &NaturalNeighbor{}, nil
+	case "rbf":
+		return &RBF{}, nil
+	case "linear":
+		return &Linear{}, nil
+	case "linear-seq":
+		return &Linear{Workers: 1}, nil
+	default:
+		return nil, fmt.Errorf("interp: unknown reconstructor %q", name)
+	}
+}
+
+// BaselineNames lists the rule-based methods in the order the paper's
+// figures present them.
+func BaselineNames() []string {
+	return []string{"linear", "natural", "shepard", "nearest"}
+}

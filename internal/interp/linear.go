@@ -1,0 +1,72 @@
+package interp
+
+import (
+	"fillvoid/internal/delaunay"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/kdtree"
+	"fillvoid/internal/parallel"
+	"fillvoid/internal/pointcloud"
+)
+
+// Linear is Delaunay-triangulation piecewise-linear interpolation — the
+// strongest rule-based baseline in the paper. The triangulation is
+// built once per cloud; grid queries then walk the mesh and evaluate
+// barycentric weights. Workers = 1 reproduces the paper's "naive
+// sequential" timing line; Workers <= 0 uses every core and reproduces
+// the "CGAL + OpenMP" line in Fig 10 (reconstruction time only — the
+// build is sequential in both configurations, as in the paper, where
+// triangulation construction is also serial per timestep).
+//
+// Queries outside the convex hull of the samples fall back to the
+// nearest sample value.
+type Linear struct {
+	// Workers bounds the query parallelism: 1 = sequential baseline,
+	// <= 0 = all cores.
+	Workers int
+}
+
+// Name implements Reconstructor.
+func (r *Linear) Name() string {
+	if r.Workers == 1 {
+		return "linear-seq"
+	}
+	return "linear"
+}
+
+// Reconstruct implements Reconstructor.
+func (r *Linear) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error) {
+	if err := validate(c, spec); err != nil {
+		return nil, err
+	}
+	if c.Len() < 4 {
+		// Too few points to triangulate: degrade to nearest neighbor.
+		nn := &Nearest{Workers: r.Workers}
+		return nn.Reconstruct(c, spec)
+	}
+	tri, err := delaunay.Build(c.Points, c.Values)
+	if err != nil {
+		return nil, err
+	}
+	tree := kdtree.Build(c.Points)
+	out := spec.NewVolume()
+	workers := r.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	// Chunked so each worker's Locator benefits from the spatial
+	// coherence of consecutive grid indices (short mesh walks).
+	parallel.ForChunked(out.Len(), workers, func(start, end int) {
+		loc := tri.NewLocator()
+		for idx := start; idx < end; idx++ {
+			q := out.PointAt(idx)
+			if v, ok := loc.Interpolate(q); ok {
+				out.Data[idx] = v
+				continue
+			}
+			if i, _ := tree.Nearest(q); i >= 0 {
+				out.Data[idx] = c.Values[i]
+			}
+		}
+	})
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package interp
+
+import (
+	"math"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/kdtree"
+	"fillvoid/internal/parallel"
+	"fillvoid/internal/pointcloud"
+)
+
+// Shepard is modified Shepard (Franke–Little) interpolation: inverse
+// distance weighting restricted to the K nearest samples with the
+// compactly-supported weight
+//
+//	w_i = ((R - d_i)_+ / (R * d_i))^2
+//
+// where R is the distance to the K-th neighbor. It is exact at sample
+// locations and smoother than plain IDW, matching the photutils-style
+// implementation the paper references.
+type Shepard struct {
+	// K is the neighborhood size; defaults to 12.
+	K int
+	// Workers bounds the query parallelism (<= 0 means all cores).
+	Workers int
+}
+
+// Name implements Reconstructor.
+func (r *Shepard) Name() string { return "shepard" }
+
+// Reconstruct implements Reconstructor.
+func (r *Shepard) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error) {
+	if err := validate(c, spec); err != nil {
+		return nil, err
+	}
+	k := r.K
+	if k < 1 {
+		k = 12
+	}
+	if k > c.Len() {
+		k = c.Len()
+	}
+	tree := kdtree.Build(c.Points)
+	out := spec.NewVolume()
+	workers := r.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	parallel.ForChunked(out.Len(), workers, func(start, end int) {
+		buf := make([]kdtree.Neighbor, 0, k)
+		for idx := start; idx < end; idx++ {
+			q := out.PointAt(idx)
+			nbs := tree.KNearestInto(q, k, buf)
+			out.Data[idx] = shepardValue(c, nbs)
+		}
+	})
+	return out, nil
+}
+
+// shepardValue evaluates the Franke–Little weighted average over the
+// sorted neighbor set.
+func shepardValue(c *pointcloud.Cloud, nbs []kdtree.Neighbor) float64 {
+	if len(nbs) == 0 {
+		return 0
+	}
+	// Coincident sample: exact interpolation.
+	const eps2 = 1e-18
+	if nbs[0].Dist2 < eps2 {
+		return c.Values[nbs[0].Index]
+	}
+	r2 := nbs[len(nbs)-1].Dist2
+	if r2 <= nbs[0].Dist2 {
+		// All neighbors at (numerically) the same distance: average.
+		sum := 0.0
+		for _, nb := range nbs {
+			sum += c.Values[nb.Index]
+		}
+		return sum / float64(len(nbs))
+	}
+	R := math.Sqrt(r2)
+	num, den := 0.0, 0.0
+	for _, nb := range nbs {
+		d := math.Sqrt(nb.Dist2)
+		if d >= R {
+			continue
+		}
+		w := (R - d) / (R * d)
+		w *= w
+		num += w * c.Values[nb.Index]
+		den += w
+	}
+	if den == 0 {
+		return c.Values[nbs[0].Index]
+	}
+	return num / den
+}

@@ -1,0 +1,170 @@
+package interp
+
+import (
+	"math"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/kdtree"
+	"fillvoid/internal/parallel"
+	"fillvoid/internal/pointcloud"
+)
+
+// NaturalNeighbor is discrete Sibson interpolation (Park et al., IEEE
+// TVCG 2006), the efficient rasterized form of natural-neighbor
+// interpolation. The continuous method weights each sample s by the
+// volume q's Voronoi cell would steal from s's cell if q were inserted;
+// the discrete method measures those volumes by counting grid voxels:
+//
+//	a voxel x with nearest sample n(x) is "stolen" by a query q
+//	exactly when |x - q| < |x - n(x)|,
+//
+// so every voxel x scatters the value of its nearest sample to all grid
+// nodes within radius |x - n(x)| of x. Accumulated sums divided by
+// counts give the Sibson estimate. The scatter is parallelized by
+// output z-slab: each worker revisits the source voxels that can reach
+// its slab and writes only rows it owns, so no synchronization is
+// needed on the accumulators.
+type NaturalNeighbor struct {
+	// Workers bounds the scatter parallelism (<= 0 means all cores).
+	Workers int
+}
+
+// Name implements Reconstructor.
+func (r *NaturalNeighbor) Name() string { return "natural" }
+
+// Reconstruct implements Reconstructor.
+func (r *NaturalNeighbor) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error) {
+	if err := validate(c, spec); err != nil {
+		return nil, err
+	}
+	tree := kdtree.Build(c.Points)
+	out := spec.NewVolume()
+	n := out.Len()
+
+	// Pass 1: nearest sample and squared distance for every voxel
+	// (parallel). Squared distances are kept exact — taking a square
+	// root and re-squaring would flip strict comparisons at the exact
+	// ties regular grids produce constantly.
+	nearestIdx := make([]int32, n)
+	nearestD2 := make([]float64, n)
+	parallel.For(n, r.Workers, func(idx int) {
+		i, d2 := tree.Nearest(out.PointAt(idx))
+		nearestIdx[idx] = int32(i)
+		nearestD2[idx] = d2
+	})
+
+	// Pass 2: scatter, decomposed by output z-slab.
+	sums := make([]float64, n)
+	counts := make([]int32, n)
+	workers := r.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if workers > spec.NZ {
+		workers = spec.NZ
+	}
+	nxy := spec.NX * spec.NY
+	// Per-plane maximum scatter radius, for source-plane culling.
+	planeMaxD := make([]float64, spec.NZ)
+	parallel.For(spec.NZ, r.Workers, func(sk int) {
+		base := sk * nxy
+		maxD2 := 0.0
+		for o := 0; o < nxy; o++ {
+			if nearestD2[base+o] > maxD2 {
+				maxD2 = nearestD2[base+o]
+			}
+		}
+		planeMaxD[sk] = math.Sqrt(maxD2)
+	})
+	parallel.ForChunked(spec.NZ, workers, func(zLo, zHi int) {
+		// Source voxels at plane sk can reach output planes within
+		// ceil(d / spacing.Z); scan the superset of source planes whose
+		// scatter balls intersect [zLo, zHi).
+		for sk := 0; sk < spec.NZ; sk++ {
+			base := sk * nxy
+			reach := int(planeMaxD[sk]/spec.Spacing.Z) + 1
+			if sk+reach < zLo || sk-reach >= zHi {
+				continue
+			}
+			for sj := 0; sj < spec.NY; sj++ {
+				for si := 0; si < spec.NX; si++ {
+					src := base + sj*spec.NX + si
+					d2 := nearestD2[src]
+					if d2 == 0 {
+						continue // sampled node: no stolen volume
+					}
+					val := c.Values[nearestIdx[src]]
+					scatterBall(out, spec, si, sj, sk, d2, val, zLo, zHi, sums, counts)
+				}
+			}
+		}
+	})
+
+	// Pass 3: finalize. Nodes that coincide with a sample (d = 0) keep
+	// the exact sampled value — natural neighbor interpolation is exact
+	// at the samples; nodes nothing scattered to fall back to nearest.
+	parallel.For(n, r.Workers, func(idx int) {
+		switch {
+		case nearestD2[idx] == 0:
+			out.Data[idx] = c.Values[nearestIdx[idx]]
+		case counts[idx] > 0:
+			out.Data[idx] = sums[idx] / float64(counts[idx])
+		default:
+			out.Data[idx] = c.Values[nearestIdx[idx]]
+		}
+	})
+	return out, nil
+}
+
+// scatterBall adds val to every grid node whose squared distance to the
+// source node (si, sj, sk) is strictly below d2, restricted to output
+// planes [zLo, zHi). The index bounds may be slightly generous (the
+// sqrt is only used for bounding); the inclusion test uses d2 exactly.
+func scatterBall(out *grid.Volume, spec GridSpec, si, sj, sk int, d2, val float64, zLo, zHi int, sums []float64, counts []int32) {
+	d := math.Sqrt(d2)
+	ri := int(d/spec.Spacing.X) + 1
+	rj := int(d/spec.Spacing.Y) + 1
+	rk := int(d/spec.Spacing.Z) + 1
+	kMin := maxInt(sk-rk, zLo)
+	kMax := minInt(sk+rk, zHi-1)
+	for k := kMin; k <= kMax; k++ {
+		dz := float64(k-sk) * spec.Spacing.Z
+		dz2 := dz * dz
+		if dz2 >= d2 {
+			continue
+		}
+		jMin := maxInt(sj-rj, 0)
+		jMax := minInt(sj+rj, spec.NY-1)
+		for j := jMin; j <= jMax; j++ {
+			dy := float64(j-sj) * spec.Spacing.Y
+			dyz2 := dz2 + dy*dy
+			if dyz2 >= d2 {
+				continue
+			}
+			iMin := maxInt(si-ri, 0)
+			iMax := minInt(si+ri, spec.NX-1)
+			row := out.Index(0, j, k)
+			for i := iMin; i <= iMax; i++ {
+				dx := float64(i-si) * spec.Spacing.X
+				if dyz2+dx*dx < d2 {
+					sums[row+i] += val
+					counts[row+i]++
+				}
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package iso
+
+import (
+	"math"
+	"testing"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+)
+
+// sphereField returns a grid of distance-to-center values, so the
+// isosurface at value r is a sphere of radius r.
+func sphereField(n int) *grid.Volume {
+	v := grid.New(n, n, n)
+	c := mathutil.Vec3{X: float64(n-1) / 2, Y: float64(n-1) / 2, Z: float64(n-1) / 2}
+	v.Fill(func(_, _, _ int, p mathutil.Vec3) float64 {
+		return p.Sub(c).Norm()
+	})
+	return v
+}
+
+func TestExtractValidation(t *testing.T) {
+	if _, err := Extract(grid.New(1, 5, 5), 0); err == nil {
+		t.Fatal("accepted a 1-thick grid")
+	}
+}
+
+func TestSphereAreaConvergence(t *testing.T) {
+	// The extracted surface area must approach 4*pi*r^2 as the grid
+	// refines, and the error must shrink with resolution.
+	r := 10.0
+	var prevErr float64
+	for trial, n := range []int{24, 48} {
+		v := sphereField(n)
+		// Radius in grid units scales with n to keep the sphere at a
+		// fixed relative size.
+		radius := r * float64(n-1) / 47.0
+		m, err := Extract(v, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 4 * math.Pi * radius * radius
+		got := m.SurfaceArea()
+		relErr := math.Abs(got-want) / want
+		t.Logf("n=%d: area %.2f want %.2f (err %.3f)", n, got, want, relErr)
+		if relErr > 0.10 {
+			t.Fatalf("n=%d: area error %.3f too large", n, relErr)
+		}
+		if trial > 0 && relErr > prevErr*1.05 {
+			t.Fatalf("area error grew with resolution: %.4f -> %.4f", prevErr, relErr)
+		}
+		prevErr = relErr
+	}
+}
+
+func TestSphereIsWatertight(t *testing.T) {
+	v := sphereField(20)
+	m, err := Extract(v, 6) // fully interior sphere
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTriangles() == 0 {
+		t.Fatal("no triangles")
+	}
+	interior, boundary, nonManifold := m.EdgeManifoldness()
+	if nonManifold != 0 {
+		t.Fatalf("%d non-manifold edges", nonManifold)
+	}
+	if boundary != 0 {
+		t.Fatalf("%d boundary edges on a fully interior sphere", boundary)
+	}
+	if interior == 0 {
+		t.Fatal("no interior edges")
+	}
+}
+
+func TestVerticesLieOnIsovalue(t *testing.T) {
+	// Every extracted vertex, trilinearly re-sampled in the field,
+	// should evaluate close to the isovalue (exactly, for a field
+	// linear along grid edges like the planar one here).
+	v := grid.New(8, 8, 8)
+	v.Fill(func(_, _, _ int, p mathutil.Vec3) float64 { return p.X + 2*p.Y + 0.5*p.Z })
+	const iso = 9.3
+	m, err := Extract(v, iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVertices() == 0 {
+		t.Fatal("no vertices")
+	}
+	for _, p := range m.Vertices {
+		if got := p.X + 2*p.Y + 0.5*p.Z; math.Abs(got-iso) > 1e-9 {
+			t.Fatalf("vertex %v evaluates to %g, want %g", p, got, iso)
+		}
+	}
+}
+
+func TestPlanarIsosurfaceArea(t *testing.T) {
+	// f = x: isosurface x = c is a plane of area (NY-1)*(NZ-1).
+	v := grid.New(10, 7, 5)
+	v.Fill(func(_, _, _ int, p mathutil.Vec3) float64 { return p.X })
+	m, err := Extract(v, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6.0 * 4.0
+	if math.Abs(m.SurfaceArea()-want) > 1e-9 {
+		t.Fatalf("area %.6f want %.6f", m.SurfaceArea(), want)
+	}
+}
+
+func TestEmptyIsosurface(t *testing.T) {
+	v := grid.New(5, 5, 5) // all zeros
+	m, err := Extract(v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTriangles() != 0 {
+		t.Fatalf("%d triangles for an isovalue outside the range", m.NumTriangles())
+	}
+}
+
+func TestChamferDistance(t *testing.T) {
+	v := sphereField(20)
+	a, err := Extract(v, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical meshes: zero distance.
+	d, err := ChamferDistance(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("self distance %g", d)
+	}
+	// Concentric spheres of radius 6 and 8: distance ~2.
+	b, err := Extract(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = ChamferDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1.5 || d > 2.5 {
+		t.Fatalf("concentric spheres distance %.3f, want ~2", d)
+	}
+	// Empty mesh rejected.
+	if _, err := ChamferDistance(a, &Mesh{}); err == nil {
+		t.Fatal("accepted empty mesh")
+	}
+}

@@ -1,0 +1,325 @@
+// Package kdtree implements a 3-D k-d tree over point sets, the spatial
+// index behind every neighbour-based component in fillvoid: the [1x23]
+// feature extraction (5 nearest sampled points per void location), the
+// nearest-neighbor and modified-Shepard reconstructors, and the discrete
+// Sibson natural-neighbor reconstructor.
+//
+// The tree is built once over the sampled cloud and then queried from
+// many goroutines concurrently; all query methods are read-only and
+// allocation-free when the caller supplies scratch buffers.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"fillvoid/internal/mathutil"
+	"fillvoid/internal/parallel"
+)
+
+// Tree is an immutable k-d tree over a fixed point set. Queries return
+// indices into the original Points slice passed to Build.
+type Tree struct {
+	points []mathutil.Vec3
+	// idx is the points permutation laid out in tree order; node n's
+	// point is points[idx[n]] with children at 2n+1 and 2n+2 laid out
+	// implicitly via recursion boundaries (lo, hi, mid).
+	idx []int32
+	// axis[n] records the split axis chosen for the subtree rooted at
+	// position n of the idx slice layout.
+	axis []int8
+}
+
+// Build constructs a tree over points. The slice is retained (not
+// copied) and must not be mutated while the tree is in use. Building is
+// O(n log n) and parallelizes across subtrees.
+func Build(points []mathutil.Vec3) *Tree {
+	t := &Tree{
+		points: points,
+		idx:    make([]int32, len(points)),
+		axis:   make([]int8, len(points)),
+	}
+	for i := range t.idx {
+		t.idx[i] = int32(i)
+	}
+	if len(points) > 0 {
+		b := mathutil.EmptyAABB()
+		for _, p := range points {
+			b = b.Extend(p)
+		}
+		t.build(0, len(points), b, 0)
+	}
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.points) }
+
+// Points returns the indexed point slice (shared, read-only by contract).
+func (t *Tree) Points() []mathutil.Vec3 { return t.points }
+
+// parallelBuildThreshold is the subtree size below which recursion stays
+// on the current goroutine; chosen so goroutine overhead is amortized.
+const parallelBuildThreshold = 1 << 14
+
+// build organises idx[lo:hi] into tree order: the median along the
+// widest axis of bounds moves to position mid=(lo+hi)/2, smaller points
+// to [lo,mid) and larger to (mid,hi]. depth limits parallel fan-out.
+func (t *Tree) build(lo, hi int, bounds mathutil.AABB, depth int) {
+	n := hi - lo
+	if n <= 1 {
+		return
+	}
+	size := bounds.Size()
+	ax := 0
+	if size.Y > size.X {
+		ax = 1
+	}
+	if size.Z > size.Component(ax) {
+		ax = 2
+	}
+	mid := (lo + hi) / 2
+	t.selectNth(lo, hi, mid, ax)
+	t.axis[mid] = int8(ax)
+	split := t.points[t.idx[mid]].Component(ax)
+	lb := bounds
+	lb.Max = lb.Max.WithComponent(ax, split)
+	rb := bounds
+	rb.Min = rb.Min.WithComponent(ax, split)
+	if n > parallelBuildThreshold && depth < 4 {
+		done := make(chan struct{})
+		go func() {
+			t.build(lo, mid, lb, depth+1)
+			close(done)
+		}()
+		t.build(mid+1, hi, rb, depth+1)
+		<-done
+	} else {
+		t.build(lo, mid, lb, depth+1)
+		t.build(mid+1, hi, rb, depth+1)
+	}
+}
+
+// selectNth partially sorts idx[lo:hi] so that position nth holds the
+// element of rank nth along axis ax (quickselect with median-of-three).
+func (t *Tree) selectNth(lo, hi, nth, ax int) {
+	for hi-lo > 16 {
+		p := t.medianOfThree(lo, hi, ax)
+		i, j := lo, hi-1
+		for i <= j {
+			for t.key(i, ax) < p {
+				i++
+			}
+			for t.key(j, ax) > p {
+				j--
+			}
+			if i <= j {
+				t.idx[i], t.idx[j] = t.idx[j], t.idx[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case nth <= j:
+			hi = j + 1
+		case nth >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+	sub := t.idx[lo:hi]
+	sort.Slice(sub, func(a, b int) bool {
+		return t.points[sub[a]].Component(ax) < t.points[sub[b]].Component(ax)
+	})
+}
+
+func (t *Tree) key(i, ax int) float64 { return t.points[t.idx[i]].Component(ax) }
+
+func (t *Tree) medianOfThree(lo, hi, ax int) float64 {
+	a := t.key(lo, ax)
+	b := t.key((lo+hi)/2, ax)
+	c := t.key(hi-1, ax)
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+		if a > b {
+			b = a
+		}
+	}
+	return b
+}
+
+// Neighbor is a query result: the index of a point in the original slice
+// and its squared distance to the query position.
+type Neighbor struct {
+	Index int
+	Dist2 float64
+}
+
+// Nearest returns the index of the closest indexed point to q and the
+// squared distance, or (-1, +Inf) for an empty tree.
+func (t *Tree) Nearest(q mathutil.Vec3) (int, float64) {
+	var buf [1]Neighbor
+	res := t.KNearestInto(q, 1, buf[:0])
+	if len(res) == 0 {
+		return -1, inf()
+	}
+	return res[0].Index, res[0].Dist2
+}
+
+// KNearest returns the k nearest points to q ordered by increasing
+// distance (fewer when the tree holds fewer than k points).
+func (t *Tree) KNearest(q mathutil.Vec3, k int) []Neighbor {
+	return t.KNearestInto(q, k, nil)
+}
+
+// KNearestInto is KNearest writing into buf (reused when cap(buf) >= k)
+// to let hot loops avoid allocation. The returned slice is sorted by
+// increasing distance.
+func (t *Tree) KNearestInto(q mathutil.Vec3, k int, buf []Neighbor) []Neighbor {
+	if k <= 0 || len(t.points) == 0 {
+		return buf[:0]
+	}
+	h := heapNeighbors{items: buf[:0], k: k}
+	t.knn(0, len(t.points), q, &h)
+	// Heap holds the k nearest in max-heap order; sort ascending.
+	sort.Slice(h.items, func(a, b int) bool { return h.items[a].Dist2 < h.items[b].Dist2 })
+	return h.items
+}
+
+func (t *Tree) knn(lo, hi int, q mathutil.Vec3, h *heapNeighbors) {
+	if hi <= lo {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.points[t.idx[mid]]
+	h.offer(int(t.idx[mid]), p.Dist2(q))
+	if hi-lo == 1 {
+		return
+	}
+	ax := int(t.axis[mid])
+	d := q.Component(ax) - p.Component(ax)
+	// Search the near side first, then the far side only if the
+	// splitting plane is closer than the current k-th best distance.
+	if d < 0 {
+		t.knn(lo, mid, q, h)
+		if d*d < h.bound() {
+			t.knn(mid+1, hi, q, h)
+		}
+	} else {
+		t.knn(mid+1, hi, q, h)
+		if d*d < h.bound() {
+			t.knn(lo, mid, q, h)
+		}
+	}
+}
+
+// WithinRadius appends to out the indices of all points within radius r
+// of q (unordered) and returns the extended slice.
+func (t *Tree) WithinRadius(q mathutil.Vec3, r float64, out []int) []int {
+	if r < 0 || len(t.points) == 0 {
+		return out
+	}
+	return t.radius(0, len(t.points), q, r*r, out)
+}
+
+func (t *Tree) radius(lo, hi int, q mathutil.Vec3, r2 float64, out []int) []int {
+	if hi <= lo {
+		return out
+	}
+	mid := (lo + hi) / 2
+	p := t.points[t.idx[mid]]
+	if p.Dist2(q) <= r2 {
+		out = append(out, int(t.idx[mid]))
+	}
+	if hi-lo == 1 {
+		return out
+	}
+	ax := int(t.axis[mid])
+	d := q.Component(ax) - p.Component(ax)
+	if d < 0 {
+		out = t.radius(lo, mid, q, r2, out)
+		if d*d <= r2 {
+			out = t.radius(mid+1, hi, q, r2, out)
+		}
+	} else {
+		out = t.radius(mid+1, hi, q, r2, out)
+		if d*d <= r2 {
+			out = t.radius(lo, mid, q, r2, out)
+		}
+	}
+	return out
+}
+
+// KNearestBatch runs KNearest for every query in parallel, returning one
+// result slice per query. It is the bulk entry point used by feature
+// extraction over hundreds of thousands of void locations.
+func (t *Tree) KNearestBatch(queries []mathutil.Vec3, k int) [][]Neighbor {
+	out := make([][]Neighbor, len(queries))
+	parallel.For(len(queries), 0, func(i int) {
+		out[i] = t.KNearest(queries[i], k)
+	})
+	return out
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// heapNeighbors is a fixed-capacity max-heap by Dist2: the root is the
+// worst of the best-k so far, so bound() prunes subtree descent.
+type heapNeighbors struct {
+	items []Neighbor
+	k     int
+}
+
+func (h *heapNeighbors) bound() float64 {
+	if len(h.items) < h.k {
+		return inf()
+	}
+	return h.items[0].Dist2
+}
+
+func (h *heapNeighbors) offer(index int, d2 float64) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, Neighbor{index, d2})
+		h.up(len(h.items) - 1)
+		return
+	}
+	if d2 >= h.items[0].Dist2 {
+		return
+	}
+	h.items[0] = Neighbor{index, d2}
+	h.down(0)
+}
+
+func (h *heapNeighbors) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist2 >= h.items[i].Dist2 {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *heapNeighbors) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.items[l].Dist2 > h.items[big].Dist2 {
+			big = l
+		}
+		if r < n && h.items[r].Dist2 > h.items[big].Dist2 {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+}

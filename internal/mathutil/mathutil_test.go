@@ -1,0 +1,309 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec3Basics(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, -5, 6}
+	if got := a.Add(b); got != (Vec3{5, -3, 9}) {
+		t.Fatalf("Add: %+v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{-3, 7, -3}) {
+		t.Fatalf("Sub: %+v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Fatalf("Scale: %+v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*-5+3*6 {
+		t.Fatalf("Dot: %g", got)
+	}
+	if got := a.Norm2(); got != 14 {
+		t.Fatalf("Norm2: %g", got)
+	}
+	if !almost(a.Norm(), math.Sqrt(14), 1e-15) {
+		t.Fatalf("Norm: %g", a.Norm())
+	}
+	if !almost(a.Dist(b), a.Sub(b).Norm(), 1e-15) {
+		t.Fatal("Dist inconsistent with Sub().Norm()")
+	}
+}
+
+// tame maps an arbitrary float into a well-conditioned range so the
+// quick-generated extremes (1e308) don't overflow the products the
+// properties multiply out.
+func tame(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Remainder(x, 1e6)
+}
+
+func TestCrossProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{tame(ax), tame(ay), tame(az)}
+		b := Vec3{tame(bx), tame(by), tame(bz)}
+		c := a.Cross(b)
+		// Cross product is orthogonal to both operands.
+		scale := a.Norm()*b.Norm() + 1
+		return almost(c.Dot(a)/scale, 0, 1e-9) && almost(c.Dot(b)/scale, 0, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossAnticommutes(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{tame(ax), tame(ay), tame(az)}
+		b := Vec3{tame(bx), tame(by), tame(bz)}
+		c1 := a.Cross(b)
+		c2 := b.Cross(a).Scale(-1)
+		return c1 == c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentRoundTrip(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	for axis := 0; axis < 3; axis++ {
+		got := v.WithComponent(axis, 9)
+		if got.Component(axis) != 9 {
+			t.Fatalf("axis %d: %+v", axis, got)
+		}
+		// Other components untouched.
+		for o := 0; o < 3; o++ {
+			if o != axis && got.Component(o) != v.Component(o) {
+				t.Fatalf("axis %d clobbered %d", axis, o)
+			}
+		}
+	}
+}
+
+func TestAABB(t *testing.T) {
+	b := EmptyAABB()
+	if b.Contains(Vec3{0, 0, 0}) {
+		t.Fatal("empty box contains origin")
+	}
+	b = b.Extend(Vec3{1, 2, 3}).Extend(Vec3{-1, 0, 5})
+	if b.Min != (Vec3{-1, 0, 3}) || b.Max != (Vec3{1, 2, 5}) {
+		t.Fatalf("extend: %+v", b)
+	}
+	if !b.Contains(Vec3{0, 1, 4}) {
+		t.Fatal("should contain interior point")
+	}
+	if b.Contains(Vec3{2, 1, 4}) {
+		t.Fatal("should not contain outside point")
+	}
+	if got := b.Center(); got != (Vec3{0, 1, 4}) {
+		t.Fatalf("center: %+v", got)
+	}
+	if got := b.Size(); got != (Vec3{2, 2, 2}) {
+		t.Fatalf("size: %+v", got)
+	}
+	u := b.Union(AABB{Min: Vec3{5, 5, 5}, Max: Vec3{6, 6, 6}})
+	if u.Max != (Vec3{6, 6, 6}) || u.Min != (Vec3{-1, 0, 3}) {
+		t.Fatalf("union: %+v", u)
+	}
+}
+
+func TestAABBDist2(t *testing.T) {
+	b := AABB{Min: Vec3{0, 0, 0}, Max: Vec3{1, 1, 1}}
+	if d := b.Dist2(Vec3{0.5, 0.5, 0.5}); d != 0 {
+		t.Fatalf("inside: %g", d)
+	}
+	if d := b.Dist2(Vec3{2, 0.5, 0.5}); !almost(d, 1, 1e-15) {
+		t.Fatalf("face: %g", d)
+	}
+	if d := b.Dist2(Vec3{2, 2, 2}); !almost(d, 3, 1e-15) {
+		t.Fatalf("corner: %g", d)
+	}
+}
+
+func TestRunningStats(t *testing.T) {
+	s := NewRunningStats()
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n=%d", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean=%g", s.Mean())
+	}
+	if !almost(s.StdDev(), 2, 1e-12) {
+		t.Fatalf("std=%g", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestRunningStatsMergeMatchesSequential(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		k := int(split) % len(xs)
+		a := NewRunningStats()
+		b := NewRunningStats()
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		whole := StatsOf(xs)
+		tol := 1e-6 * (math.Abs(whole.Mean()) + whole.Variance() + 1)
+		return a.N() == whole.N() &&
+			almost(a.Mean(), whole.Mean(), tol) &&
+			almost(a.Variance(), whole.Variance(), tol) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := NewRunningStats()
+	b := NewRunningStats()
+	b.Add(3)
+	a.Merge(b)
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatalf("%+v", a)
+	}
+	c := NewRunningStats()
+	a.Merge(c) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestClampLerpSmoothStep(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp")
+	}
+	if Lerp(2, 4, 0.5) != 3 || Lerp(2, 4, 0) != 2 || Lerp(2, 4, 1) != 4 {
+		t.Fatal("Lerp")
+	}
+	if SmoothStep(0) != 0 || SmoothStep(1) != 1 || SmoothStep(-3) != 0 || SmoothStep(3) != 1 {
+		t.Fatal("SmoothStep endpoints")
+	}
+	if s := SmoothStep(0.5); !almost(s, 0.5, 1e-15) {
+		t.Fatalf("SmoothStep midpoint %g", s)
+	}
+	// Monotone on [0,1].
+	prev := 0.0
+	for i := 0; i <= 100; i++ {
+		v := SmoothStep(float64(i) / 100)
+		if v < prev {
+			t.Fatal("SmoothStep not monotone")
+		}
+		prev = v
+	}
+}
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 2x2: {{2, 1}, {1, 3}} x = {5, 10} -> x = {1, 3}
+	a := []float64{2, 1, 1, 3}
+	b := []float64{5, 10}
+	if err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(b[0], 1, 1e-12) || !almost(b[1], 3, 1e-12) {
+		t.Fatalf("x=%v", b)
+	}
+}
+
+func TestSolveLinearPivoting(t *testing.T) {
+	// Zero on the diagonal forces a pivot swap.
+	a := []float64{0, 1, 1, 0}
+	b := []float64{2, 3}
+	if err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(b[0], 3, 1e-12) || !almost(b[1], 2, 1e-12) {
+		t.Fatalf("x=%v", b)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4}
+	b := []float64{1, 2}
+	if err := SolveLinear(a, b); err != ErrSingular {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestSolveLinearDimensionMismatch(t *testing.T) {
+	if err := SolveLinear([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSolveLinearRandomRoundTrip(t *testing.T) {
+	rng := NewRNG(5)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := make([]float64, n*n)
+		x := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// b = A x
+		b := make([]float64, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				b[r] += a[r*n+c] * x[c]
+			}
+		}
+		ac := append([]float64(nil), a...)
+		if err := SolveLinear(ac, b); err != nil {
+			continue // random singular matrix: fine
+		}
+		for i := range x {
+			if !almost(b[i], x[i], 1e-6*(math.Abs(x[i])+1)) {
+				t.Fatalf("trial %d: x[%d]=%g want %g", trial, i, b[i], x[i])
+			}
+		}
+	}
+}

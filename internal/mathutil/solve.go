@@ -1,0 +1,62 @@
+package mathutil
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no stable solution.
+var ErrSingular = errors.New("mathutil: singular matrix")
+
+// SolveLinear solves the dense n×n system A x = b in place using
+// Gaussian elimination with partial pivoting. A is row-major (len n*n)
+// and both A and b are clobbered; the solution is returned in b's
+// storage. The local RBF reconstructor solves one small system per
+// query through this.
+func SolveLinear(a []float64, b []float64) error {
+	n := len(b)
+	if len(a) != n*n {
+		return errors.New("mathutil: SolveLinear dimension mismatch")
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-300 {
+			return ErrSingular
+		}
+		if pivot != col {
+			for c := col; c < n; c++ {
+				a[col*n+c], a[pivot*n+c] = a[pivot*n+c], a[col*n+c]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r*n+col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r*n+c] -= f * a[col*n+c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r*n+c] * b[c]
+		}
+		b[r] = s / a[r*n+r]
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package mathutil
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RunningStats accumulates count, mean, and variance in one pass using
+// Welford's algorithm, which stays accurate for the large value ranges
+// scientific fields have (e.g. pressure in pascals next to tiny noise).
+type RunningStats struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// NewRunningStats returns an empty accumulator.
+func NewRunningStats() *RunningStats {
+	return &RunningStats{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add folds one observation into the accumulator.
+func (s *RunningStats) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+}
+
+// Merge folds another accumulator into s (parallel reduction step).
+func (s *RunningStats) Merge(o *RunningStats) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.mean += d * float64(o.n) / float64(n)
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.n = n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// N returns the number of observations.
+func (s *RunningStats) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (s *RunningStats) Mean() float64 { return s.mean }
+
+// Variance returns the population variance (divide by n).
+func (s *RunningStats) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *RunningStats) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (+Inf when empty).
+func (s *RunningStats) Min() float64 { return s.min }
+
+// Max returns the largest observation (-Inf when empty).
+func (s *RunningStats) Max() float64 { return s.max }
+
+// StatsOf computes RunningStats over a slice in one pass.
+func StatsOf(xs []float64) *RunningStats {
+	s := NewRunningStats()
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+// NewRNG returns a deterministic rand.Rand for the given seed. All
+// stochastic components of fillvoid (samplers, weight init, training
+// shuffles, synthetic turbulence) construct their RNGs through this so
+// experiments replay bit-identically.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// SmoothStep is the cubic Hermite ramp 3t^2-2t^3 clamped to [0,1]; used
+// by the synthetic dataset generators to shape fronts and interfaces.
+func SmoothStep(t float64) float64 {
+	t = Clamp(t, 0, 1)
+	return t * t * (3 - 2*t)
+}

@@ -1,0 +1,139 @@
+// Package metrics implements the reconstruction-quality measures used in
+// the paper's evaluation, chiefly the signal-to-noise ratio
+//
+//	SNR = 20 * log10(sigma_raw / sigma_noise)
+//
+// where noise is the pointwise difference between the original and the
+// reconstructed field (Section IV). PSNR, RMSE and MAE are provided for
+// completeness and cross-checking.
+package metrics
+
+import (
+	"errors"
+	"math"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+)
+
+// ErrDimensionMismatch is returned when the original and reconstruction
+// do not cover the same number of grid points.
+var ErrDimensionMismatch = errors.New("metrics: volumes have different sizes")
+
+// SNR returns the paper's signal-to-noise ratio in decibels for a
+// reconstruction of original. A perfect reconstruction yields +Inf; a
+// constant original field (sigma_raw = 0) yields -Inf unless the noise
+// is also zero.
+func SNR(original, reconstructed *grid.Volume) (float64, error) {
+	if original.Len() != reconstructed.Len() {
+		return 0, ErrDimensionMismatch
+	}
+	return SNRSlices(original.Data, reconstructed.Data)
+}
+
+// SNRSlices is SNR over raw value slices of equal length.
+func SNRSlices(original, reconstructed []float64) (float64, error) {
+	if len(original) != len(reconstructed) {
+		return 0, ErrDimensionMismatch
+	}
+	raw := mathutil.NewRunningStats()
+	noise := mathutil.NewRunningStats()
+	for i := range original {
+		raw.Add(original[i])
+		noise.Add(original[i] - reconstructed[i])
+	}
+	sigmaRaw := raw.StdDev()
+	sigmaNoise := noise.StdDev()
+	if sigmaNoise == 0 {
+		return math.Inf(1), nil
+	}
+	if sigmaRaw == 0 {
+		return math.Inf(-1), nil
+	}
+	return 20 * math.Log10(sigmaRaw/sigmaNoise), nil
+}
+
+// RMSE returns the root-mean-square error between the two fields.
+func RMSE(original, reconstructed *grid.Volume) (float64, error) {
+	if original.Len() != reconstructed.Len() {
+		return 0, ErrDimensionMismatch
+	}
+	sum := 0.0
+	for i := range original.Data {
+		d := original.Data[i] - reconstructed.Data[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(original.Len())), nil
+}
+
+// MAE returns the mean absolute error between the two fields.
+func MAE(original, reconstructed *grid.Volume) (float64, error) {
+	if original.Len() != reconstructed.Len() {
+		return 0, ErrDimensionMismatch
+	}
+	sum := 0.0
+	for i := range original.Data {
+		sum += math.Abs(original.Data[i] - reconstructed.Data[i])
+	}
+	return sum / float64(original.Len()), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in decibels, with the peak
+// taken as the original field's value range (max - min).
+func PSNR(original, reconstructed *grid.Volume) (float64, error) {
+	rmse, err := RMSE(original, reconstructed)
+	if err != nil {
+		return 0, err
+	}
+	s := original.Stats()
+	peak := s.Max() - s.Min()
+	if rmse == 0 {
+		return math.Inf(1), nil
+	}
+	if peak == 0 {
+		return math.Inf(-1), nil
+	}
+	return 20 * math.Log10(peak/rmse), nil
+}
+
+// HistogramDistance returns the L1 distance between the normalized
+// value histograms of the two fields over bins equal-width buckets; it
+// quantifies how well a reconstruction preserves the value distribution
+// (a secondary quality signal for sampled-data workflows).
+func HistogramDistance(original, reconstructed *grid.Volume, bins int) (float64, error) {
+	if original.Len() != reconstructed.Len() {
+		return 0, ErrDimensionMismatch
+	}
+	if bins < 1 {
+		return 0, errors.New("metrics: bins must be >= 1")
+	}
+	s := original.Stats()
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	ha := histogram(original.Data, lo, hi, bins)
+	hb := histogram(reconstructed.Data, lo, hi, bins)
+	n := float64(original.Len())
+	d := 0.0
+	for i := 0; i < bins; i++ {
+		d += math.Abs(float64(ha[i])-float64(hb[i])) / n
+	}
+	return d / 2, nil // normalized to [0,1]
+}
+
+func histogram(xs []float64, lo, hi float64, bins int) []int {
+	h := make([]int, bins)
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h[b]++
+	}
+	return h
+}

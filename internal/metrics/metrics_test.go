@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+)
+
+func volumeOf(data []float64) *grid.Volume {
+	v := grid.New(len(data), 1, 1)
+	copy(v.Data, data)
+	return v
+}
+
+func TestSNRPerfectReconstruction(t *testing.T) {
+	a := volumeOf([]float64{1, 2, 3, 4})
+	s, err := SNR(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(s, 1) {
+		t.Fatalf("want +Inf, got %g", s)
+	}
+}
+
+func TestSNRKnownValue(t *testing.T) {
+	// Signal std = 10x noise std -> SNR = 20 dB exactly.
+	orig := make([]float64, 1000)
+	recon := make([]float64, 1000)
+	for i := range orig {
+		if i%2 == 0 {
+			orig[i] = 10
+			recon[i] = 10 + 1
+		} else {
+			orig[i] = -10
+			recon[i] = -10 - 1
+		}
+	}
+	s, err := SNRSlices(orig, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-20) > 1e-9 {
+		t.Fatalf("got %g want 20", s)
+	}
+}
+
+func TestSNRConstantOriginal(t *testing.T) {
+	a := volumeOf([]float64{5, 5, 5})
+	b := volumeOf([]float64{5, 6, 5})
+	s, err := SNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(s, -1) {
+		t.Fatalf("want -Inf for zero-signal, got %g", s)
+	}
+}
+
+func TestSNRDimensionMismatch(t *testing.T) {
+	if _, err := SNR(volumeOf([]float64{1}), volumeOf([]float64{1, 2})); err != ErrDimensionMismatch {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSNRMonotoneInNoise(t *testing.T) {
+	// Scaling the noise down must raise SNR.
+	f := func(seed int64) bool {
+		rng := mathutil.NewRNG(seed)
+		n := 200
+		orig := make([]float64, n)
+		noisy1 := make([]float64, n)
+		noisy2 := make([]float64, n)
+		for i := range orig {
+			orig[i] = rng.NormFloat64() * 10
+			e := rng.NormFloat64()
+			noisy1[i] = orig[i] + e
+			noisy2[i] = orig[i] + e*0.1
+		}
+		s1, err1 := SNRSlices(orig, noisy1)
+		s2, err2 := SNRSlices(orig, noisy2)
+		return err1 == nil && err2 == nil && s2 > s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	a := volumeOf([]float64{0, 0, 0, 0})
+	b := volumeOf([]float64{1, -1, 1, -1})
+	r, err := RMSE(a, b)
+	if err != nil || r != 1 {
+		t.Fatalf("rmse=%g err=%v", r, err)
+	}
+	m, err := MAE(a, b)
+	if err != nil || m != 1 {
+		t.Fatalf("mae=%g err=%v", m, err)
+	}
+	b2 := volumeOf([]float64{2, 0, 0, 0})
+	r2, _ := RMSE(a, b2)
+	if math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("rmse=%g", r2)
+	}
+	m2, _ := MAE(a, b2)
+	if m2 != 0.5 {
+		t.Fatalf("mae=%g", m2)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := volumeOf([]float64{0, 10})
+	s, err := PSNR(a, a.Clone())
+	if err != nil || !math.IsInf(s, 1) {
+		t.Fatalf("psnr=%g err=%v", s, err)
+	}
+	b := volumeOf([]float64{1, 9}) // rmse=1, peak=10 -> 20 dB
+	s, err = PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-20) > 1e-9 {
+		t.Fatalf("psnr=%g", s)
+	}
+}
+
+func TestHistogramDistance(t *testing.T) {
+	a := volumeOf([]float64{0, 0, 1, 1})
+	d, err := HistogramDistance(a, a.Clone(), 4)
+	if err != nil || d != 0 {
+		t.Fatalf("identical: d=%g err=%v", d, err)
+	}
+	b := volumeOf([]float64{0, 0, 0, 0})
+	d, err = HistogramDistance(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.5 {
+		t.Fatalf("d=%g want 0.5", d)
+	}
+	if _, err := HistogramDistance(a, b, 0); err == nil {
+		t.Fatal("expected error for bins=0")
+	}
+}
+
+func TestHistogramDistanceBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathutil.NewRNG(seed)
+		a := make([]float64, 64)
+		b := make([]float64, 64)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		d, err := HistogramDistance(volumeOf(a), volumeOf(b), 8)
+		return err == nil && d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package nn
+
+import "math"
+
+// adam holds the Adam optimizer state (first and second moment
+// estimates) for one parameter slice. The paper trains with Adam at
+// learning rate 0.001 (Section III-C); the defaults here match.
+type adam struct {
+	m, v []float64
+	t    int
+}
+
+func newAdam(n int) *adam {
+	return &adam{m: make([]float64, n), v: make([]float64, n)}
+}
+
+// AdamConfig are the optimizer hyperparameters.
+type AdamConfig struct {
+	LearningRate float64 // default 1e-3
+	Beta1        float64 // default 0.9
+	Beta2        float64 // default 0.999
+	Epsilon      float64 // default 1e-8
+}
+
+// withDefaults fills zero fields with the standard values.
+func (c AdamConfig) withDefaults() AdamConfig {
+	if c.LearningRate == 0 {
+		c.LearningRate = 1e-3
+	}
+	if c.Beta1 == 0 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 == 0 {
+		c.Beta2 = 0.999
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-8
+	}
+	return c
+}
+
+// step applies one bias-corrected Adam update to params given grads.
+func (a *adam) step(params, grads []float64, cfg AdamConfig) {
+	a.t++
+	c1 := 1 - math.Pow(cfg.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(cfg.Beta2, float64(a.t))
+	for i, g := range grads {
+		a.m[i] = cfg.Beta1*a.m[i] + (1-cfg.Beta1)*g
+		a.v[i] = cfg.Beta2*a.v[i] + (1-cfg.Beta2)*g*g
+		mHat := a.m[i] / c1
+		vHat := a.v[i] / c2
+		params[i] -= cfg.LearningRate * mHat / (math.Sqrt(vHat) + cfg.Epsilon)
+	}
+}
+
+// reset clears the moment estimates (used when fine-tuning restarts
+// optimization on new data).
+func (a *adam) reset() {
+	for i := range a.m {
+		a.m[i] = 0
+		a.v[i] = 0
+	}
+	a.t = 0
+}

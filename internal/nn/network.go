@@ -1,0 +1,466 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fillvoid/internal/mathutil"
+	"fillvoid/internal/parallel"
+)
+
+// Config describes a fully connected regression network.
+type Config struct {
+	// In and Out are the input/output widths. The paper's reconstructor
+	// uses In = 23 (five neighbors × (x,y,z,value) + the void point's
+	// x,y,z) and Out = 4 (value + three gradients).
+	In, Out int
+	// Hidden lists the hidden layer widths. The paper settles on five
+	// hidden layers, 512 down to 16 (Fig 5/6).
+	Hidden []int
+	// Seed drives weight initialization and minibatch shuffling.
+	Seed int64
+	// BatchSize is the minibatch size; default 256.
+	BatchSize int
+	// Workers bounds training/inference parallelism (<= 0: all cores).
+	Workers int
+	// Adam holds the optimizer hyperparameters.
+	Adam AdamConfig
+	// LRDecayEvery applies LRDecayFactor to the learning rate every
+	// LRDecayEvery epochs (0 disables scheduling).
+	LRDecayEvery int
+	// LRDecayFactor is the multiplicative step decay (default 0.5 when
+	// LRDecayEvery > 0).
+	LRDecayFactor float64
+}
+
+// PaperHidden returns the paper's hidden-layer sizes (five layers,
+// 512–16).
+func PaperHidden() []int { return []int{512, 256, 64, 32, 16} }
+
+// PyramidHidden returns n hidden layers shrinking geometrically from
+// `widest` down to a floor of 16; used by the Fig 6 depth ablation,
+// which varies the number of hidden layers from 1 to 9. The floor
+// matters: deep stacks that pinch below ~8 units develop dead-ReLU
+// bottlenecks and collapse outright, which is a pathology of the
+// architecture generator rather than the depth effect the ablation is
+// measuring (the paper's deep variants stay wide: 512 down to 16).
+func PyramidHidden(n, widest int) []int {
+	if n < 1 {
+		n = 1
+	}
+	sizes := make([]int, n)
+	w := widest
+	for i := 0; i < n; i++ {
+		if w < 16 {
+			w = 16
+		}
+		sizes[i] = w
+		w /= 2
+	}
+	return sizes
+}
+
+// Network is a trained or trainable FCNN.
+type Network struct {
+	cfg    Config
+	layers []*dense
+	opts   []*adamPair
+	// Losses records the mean training loss of every epoch ever run on
+	// this network, in order — full training followed by any
+	// fine-tuning epochs (Fig 12 plots this).
+	Losses []float64
+}
+
+type adamPair struct {
+	w, b *adam
+}
+
+// New constructs a network with He-initialized weights.
+func New(cfg Config) (*Network, error) {
+	if cfg.In < 1 || cfg.Out < 1 {
+		return nil, fmt.Errorf("nn: invalid in/out %d/%d", cfg.In, cfg.Out)
+	}
+	for _, h := range cfg.Hidden {
+		if h < 1 {
+			return nil, fmt.Errorf("nn: invalid hidden width %d", h)
+		}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	cfg.Adam = cfg.Adam.withDefaults()
+	n := &Network{cfg: cfg}
+	widths := append(append([]int{cfg.In}, cfg.Hidden...), cfg.Out)
+	rng := mathutil.NewRNG(cfg.Seed)
+	for i := 0; i+1 < len(widths); i++ {
+		relu := i+2 < len(widths) // last layer is linear
+		l := newDense(widths[i], widths[i+1], relu)
+		l.initHe(rng)
+		n.layers = append(n.layers, l)
+		n.opts = append(n.opts, &adamPair{w: newAdam(len(l.w)), b: newAdam(len(l.b))})
+	}
+	return n, nil
+}
+
+// Config returns the construction configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumLayers returns the number of dense layers (hidden + output).
+func (n *Network) NumLayers() int { return len(n.layers) }
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, l := range n.layers {
+		total += l.paramCount()
+	}
+	return total
+}
+
+// SetTrainable marks layer i (0-based) trainable or frozen. Frozen
+// layers still participate in forward/backward but skip updates.
+func (n *Network) SetTrainable(i int, trainable bool) error {
+	if i < 0 || i >= len(n.layers) {
+		return fmt.Errorf("nn: layer %d out of range [0,%d)", i, len(n.layers))
+	}
+	n.layers[i].frozen = !trainable
+	return nil
+}
+
+// FreezeAllButLast freezes every layer except the last k — the paper's
+// Case 2 fine-tuning trains only the last two layers.
+func (n *Network) FreezeAllButLast(k int) {
+	for i, l := range n.layers {
+		l.frozen = i < len(n.layers)-k
+	}
+}
+
+// UnfreezeAll marks every layer trainable (the paper's Case 1).
+func (n *Network) UnfreezeAll() {
+	for _, l := range n.layers {
+		l.frozen = false
+	}
+}
+
+// TrainableParamCount counts parameters in unfrozen layers — the extra
+// storage needed per timestep under Case 2 (only the last two layers
+// change, so only they must be stored per timestep).
+func (n *Network) TrainableParamCount() int {
+	total := 0
+	for _, l := range n.layers {
+		if !l.frozen {
+			total += l.paramCount()
+		}
+	}
+	return total
+}
+
+// Predict runs batched inference in parallel and returns the (rows ×
+// Out) prediction matrix.
+func (n *Network) Predict(x *Matrix) (*Matrix, error) {
+	if x.Cols != n.cfg.In {
+		return nil, fmt.Errorf("nn: input width %d, want %d", x.Cols, n.cfg.In)
+	}
+	out := NewMatrix(x.Rows, n.cfg.Out)
+	workers := n.cfg.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	parallel.ForChunked(x.Rows, workers, func(lo, hi int) {
+		n.forwardShard(x.SliceRows(lo, hi), out.SliceRows(lo, hi), nil, nil)
+	})
+	return out, nil
+}
+
+// forwardShard runs the full forward pass for a shard. When zs/as are
+// non-nil they receive the per-layer caches needed for backward.
+func (n *Network) forwardShard(x, out *Matrix, zs, as []*Matrix) {
+	cur := x
+	for li, l := range n.layers {
+		var z, a *Matrix
+		if zs != nil {
+			z, a = zs[li], as[li]
+		} else {
+			z = NewMatrix(cur.Rows, l.out)
+			if li == len(n.layers)-1 {
+				a = out
+			} else {
+				a = NewMatrix(cur.Rows, l.out)
+			}
+		}
+		l.forward(cur, z, a)
+		cur = a
+	}
+	if zs != nil && out != nil {
+		copy(out.Data, as[len(as)-1].Data)
+	}
+}
+
+// Loss returns the mean squared error of predictions against targets,
+// averaged over all elements.
+func Loss(pred, target *Matrix) (float64, error) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		return 0, errors.New("nn: loss shape mismatch")
+	}
+	if len(pred.Data) == 0 {
+		return 0, nil
+	}
+	s := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		s += d * d
+	}
+	return s / float64(len(pred.Data)), nil
+}
+
+// TrainEpochs runs `epochs` epochs of minibatch Adam on (x, y) and
+// returns the per-epoch mean losses (also appended to n.Losses).
+// Training is deterministic for a fixed config, seed, and worker count.
+func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
+	if x.Rows != y.Rows {
+		return nil, errors.New("nn: x/y row mismatch")
+	}
+	if x.Cols != n.cfg.In || y.Cols != n.cfg.Out {
+		return nil, fmt.Errorf("nn: train shapes (%d,%d), want (%d,%d)", x.Cols, y.Cols, n.cfg.In, n.cfg.Out)
+	}
+	if x.Rows == 0 {
+		return nil, errors.New("nn: empty training set")
+	}
+	workers := n.cfg.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	batch := n.cfg.BatchSize
+	if batch > x.Rows {
+		batch = x.Rows
+	}
+
+	rng := mathutil.NewRNG(n.cfg.Seed ^ 0x7a21b3)
+	perm := make([]int, x.Rows)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	// Per-worker scratch: gradient buffers and activation caches sized
+	// for the largest shard.
+	shardCap := (batch + workers - 1) / workers
+	scratch := make([]*trainScratch, workers)
+	for w := range scratch {
+		scratch[w] = n.newTrainScratch(shardCap)
+	}
+	gw := make([][]float64, len(n.layers))
+	gb := make([][]float64, len(n.layers))
+	for li, l := range n.layers {
+		gw[li] = make([]float64, len(l.w))
+		gb[li] = make([]float64, len(l.b))
+	}
+	bx := NewMatrix(batch, x.Cols)
+	by := NewMatrix(batch, y.Cols)
+
+	epochLosses := make([]float64, 0, epochs)
+	adamCfg := n.cfg.Adam
+	decayFactor := n.cfg.LRDecayFactor
+	if decayFactor <= 0 || decayFactor > 1 {
+		decayFactor = 0.5
+	}
+	for e := 0; e < epochs; e++ {
+		if n.cfg.LRDecayEvery > 0 && e > 0 && e%n.cfg.LRDecayEvery == 0 {
+			adamCfg.LearningRate *= decayFactor
+		}
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		totalLoss := 0.0
+		batches := 0
+		for start := 0; start < x.Rows; start += batch {
+			end := start + batch
+			if end > x.Rows {
+				end = x.Rows
+			}
+			bn := end - start
+			for i := 0; i < bn; i++ {
+				copy(bx.Row(i), x.Row(perm[start+i]))
+				copy(by.Row(i), y.Row(perm[start+i]))
+			}
+			loss := n.trainBatch(bx.SliceRows(0, bn), by.SliceRows(0, bn), scratch, gw, gb, workers, adamCfg)
+			totalLoss += loss
+			batches++
+		}
+		epochLosses = append(epochLosses, totalLoss/float64(batches))
+	}
+	n.Losses = append(n.Losses, epochLosses...)
+	return epochLosses, nil
+}
+
+// TrainWithValidation trains like TrainEpochs but holds out (vx, vy)
+// for per-epoch validation and stops early when the validation loss has
+// not improved for `patience` consecutive epochs, restoring the weights
+// of the best epoch. It returns the per-epoch training and validation
+// losses (equal length, ending at the stopping epoch).
+func (n *Network) TrainWithValidation(x, y, vx, vy *Matrix, epochs, patience int) (trainLosses, valLosses []float64, err error) {
+	if vx.Rows != vy.Rows || vx.Rows == 0 {
+		return nil, nil, errors.New("nn: empty or mismatched validation set")
+	}
+	if patience < 1 {
+		patience = 10
+	}
+	best := math.Inf(1)
+	bad := 0
+	var bestW, bestB [][]float64
+	snapshot := func() {
+		bestW = bestW[:0]
+		bestB = bestB[:0]
+		for _, l := range n.layers {
+			bestW = append(bestW, append([]float64(nil), l.w...))
+			bestB = append(bestB, append([]float64(nil), l.b...))
+		}
+	}
+	for e := 0; e < epochs; e++ {
+		tl, err := n.TrainEpochs(x, y, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred, err := n.Predict(vx)
+		if err != nil {
+			return nil, nil, err
+		}
+		vl, err := Loss(pred, vy)
+		if err != nil {
+			return nil, nil, err
+		}
+		trainLosses = append(trainLosses, tl[0])
+		valLosses = append(valLosses, vl)
+		if vl < best {
+			best = vl
+			bad = 0
+			snapshot()
+		} else {
+			bad++
+			if bad >= patience {
+				break
+			}
+		}
+	}
+	if bestW != nil {
+		for i, l := range n.layers {
+			copy(l.w, bestW[i])
+			copy(l.b, bestB[i])
+		}
+	}
+	return trainLosses, valLosses, nil
+}
+
+// trainScratch holds one worker's forward caches, gradient buffers and
+// backprop temporaries.
+type trainScratch struct {
+	zs, as []*Matrix
+	dA     []*Matrix
+	gw     [][]float64
+	gb     [][]float64
+}
+
+func (n *Network) newTrainScratch(rows int) *trainScratch {
+	s := &trainScratch{}
+	for _, l := range n.layers {
+		s.zs = append(s.zs, NewMatrix(rows, l.out))
+		s.as = append(s.as, NewMatrix(rows, l.out))
+		s.dA = append(s.dA, NewMatrix(rows, l.out))
+		s.gw = append(s.gw, make([]float64, len(l.w)))
+		s.gb = append(s.gb, make([]float64, len(l.b)))
+	}
+	return s
+}
+
+// trainBatch computes the batch gradient with data-parallel shards,
+// reduces the per-worker gradients in fixed order, and applies one Adam
+// step per unfrozen layer. It returns the batch's mean loss.
+func (n *Network) trainBatch(bx, by *Matrix, scratch []*trainScratch, gw, gb [][]float64, workers int, adamCfg AdamConfig) float64 {
+	bn := bx.Rows
+	if workers > bn {
+		workers = bn
+	}
+	chunk := (bn + workers - 1) / workers
+	losses := make([]float64, workers)
+	parallel.ForChunked(bn, workers, func(lo, hi int) {
+		w := lo / chunk
+		losses[w] = n.shardGradient(bx.SliceRows(lo, hi), by.SliceRows(lo, hi), scratch[w], bn)
+	})
+	// Fixed-order reduction keeps training deterministic.
+	for li := range n.layers {
+		gwl, gbl := gw[li], gb[li]
+		for i := range gwl {
+			gwl[i] = 0
+		}
+		for i := range gbl {
+			gbl[i] = 0
+		}
+		for w := 0; w < workers; w++ {
+			sw := scratch[w].gw[li]
+			for i, v := range sw {
+				gwl[i] += v
+			}
+			sb := scratch[w].gb[li]
+			for i, v := range sb {
+				gbl[i] += v
+			}
+		}
+	}
+	for li, l := range n.layers {
+		if l.frozen {
+			continue
+		}
+		n.opts[li].w.step(l.w, gw[li], adamCfg)
+		n.opts[li].b.step(l.b, gb[li], adamCfg)
+	}
+	total := 0.0
+	for _, v := range losses {
+		total += v
+	}
+	return total / float64(bn*by.Cols)
+}
+
+// shardGradient runs forward + backward over one shard, accumulating
+// gradients into the scratch buffers (zeroed here) and returning the
+// shard's summed squared error.
+func (n *Network) shardGradient(sx, sy *Matrix, s *trainScratch, batchTotal int) float64 {
+	rows := sx.Rows
+	nl := len(n.layers)
+	zs := make([]*Matrix, nl)
+	as := make([]*Matrix, nl)
+	dA := make([]*Matrix, nl)
+	for li := range n.layers {
+		zs[li] = s.zs[li].SliceRows(0, rows)
+		as[li] = s.as[li].SliceRows(0, rows)
+		dA[li] = s.dA[li].SliceRows(0, rows)
+		for i := range s.gw[li] {
+			s.gw[li][i] = 0
+		}
+		for i := range s.gb[li] {
+			s.gb[li][i] = 0
+		}
+	}
+	n.forwardShard(sx, nil, zs, as)
+
+	// d(MSE)/d(pred) with the MSE normalized over batch*out elements.
+	pred := as[nl-1]
+	scale := 2 / float64(batchTotal*sy.Cols)
+	sse := 0.0
+	dLast := dA[nl-1]
+	for i := range pred.Data {
+		d := pred.Data[i] - sy.Data[i]
+		sse += d * d
+		dLast.Data[i] = d * scale
+	}
+
+	for li := nl - 1; li >= 0; li-- {
+		in := sx
+		if li > 0 {
+			in = as[li-1]
+		}
+		var dX *Matrix
+		if li > 0 {
+			dX = dA[li-1]
+		}
+		n.layers[li].backward(in, zs[li], dA[li], s.gw[li], s.gb[li], dX)
+	}
+	return sse
+}

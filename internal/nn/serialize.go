@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// modelFile is the gob wire format for a saved network. Optimizer state
+// is not persisted — a reloaded model is ready for inference or for
+// fresh fine-tuning, matching the paper's deployment model (store the
+// pretrained model once, fine-tune per timestep as needed).
+type modelFile struct {
+	Version int
+	Config  Config
+	Weights [][]float64
+	Biases  [][]float64
+	Frozen  []bool
+	Losses  []float64
+}
+
+const modelVersion = 1
+
+// Save writes the network to w in gob format.
+func (n *Network) Save(w io.Writer) error {
+	mf := modelFile{
+		Version: modelVersion,
+		Config:  n.cfg,
+		Losses:  n.Losses,
+	}
+	for _, l := range n.layers {
+		mf.Weights = append(mf.Weights, l.w)
+		mf.Biases = append(mf.Biases, l.b)
+		mf.Frozen = append(mf.Frozen, l.frozen)
+	}
+	return gob.NewEncoder(w).Encode(&mf)
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("nn: unsupported model version %d", mf.Version)
+	}
+	n, err := New(mf.Config)
+	if err != nil {
+		return nil, err
+	}
+	if len(mf.Weights) != len(n.layers) || len(mf.Biases) != len(n.layers) {
+		return nil, fmt.Errorf("nn: model has %d layers, config implies %d", len(mf.Weights), len(n.layers))
+	}
+	for i, l := range n.layers {
+		if len(mf.Weights[i]) != len(l.w) || len(mf.Biases[i]) != len(l.b) {
+			return nil, fmt.Errorf("nn: layer %d shape mismatch", i)
+		}
+		copy(l.w, mf.Weights[i])
+		copy(l.b, mf.Biases[i])
+		if i < len(mf.Frozen) {
+			l.frozen = mf.Frozen[i]
+		}
+	}
+	n.Losses = mf.Losses
+	return n, nil
+}
+
+// SaveFile writes the model to path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := n.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Clone deep-copies the network, including weights, freeze flags and
+// loss history, with fresh optimizer state. Fine-tuning experiments
+// clone the pretrained model per target timestep so the original stays
+// untouched.
+func (n *Network) Clone() *Network {
+	out, err := New(n.cfg)
+	if err != nil {
+		// n was constructed with this config; it cannot fail.
+		panic(err)
+	}
+	for i, l := range n.layers {
+		copy(out.layers[i].w, l.w)
+		copy(out.layers[i].b, l.b)
+		out.layers[i].frozen = l.frozen
+	}
+	out.Losses = append([]float64(nil), n.Losses...)
+	return out
+}

@@ -1,0 +1,140 @@
+// Package parallel provides small helpers for data-parallel loops used
+// throughout fillvoid: chunked parallel-for over index ranges, bounded
+// worker pools, and reduction helpers.
+//
+// The package is deliberately tiny: every hot loop in the reconstruction
+// pipeline (feature extraction, k-NN queries, network inference over
+// millions of void locations) is shaped like "apply f to every i in
+// [0,n)". For and ForChunked cover that shape with GOMAXPROCS-aware
+// fan-out and without per-iteration channel traffic.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers reports the worker count used when a caller passes
+// workers <= 0. It honours GOMAXPROCS so tests can pin parallelism.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) across min(workers, n) goroutines.
+// If workers <= 0 it uses DefaultWorkers. fn must be safe for concurrent
+// invocation on distinct indices. For blocks until all iterations finish.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Grab indices in blocks to amortize the atomic; block size keeps
+	// roughly 32 blocks per worker for load balance on skewed work.
+	block := n / (workers * 32)
+	if block < 1 {
+		block = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, int64(block))) - block
+				if start >= n {
+					return
+				}
+				end := start + block
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunked runs fn(start, end) over contiguous disjoint chunks covering
+// [0, n). Each worker receives at most one chunk; chunk boundaries are
+// stable for a given (n, workers) pair, which makes per-chunk scratch
+// buffers easy to manage. If workers <= 0 it uses DefaultWorkers.
+func ForChunked(n, workers int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		go func(s, e int) {
+			defer wg.Done()
+			if s < e {
+				fn(s, e)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// MapReduce applies fn(i) for every i in [0, n), each worker folding its
+// results into a worker-local accumulator created by newAcc; the
+// per-worker accumulators are then merged sequentially with merge.
+// It returns the merged accumulator (or newAcc() when n <= 0).
+func MapReduce[T any](n, workers int, newAcc func() T, fn func(i int, acc T) T, merge func(a, b T) T) T {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if n <= 0 {
+		return newAcc()
+	}
+	if workers > n {
+		workers = n
+	}
+	accs := make([]T, workers)
+	ForChunked(n, workers, func(start, end int) {
+		// Identify which worker chunk this is from its start offset.
+		chunk := (n + workers - 1) / workers
+		w := start / chunk
+		acc := newAcc()
+		for i := start; i < end; i++ {
+			acc = fn(i, acc)
+		}
+		accs[w] = acc
+	})
+	out := accs[0]
+	for i := 1; i < workers; i++ {
+		out = merge(out, accs[i])
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 10000} {
+		for _, workers := range []int{0, 1, 3, 16} {
+			counts := make([]int32, n)
+			For(n, workers, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedCoversAllIndicesOnce(t *testing.T) {
+	f := func(nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw) % 5000
+		workers := int(wRaw)%20 - 2 // include <= 0
+		counts := make([]int32, n)
+		ForChunked(n, workers, func(start, end int) {
+			if start < 0 || end > n || start > end {
+				t.Fatalf("bad chunk [%d,%d) for n=%d", start, end, n)
+			}
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForNegativeN(t *testing.T) {
+	called := false
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("For called fn for negative n")
+	}
+	ForChunked(-5, 4, func(int, int) { called = true })
+	if called {
+		t.Fatal("ForChunked called fn for negative n")
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 1000, 12345} {
+		got := MapReduce(n, 0,
+			func() int64 { return 0 },
+			func(i int, acc int64) int64 { return acc + int64(i) },
+			func(a, b int64) int64 { return a + b },
+		)
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		if got != want {
+			t.Fatalf("n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestMapReduceSingleWorker(t *testing.T) {
+	got := MapReduce(100, 1,
+		func() int { return 0 },
+		func(i, acc int) int { return acc + 1 },
+		func(a, b int) int { return a + b },
+	)
+	if got != 100 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,235 @@
+// Package render implements a small direct volume renderer — the other
+// visualization task the paper motivates sampling with (Section I).
+// Rays are cast orthographically along a principal axis, sampled with
+// trilinear interpolation, mapped through a transfer function, and
+// composited front to back. It produces the volume-rendered images used
+// for Fig 2/3-style qualitative comparisons, and an image-space RMSE so
+// rendering fidelity can be quantified, not just eyeballed.
+package render
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+	"fillvoid/internal/parallel"
+)
+
+// TransferStop maps a normalized scalar position in [0, 1] to a color
+// and opacity.
+type TransferStop struct {
+	Pos     float64
+	R, G, B float64 // [0, 1]
+	Alpha   float64 // opacity contribution per unit of normalized depth
+}
+
+// TransferFunc is a piecewise-linear transfer function over value
+// stops sorted by Pos.
+type TransferFunc struct {
+	Stops []TransferStop
+}
+
+// DefaultTransfer returns a blue-white-red diverging transfer function
+// with opacity concentrated at the value extremes — good for fields
+// whose features live in the tails (hurricane eye, ionization shell).
+func DefaultTransfer() TransferFunc {
+	return TransferFunc{Stops: []TransferStop{
+		{Pos: 0.0, R: 0.1, G: 0.2, B: 0.9, Alpha: 3.0},
+		{Pos: 0.3, R: 0.5, G: 0.6, B: 1.0, Alpha: 0.4},
+		{Pos: 0.5, R: 1.0, G: 1.0, B: 1.0, Alpha: 0.05},
+		{Pos: 0.7, R: 1.0, G: 0.6, B: 0.4, Alpha: 0.4},
+		{Pos: 1.0, R: 0.9, G: 0.1, B: 0.1, Alpha: 3.0},
+	}}
+}
+
+// Eval interpolates the transfer function at normalized value t.
+func (tf TransferFunc) Eval(t float64) (r, g, b, a float64) {
+	s := tf.Stops
+	if len(s) == 0 {
+		return t, t, t, 1
+	}
+	t = mathutil.Clamp(t, 0, 1)
+	if t <= s[0].Pos {
+		return s[0].R, s[0].G, s[0].B, s[0].Alpha
+	}
+	for i := 1; i < len(s); i++ {
+		if t <= s[i].Pos {
+			span := s[i].Pos - s[i-1].Pos
+			u := 0.0
+			if span > 0 {
+				u = (t - s[i-1].Pos) / span
+			}
+			return mathutil.Lerp(s[i-1].R, s[i].R, u),
+				mathutil.Lerp(s[i-1].G, s[i].G, u),
+				mathutil.Lerp(s[i-1].B, s[i].B, u),
+				mathutil.Lerp(s[i-1].Alpha, s[i].Alpha, u)
+		}
+	}
+	last := s[len(s)-1]
+	return last.R, last.G, last.B, last.Alpha
+}
+
+// Axis selects the orthographic view direction.
+type Axis int
+
+// View axes: rays travel along the negative axis direction, so AxisZ
+// looks down at the xy-plane. AxisZ is the zero value and therefore the
+// default view.
+const (
+	AxisZ Axis = iota
+	AxisX
+	AxisY
+)
+
+// Options configures a render.
+type Options struct {
+	// Axis is the view direction (default AxisZ).
+	Axis Axis
+	// Width, Height are the output dimensions in pixels; 0 derives them
+	// from the grid resolution of the image plane.
+	Width, Height int
+	// Samples is the number of ray samples through the volume depth
+	// (default 2x the depth resolution).
+	Samples int
+	// Transfer is the transfer function (default DefaultTransfer).
+	Transfer TransferFunc
+	// Lo, Hi fix the value normalization range; Lo == Hi auto-scales
+	// from the volume. Fixing the range is essential when comparing a
+	// reconstruction to the original — both must use the same mapping.
+	Lo, Hi float64
+	// Workers bounds the parallelism (<= 0: all cores).
+	Workers int
+}
+
+// Image is an 8-bit RGB raster.
+type Image struct {
+	Width, Height int
+	Pix           []byte // 3 bytes per pixel, row-major, top row first
+}
+
+// Render raycasts the volume with the given options.
+func Render(v *grid.Volume, opts Options) (*Image, error) {
+	if len(opts.Transfer.Stops) == 0 {
+		opts.Transfer = DefaultTransfer()
+	}
+	lo, hi := opts.Lo, opts.Hi
+	if lo == hi {
+		st := v.Stats()
+		lo, hi = st.Min(), st.Max()
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+
+	// Image-plane axes (u, w) and depth axis per view.
+	var uAxis, wAxis, dAxis int
+	switch opts.Axis {
+	case AxisX:
+		uAxis, wAxis, dAxis = 1, 2, 0
+	case AxisY:
+		uAxis, wAxis, dAxis = 0, 2, 1
+	case AxisZ:
+		uAxis, wAxis, dAxis = 0, 1, 2
+	default:
+		return nil, errors.New("render: invalid axis")
+	}
+	dims := [3]int{v.NX, v.NY, v.NZ}
+	width := opts.Width
+	if width <= 0 {
+		width = dims[uAxis]
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = dims[wAxis]
+	}
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = 2 * dims[dAxis]
+	}
+	if width < 1 || height < 1 || samples < 1 {
+		return nil, fmt.Errorf("render: invalid raster %dx%d@%d", width, height, samples)
+	}
+
+	b := v.Bounds()
+	size := b.Size()
+	img := &Image{Width: width, Height: height, Pix: make([]byte, 3*width*height)}
+	invRange := 1 / (hi - lo)
+	// Opacity step so total opacity is resolution-independent.
+	stepDepth := 1 / float64(samples)
+
+	parallel.For(height, opts.Workers, func(row int) {
+		for col := 0; col < width; col++ {
+			// Normalized image-plane coordinates, y up.
+			fu := (float64(col) + 0.5) / float64(width)
+			fw := 1 - (float64(row)+0.5)/float64(height)
+			var accR, accG, accB, accA float64
+			for s := 0; s < samples && accA < 0.995; s++ {
+				fd := 1 - (float64(s)+0.5)/float64(samples) // front = +axis side
+				var p mathutil.Vec3
+				p = p.WithComponent(uAxis, b.Min.Component(uAxis)+fu*size.Component(uAxis))
+				p = p.WithComponent(wAxis, b.Min.Component(wAxis)+fw*size.Component(wAxis))
+				p = p.WithComponent(dAxis, b.Min.Component(dAxis)+fd*size.Component(dAxis))
+				t := (v.TrilinearAt(p) - lo) * invRange
+				r, g, bb, alpha := opts.Transfer.Eval(t)
+				a := 1 - math.Exp(-alpha*stepDepth)
+				w := (1 - accA) * a
+				accR += w * r
+				accG += w * g
+				accB += w * bb
+				accA += w
+			}
+			// White background.
+			accR += (1 - accA)
+			accG += (1 - accA)
+			accB += (1 - accA)
+			o := 3 * (row*width + col)
+			img.Pix[o] = byte(mathutil.Clamp(accR, 0, 1)*255 + 0.5)
+			img.Pix[o+1] = byte(mathutil.Clamp(accG, 0, 1)*255 + 0.5)
+			img.Pix[o+2] = byte(mathutil.Clamp(accB, 0, 1)*255 + 0.5)
+		}
+	})
+	return img, nil
+}
+
+// WritePPM writes the image as a binary PPM.
+func (img *Image) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "P6\n%d %d\n255\n", img.Width, img.Height)
+	if _, err := bw.Write(img.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePPMFile writes the image to path.
+func (img *Image) WritePPMFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := img.WritePPM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RMSE returns the root-mean-square pixel difference between two
+// renders in [0, 255] units — the image-space fidelity of a
+// reconstruction's visualization against the original's.
+func RMSE(a, b *Image) (float64, error) {
+	if a.Width != b.Width || a.Height != b.Height {
+		return 0, errors.New("render: image size mismatch")
+	}
+	sum := 0.0
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a.Pix))), nil
+}

@@ -1,0 +1,156 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"fillvoid/internal/datasets"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+)
+
+func testVolume() *grid.Volume {
+	gen := datasets.NewIsabel(4)
+	return datasets.Volume(gen, 24, 24, 8, 10)
+}
+
+func TestTransferFuncEval(t *testing.T) {
+	tf := DefaultTransfer()
+	r, g, b, a := tf.Eval(0)
+	if r != 0.1 || g != 0.2 || b != 0.9 || a != 3.0 {
+		t.Fatalf("t=0: %g %g %g %g", r, g, b, a)
+	}
+	r, g, b, _ = tf.Eval(0.5)
+	if r != 1 || g != 1 || b != 1 {
+		t.Fatalf("t=0.5: %g %g %g", r, g, b)
+	}
+	// Below/above range clamps to the end stops.
+	r1, _, _, _ := tf.Eval(-5)
+	r2, _, _, _ := tf.Eval(0)
+	if r1 != r2 {
+		t.Fatal("clamping below")
+	}
+	// Empty transfer: grayscale fallback.
+	var empty TransferFunc
+	r, g, b, a = empty.Eval(0.25)
+	if r != 0.25 || g != 0.25 || b != 0.25 || a != 1 {
+		t.Fatal("empty transfer fallback")
+	}
+}
+
+func TestTransferMonotonicSegments(t *testing.T) {
+	tf := DefaultTransfer()
+	// Interpolation stays within the bracketing stops' value ranges.
+	for i := 0; i <= 100; i++ {
+		u := float64(i) / 100
+		r, g, b, a := tf.Eval(u)
+		for _, x := range []float64{r, g, b} {
+			if x < 0 || x > 1 {
+				t.Fatalf("color out of range at %g", u)
+			}
+		}
+		if a < 0 {
+			t.Fatalf("negative alpha at %g", u)
+		}
+	}
+}
+
+func TestRenderDimensions(t *testing.T) {
+	v := testVolume()
+	img, err := Render(v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Width != 24 || img.Height != 24 {
+		t.Fatalf("default dims %dx%d", img.Width, img.Height)
+	}
+	img, err = Render(v, Options{Width: 37, Height: 19, Axis: AxisX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Width != 37 || img.Height != 19 || len(img.Pix) != 37*19*3 {
+		t.Fatalf("explicit dims %dx%d", img.Width, img.Height)
+	}
+	if _, err := Render(v, Options{Axis: Axis(9)}); err == nil {
+		t.Fatal("accepted invalid axis")
+	}
+}
+
+func TestRenderDeterministicAcrossWorkers(t *testing.T) {
+	v := testVolume()
+	a, err := Render(v, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Render(v, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Fatal("render differs across worker counts")
+	}
+}
+
+func TestRenderSeesStructure(t *testing.T) {
+	// A volume with an opaque feature yields a visibly different image
+	// from a constant volume.
+	flat := grid.New(16, 16, 8)
+	feature := grid.New(16, 16, 8)
+	feature.Fill(func(_, _, _ int, p mathutil.Vec3) float64 {
+		return math.Exp(-p.Sub(mathutil.Vec3{X: 7.5, Y: 7.5, Z: 3.5}).Norm2() / 8)
+	})
+	lo, hi := 0.0, 1.0
+	a, err := Render(flat, Options{Lo: lo, Hi: hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Render(feature, Options{Lo: lo, Hi: hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RMSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1 {
+		t.Fatalf("feature invisible: image RMSE %.3f", d)
+	}
+}
+
+func TestRenderFixedRangeConsistency(t *testing.T) {
+	// Identical volumes with a fixed transfer range produce identical
+	// images; that's what makes image RMSE meaningful.
+	v := testVolume()
+	st := v.Stats()
+	a, _ := Render(v, Options{Lo: st.Min(), Hi: st.Max()})
+	b, _ := Render(v.Clone(), Options{Lo: st.Min(), Hi: st.Max()})
+	d, err := RMSE(a, b)
+	if err != nil || d != 0 {
+		t.Fatalf("d=%g err=%v", d, err)
+	}
+}
+
+func TestRMSEValidation(t *testing.T) {
+	a := &Image{Width: 2, Height: 2, Pix: make([]byte, 12)}
+	b := &Image{Width: 3, Height: 2, Pix: make([]byte, 18)}
+	if _, err := RMSE(a, b); err == nil {
+		t.Fatal("accepted size mismatch")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	v := testVolume()
+	img, err := Render(v, Options{Width: 8, Height: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := img.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := len("P6\n8 6\n255\n") + 8*6*3
+	if buf.Len() != want {
+		t.Fatalf("ppm size %d want %d", buf.Len(), want)
+	}
+}

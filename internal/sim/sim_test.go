@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"fillvoid/internal/grid"
+)
+
+func testConfig() Config {
+	return Config{NX: 16, NY: 16, NZ: 8, Diffusivity: 1e-3, FlowSpeed: 1, Seed: 3}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.NX = 2
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted a 2-wide grid")
+	}
+	cfg = testConfig()
+	cfg.Diffusivity = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted negative diffusivity")
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := TotalMass(s.At(0))
+	if initial <= 0 {
+		t.Fatal("empty initial condition")
+	}
+	for ts := 1; ts <= 20; ts++ {
+		m := TotalMass(s.At(ts))
+		if rel := math.Abs(m-initial) / initial; rel > 1e-9 {
+			t.Fatalf("t=%d: mass drifted by %.3g relative", ts, rel)
+		}
+	}
+}
+
+func TestFieldStaysFiniteAndBounded(t *testing.T) {
+	// Upwind advection + stable diffusion must not overshoot: the
+	// scalar stays within (a hair of) its initial range.
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0 := s.At(0).Stats()
+	v := s.At(25)
+	for i, x := range v.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("non-finite value at %d", i)
+		}
+		if x < st0.Min()-1e-9 || x > st0.Max()+1e-9 {
+			t.Fatalf("overshoot at %d: %g outside [%g, %g]", i, x, st0.Min(), st0.Max())
+		}
+	}
+}
+
+func TestDiffusionReducesVariance(t *testing.T) {
+	// With no flow, pure diffusion monotonically flattens the field.
+	cfg := testConfig()
+	cfg.FlowSpeed = 1e-9
+	cfg.Diffusivity = 5e-3
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.At(0).Stats().Variance()
+	for ts := 1; ts <= 10; ts++ {
+		cur := s.At(ts).Stats().Variance()
+		if cur >= prev {
+			t.Fatalf("t=%d: variance %g did not decrease from %g", ts, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestAdvectionMovesTheField(t *testing.T) {
+	// With flow on, the field at t=5 must differ substantially from
+	// t=0 (the scalar is being stirred).
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.At(0)
+	b := s.At(5)
+	if grid.MaxAbsDiff(a, b) < 1e-6 {
+		t.Fatal("field did not evolve under advection")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	s1, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s1.At(7)
+	b := s2.At(7)
+	if grid.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("same config diverged")
+	}
+	cfg := testConfig()
+	cfg.Seed = 99
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.MaxAbsDiff(a, s3.At(7)) == 0 {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestAtCachesAndClamps(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.At(4)
+	if s.NumCached() != 5 {
+		t.Fatalf("cached %d steps", s.NumCached())
+	}
+	// Negative clamps to the initial condition.
+	if grid.MaxAbsDiff(s.At(-3), s.At(0)) != 0 {
+		t.Fatal("negative timestep should clamp to 0")
+	}
+	// Returned volumes are copies: mutating one must not corrupt the
+	// cache.
+	v := s.At(2)
+	v.Data[0] = 1e9
+	if s.At(2).Data[0] == 1e9 {
+		t.Fatal("At returned shared storage")
+	}
+}
+
+func TestStabilityTimestep(t *testing.T) {
+	// Higher diffusivity must shrink the timestep (diffusive limit).
+	cfg := testConfig()
+	cfg.Diffusivity = 0.05
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Diffusivity = 1e-4
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Dt() >= s2.Dt() {
+		t.Fatalf("dt did not shrink with diffusivity: %g vs %g", s1.Dt(), s2.Dt())
+	}
+}

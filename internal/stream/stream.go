@@ -1,0 +1,191 @@
+// Package stream operationalizes the paper's deployment story: an in
+// situ pipeline attached to a running simulation that, at every
+// timestep, (1) importance-samples the full field down to the storage
+// budget, (2) keeps the FCNN reconstructor current — pretraining on the
+// first timestep and fine-tuning on later ones (Case 1 or Case 2), and
+// (3) reconstructs the full field from the stored samples, reporting
+// quality, wall time, and the bytes that actually had to be stored
+// (samples + per-timestep model state).
+//
+// The storage accounting mirrors Section IV-C: under Case 1 a full
+// model per timestep must be stored if models are kept (or one model
+// that is re-tuned on demand); under Case 2 only the last two layers
+// change per timestep, so the per-step model cost shrinks to those
+// layers after the first step.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fillvoid/internal/codec"
+	"fillvoid/internal/core"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/interp"
+	"fillvoid/internal/metrics"
+	"fillvoid/internal/sampling"
+)
+
+// Config controls the pipeline.
+type Config struct {
+	// Fraction is the per-timestep storage budget (e.g. 0.01 for 1%).
+	Fraction float64
+	// FieldName labels the stored scalar.
+	FieldName string
+	// Mode selects the fine-tuning strategy for timesteps after the
+	// first (Case 1 = all layers, Case 2 = last two).
+	Mode core.FineTuneMode
+	// FineTuneEpochs overrides the per-step tuning epochs (0 = the
+	// mode's default from Options).
+	FineTuneEpochs int
+	// Options configures the underlying FCNN.
+	Options core.Options
+	// SamplerSeed salts the per-timestep sampler streams.
+	SamplerSeed int64
+	// KeepModels stores a model snapshot per timestep (the Case 1 vs
+	// Case 2 storage trade-off only matters when this is on).
+	KeepModels bool
+	// CompactStorage accounts sample bytes using the grid-index +
+	// quantized-value codec instead of raw float64 quadruples.
+	CompactStorage bool
+	// ValueBits is the codec quantization depth (default 16) when
+	// CompactStorage is on.
+	ValueBits int
+}
+
+// StepReport summarizes one pipeline step.
+type StepReport struct {
+	Timestep int
+	// SNR of the reconstruction against this timestep's ground truth.
+	SNR float64
+	// SampleCount and SampleBytes are the stored point-cloud size
+	// (x, y, z, value as float64 per point).
+	SampleCount int
+	SampleBytes int64
+	// ModelBytes is the model state stored for this timestep:
+	// the full parameter set on the first step or under Case 1 with
+	// KeepModels; only the trainable (last two) layers under Case 2.
+	// Zero when KeepModels is off and it is not the first step.
+	ModelBytes int64
+	// TrainTime covers pretraining (first step) or fine-tuning.
+	TrainTime time.Duration
+	// ReconTime covers sampling-to-volume reconstruction.
+	ReconTime time.Duration
+}
+
+// Pipeline is an in situ sampling + reconstruction loop. Not safe for
+// concurrent Step calls; a simulation advances one timestep at a time.
+type Pipeline struct {
+	cfg     Config
+	model   *core.FCNN
+	reports []StepReport
+}
+
+// New validates the configuration and returns an idle pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Fraction <= 0 || cfg.Fraction > 1 {
+		return nil, fmt.Errorf("stream: fraction %g outside (0, 1]", cfg.Fraction)
+	}
+	if cfg.FieldName == "" {
+		return nil, errors.New("stream: FieldName is required")
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+// Model returns the current reconstructor (nil before the first step).
+func (p *Pipeline) Model() *core.FCNN { return p.model }
+
+// Reports returns the per-step reports so far.
+func (p *Pipeline) Reports() []StepReport { return p.reports }
+
+// Step processes one simulation timestep: sample, train/tune,
+// reconstruct, account. The full field `truth` is only available inside
+// this call, as in a real in situ pipeline.
+func (p *Pipeline) Step(truth *grid.Volume, t int) (StepReport, error) {
+	rep := StepReport{Timestep: t}
+	sampler := &sampling.Importance{Seed: p.cfg.SamplerSeed + int64(t)*911}
+
+	// 1. The stored artifact: the sampled cloud.
+	cloud, idxs, err := sampler.Sample(truth, p.cfg.FieldName, p.cfg.Fraction)
+	if err != nil {
+		return rep, err
+	}
+	rep.SampleCount = cloud.Len()
+	if p.cfg.CompactStorage {
+		rep.SampleBytes, err = codec.EncodedSize(truth, p.cfg.FieldName, idxs, codec.Options{ValueBits: p.cfg.ValueBits})
+		if err != nil {
+			return rep, err
+		}
+	} else {
+		rep.SampleBytes = int64(cloud.Len()) * 4 * 8 // x, y, z, value float64
+	}
+
+	// 2. Keep the model current.
+	start := time.Now()
+	first := p.model == nil
+	if first {
+		model, err := core.Pretrain(truth, p.cfg.FieldName, sampler, p.cfg.Options)
+		if err != nil {
+			return rep, err
+		}
+		p.model = model
+	} else {
+		if err := p.model.FineTune(truth, sampler, p.cfg.Mode, p.cfg.FineTuneEpochs); err != nil {
+			return rep, err
+		}
+	}
+	rep.TrainTime = time.Since(start)
+
+	// 3. Storage for model state.
+	switch {
+	case first:
+		rep.ModelBytes = int64(p.model.Network().ParamCount()) * 8
+	case p.cfg.KeepModels && p.cfg.Mode == core.FineTuneLastTwo:
+		p.model.Network().FreezeAllButLast(2)
+		rep.ModelBytes = int64(p.model.Network().TrainableParamCount()) * 8
+		p.model.Network().UnfreezeAll()
+	case p.cfg.KeepModels:
+		rep.ModelBytes = int64(p.model.Network().ParamCount()) * 8
+	}
+
+	// 4. Reconstruct from the stored samples and score.
+	start = time.Now()
+	recon, err := p.model.Reconstruct(cloud, interp.SpecOf(truth))
+	if err != nil {
+		return rep, err
+	}
+	rep.ReconTime = time.Since(start)
+	snr, err := metrics.SNR(truth, recon)
+	if err != nil {
+		return rep, err
+	}
+	rep.SNR = snr
+
+	p.reports = append(p.reports, rep)
+	return rep, nil
+}
+
+// Totals aggregates storage and time across all steps so far.
+func (p *Pipeline) Totals() (sampleBytes, modelBytes int64, trainTime, reconTime time.Duration) {
+	for _, r := range p.reports {
+		sampleBytes += r.SampleBytes
+		modelBytes += r.ModelBytes
+		trainTime += r.TrainTime
+		reconTime += r.ReconTime
+	}
+	return
+}
+
+// CompressionRatio reports raw-field bytes divided by stored bytes
+// (samples + model state) across all steps, for a volume of n points
+// per timestep.
+func (p *Pipeline) CompressionRatio(pointsPerStep int) float64 {
+	sampleBytes, modelBytes, _, _ := p.Totals()
+	stored := sampleBytes + modelBytes
+	if stored == 0 {
+		return 0
+	}
+	raw := int64(len(p.reports)) * int64(pointsPerStep) * 8
+	return float64(raw) / float64(stored)
+}

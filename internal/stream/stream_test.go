@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"testing"
+
+	"fillvoid/internal/core"
+	"fillvoid/internal/datasets"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Fraction:       0.03,
+		FieldName:      "pressure",
+		Mode:           core.FineTuneAll,
+		FineTuneEpochs: 3,
+		Options: core.Options{
+			Hidden:         []int{32, 16},
+			Epochs:         25,
+			TrainFractions: []float64{0.02, 0.05},
+			MaxTrainRows:   4000,
+			BatchSize:      256,
+			Seed:           1,
+		},
+		SamplerSeed: 7,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Fraction = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted zero fraction")
+	}
+	cfg = tinyConfig()
+	cfg.FieldName = ""
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted empty field name")
+	}
+}
+
+func TestPipelineRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	p, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model() != nil {
+		t.Fatal("model before first step")
+	}
+	gen := datasets.NewIsabel(7)
+	var lastSNR float64
+	for _, ts := range []int{4, 8, 12} {
+		truth := datasets.Volume(gen, 24, 24, 8, ts)
+		rep, err := p.Step(truth, ts)
+		if err != nil {
+			t.Fatalf("t=%d: %v", ts, err)
+		}
+		if rep.SampleCount != int(0.03*float64(truth.Len())+0.5) {
+			t.Fatalf("t=%d: sample count %d", ts, rep.SampleCount)
+		}
+		if rep.SampleBytes != int64(rep.SampleCount)*32 {
+			t.Fatalf("t=%d: sample bytes %d", ts, rep.SampleBytes)
+		}
+		if rep.TrainTime <= 0 || rep.ReconTime <= 0 {
+			t.Fatalf("t=%d: missing timings %+v", ts, rep)
+		}
+		lastSNR = rep.SNR
+	}
+	if lastSNR < 2 {
+		t.Fatalf("pipeline SNR %.2f dB implausibly low", lastSNR)
+	}
+	if len(p.Reports()) != 3 {
+		t.Fatalf("%d reports", len(p.Reports()))
+	}
+	// First step stores the full model; later steps store nothing when
+	// KeepModels is off.
+	reps := p.Reports()
+	if reps[0].ModelBytes == 0 {
+		t.Fatal("first step should store the full model")
+	}
+	for _, r := range reps[1:] {
+		if r.ModelBytes != 0 {
+			t.Fatalf("step %d stored model bytes without KeepModels", r.Timestep)
+		}
+	}
+	sampleBytes, modelBytes, trainTime, reconTime := p.Totals()
+	if sampleBytes <= 0 || modelBytes <= 0 || trainTime <= 0 || reconTime <= 0 {
+		t.Fatal("totals incomplete")
+	}
+	ratio := p.CompressionRatio(24 * 24 * 8)
+	if ratio <= 1 {
+		t.Fatalf("compression ratio %.1f should be > 1", ratio)
+	}
+}
+
+func TestCase2StoresFewerModelBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	gen := datasets.NewIsabel(7)
+	run := func(mode core.FineTuneMode) []StepReport {
+		cfg := tinyConfig()
+		cfg.Mode = mode
+		cfg.KeepModels = true
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ts := range []int{4, 10} {
+			truth := datasets.Volume(gen, 20, 20, 8, ts)
+			if _, err := p.Step(truth, ts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.Reports()
+	}
+	case1 := run(core.FineTuneAll)
+	case2 := run(core.FineTuneLastTwo)
+	// Both store the full model on step 0.
+	if case1[0].ModelBytes != case2[0].ModelBytes {
+		t.Fatal("first-step storage should match")
+	}
+	// Case 2 stores strictly less per subsequent step.
+	if case2[1].ModelBytes >= case1[1].ModelBytes {
+		t.Fatalf("case2 bytes %d not < case1 bytes %d", case2[1].ModelBytes, case1[1].ModelBytes)
+	}
+}
+
+func TestCompressionRatioEmpty(t *testing.T) {
+	p, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CompressionRatio(1000) != 0 {
+		t.Fatal("empty pipeline should report 0")
+	}
+}
+
+func TestCompactStorageShrinksSampleBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	gen := datasets.NewIsabel(7)
+	truth := datasets.Volume(gen, 20, 20, 8, 4)
+
+	runBytes := func(compact bool) int64 {
+		cfg := tinyConfig()
+		cfg.CompactStorage = compact
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.Step(truth, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.SampleBytes
+	}
+	raw := runBytes(false)
+	compact := runBytes(true)
+	t.Logf("raw %d bytes, compact %d bytes", raw, compact)
+	if compact*3 > raw {
+		t.Fatalf("compact storage %d not well below raw %d", compact, raw)
+	}
+}

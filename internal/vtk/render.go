@@ -1,0 +1,106 @@
+package vtk
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+)
+
+func decodeXML(r io.Reader, v any) error {
+	return xml.NewDecoder(r).Decode(v)
+}
+
+// RenderSlicePGM writes the k-th z-plane of a volume as an 8-bit binary
+// PGM image, mapping [lo, hi] linearly to [0, 255]. Pass lo == hi to
+// auto-scale to the slice's own range. This is how the Fig 2/3-style
+// qualitative comparisons are produced without any imaging dependency.
+func RenderSlicePGM(w io.Writer, v *grid.Volume, k int, lo, hi float64) error {
+	slice := v.SliceZ(k)
+	if lo == hi {
+		lo, hi = sliceRange(slice)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", v.NX, v.NY)
+	for j := v.NY - 1; j >= 0; j-- { // image rows top-down = +y up
+		for i := 0; i < v.NX; i++ {
+			t := mathutil.Clamp((slice[j][i]-lo)/(hi-lo), 0, 1)
+			if err := bw.WriteByte(byte(t*255 + 0.5)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RenderSlicePPM writes the k-th z-plane as a binary PPM using a
+// blue-white-red diverging colormap centred on the middle of [lo, hi];
+// high-gradient features (hurricane eye, flame sheet, ionization shell)
+// read much better in color.
+func RenderSlicePPM(w io.Writer, v *grid.Volume, k int, lo, hi float64) error {
+	slice := v.SliceZ(k)
+	if lo == hi {
+		lo, hi = sliceRange(slice)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "P6\n%d %d\n255\n", v.NX, v.NY)
+	for j := v.NY - 1; j >= 0; j-- {
+		for i := 0; i < v.NX; i++ {
+			t := mathutil.Clamp((slice[j][i]-lo)/(hi-lo), 0, 1)
+			r, g, b := divergingColor(t)
+			if _, err := bw.Write([]byte{r, g, b}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RenderSlicePPMFile writes the colored slice to path.
+func RenderSlicePPMFile(path string, v *grid.Volume, k int, lo, hi float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := RenderSlicePPM(f, v, k, lo, hi); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func sliceRange(slice [][]float64) (lo, hi float64) {
+	lo, hi = slice[0][0], slice[0][0]
+	for _, row := range slice {
+		for _, x := range row {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	return lo, hi
+}
+
+// divergingColor maps t in [0,1] through a blue(0) - white(0.5) - red(1)
+// ramp, the conventional diverging map for signed scientific scalars.
+func divergingColor(t float64) (r, g, b byte) {
+	if t < 0.5 {
+		u := t * 2
+		return byte(255*u + 0.5), byte(255*u + 0.5), 255
+	}
+	u := (t - 0.5) * 2
+	return 255, byte(255*(1-u) + 0.5), byte(255*(1-u) + 0.5)
+}

@@ -1,0 +1,229 @@
+// Package vtk implements the minimal subset of the VTK XML file formats
+// the paper's workflow uses: ImageData (.vti) for regular-grid volumes
+// and PolyData (.vtp) for sampled point clouds, plus a PPM/PGM slice
+// renderer for the qualitative figures. Data arrays are written in the
+// VTK "ascii" format so the files are valid for ParaView/VisIt while
+// needing only the standard library.
+package vtk
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+)
+
+// xml scaffolding shared by the .vti and .vtp readers.
+
+type xmlVTKFile struct {
+	XMLName   xml.Name     `xml:"VTKFile"`
+	Type      string       `xml:"type,attr"`
+	Version   string       `xml:"version,attr"`
+	ByteOrder string       `xml:"byte_order,attr"`
+	ImageData *xmlImage    `xml:"ImageData"`
+	PolyData  *xmlPolyData `xml:"PolyData"`
+}
+
+type xmlImage struct {
+	WholeExtent string     `xml:"WholeExtent,attr"`
+	Origin      string     `xml:"Origin,attr"`
+	Spacing     string     `xml:"Spacing,attr"`
+	Pieces      []xmlPiece `xml:"Piece"`
+}
+
+type xmlPiece struct {
+	Extent         string         `xml:"Extent,attr"`
+	NumberOfPoints string         `xml:"NumberOfPoints,attr"`
+	PointData      *xmlPointData  `xml:"PointData"`
+	Points         *xmlPointsNode `xml:"Points"`
+}
+
+type xmlPointData struct {
+	Scalars string         `xml:"Scalars,attr"`
+	Arrays  []xmlDataArray `xml:"DataArray"`
+}
+
+type xmlPointsNode struct {
+	Arrays []xmlDataArray `xml:"DataArray"`
+}
+
+type xmlDataArray struct {
+	Type               string `xml:"type,attr"`
+	Name               string `xml:"Name,attr"`
+	NumberOfComponents string `xml:"NumberOfComponents,attr"`
+	Format             string `xml:"format,attr"`
+	Body               string `xml:",chardata"`
+}
+
+type xmlPolyData struct {
+	Pieces []xmlPiece `xml:"Piece"`
+}
+
+// WriteVTI serializes a volume as a VTK XML ImageData file with a single
+// point-data scalar array called name.
+func WriteVTI(w io.Writer, v *grid.Volume, name string) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	ex := fmt.Sprintf("0 %d 0 %d 0 %d", v.NX-1, v.NY-1, v.NZ-1)
+	fmt.Fprintf(bw, "<?xml version=\"1.0\"?>\n")
+	fmt.Fprintf(bw, "<VTKFile type=\"ImageData\" version=\"0.1\" byte_order=\"LittleEndian\">\n")
+	fmt.Fprintf(bw, "  <ImageData WholeExtent=\"%s\" Origin=\"%g %g %g\" Spacing=\"%g %g %g\">\n",
+		ex, v.Origin.X, v.Origin.Y, v.Origin.Z, v.Spacing.X, v.Spacing.Y, v.Spacing.Z)
+	fmt.Fprintf(bw, "    <Piece Extent=\"%s\">\n", ex)
+	fmt.Fprintf(bw, "      <PointData Scalars=\"%s\">\n", xmlEscape(name))
+	fmt.Fprintf(bw, "        <DataArray type=\"Float64\" Name=\"%s\" format=\"ascii\">\n", xmlEscape(name))
+	if err := writeFloats(bw, v.Data); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "        </DataArray>\n")
+	fmt.Fprintf(bw, "      </PointData>\n")
+	fmt.Fprintf(bw, "    </Piece>\n")
+	fmt.Fprintf(bw, "  </ImageData>\n")
+	fmt.Fprintf(bw, "</VTKFile>\n")
+	return bw.Flush()
+}
+
+// ReadVTI parses a VTK XML ImageData file written by WriteVTI (or any
+// single-piece ascii-format .vti with one Float32/Float64 scalar array).
+// It returns the volume and the scalar array name.
+func ReadVTI(r io.Reader) (*grid.Volume, string, error) {
+	var f xmlVTKFile
+	if err := xml.NewDecoder(r).Decode(&f); err != nil {
+		return nil, "", fmt.Errorf("vtk: parsing vti: %w", err)
+	}
+	if f.ImageData == nil {
+		return nil, "", fmt.Errorf("vtk: file type %q is not ImageData", f.Type)
+	}
+	img := f.ImageData
+	nx, ny, nz, err := parseExtent(img.WholeExtent)
+	if err != nil {
+		return nil, "", err
+	}
+	origin, err := parseVec3(img.Origin)
+	if err != nil {
+		return nil, "", fmt.Errorf("vtk: Origin: %w", err)
+	}
+	spacing, err := parseVec3(img.Spacing)
+	if err != nil {
+		return nil, "", fmt.Errorf("vtk: Spacing: %w", err)
+	}
+	if len(img.Pieces) != 1 || img.Pieces[0].PointData == nil || len(img.Pieces[0].PointData.Arrays) == 0 {
+		return nil, "", fmt.Errorf("vtk: expected one piece with point data")
+	}
+	arr := img.Pieces[0].PointData.Arrays[0]
+	if arr.Format != "ascii" {
+		return nil, "", fmt.Errorf("vtk: unsupported DataArray format %q", arr.Format)
+	}
+	data, err := parseFloats(arr.Body, nx*ny*nz)
+	if err != nil {
+		return nil, "", err
+	}
+	v := grid.NewWithGeometry(nx, ny, nz, origin, spacing)
+	copy(v.Data, data)
+	return v, arr.Name, nil
+}
+
+// WriteVTIFile writes the volume to path.
+func WriteVTIFile(path string, v *grid.Volume, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteVTI(f, v, name); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadVTIFile reads a volume from path.
+func ReadVTIFile(path string) (*grid.Volume, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	return ReadVTI(f)
+}
+
+func parseExtent(s string) (nx, ny, nz int, err error) {
+	fs := strings.Fields(s)
+	if len(fs) != 6 {
+		return 0, 0, 0, fmt.Errorf("vtk: extent %q must have 6 fields", s)
+	}
+	var v [6]int
+	for i, f := range fs {
+		v[i], err = strconv.Atoi(f)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("vtk: extent %q: %w", s, err)
+		}
+	}
+	return v[1] - v[0] + 1, v[3] - v[2] + 1, v[5] - v[4] + 1, nil
+}
+
+func parseVec3(s string) (mathutil.Vec3, error) {
+	fs := strings.Fields(s)
+	if len(fs) != 3 {
+		return mathutil.Vec3{}, fmt.Errorf("vtk: vec3 %q must have 3 fields", s)
+	}
+	var out [3]float64
+	for i, f := range fs {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return mathutil.Vec3{}, err
+		}
+		out[i] = v
+	}
+	return mathutil.Vec3{X: out[0], Y: out[1], Z: out[2]}, nil
+}
+
+func parseFloats(body string, want int) ([]float64, error) {
+	capHint := want
+	if capHint < 0 {
+		capHint = 0
+	}
+	out := make([]float64, 0, capHint)
+	for _, f := range strings.Fields(body) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vtk: bad float %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if want >= 0 && len(out) != want {
+		return nil, fmt.Errorf("vtk: expected %d values, found %d", want, len(out))
+	}
+	return out, nil
+}
+
+// writeFloats emits values 6 per line in compact scientific notation.
+func writeFloats(w *bufio.Writer, xs []float64) error {
+	for i, x := range xs {
+		if i > 0 {
+			if i%6 == 0 {
+				if err := w.WriteByte('\n'); err != nil {
+					return err
+				}
+			} else {
+				if err := w.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := w.WriteString(strconv.FormatFloat(x, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return w.WriteByte('\n')
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	xml.EscapeText(&b, []byte(s))
+	return b.String()
+}

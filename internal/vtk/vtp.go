@@ -1,0 +1,113 @@
+package vtk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"fillvoid/internal/mathutil"
+	"fillvoid/internal/pointcloud"
+)
+
+// WriteVTP serializes a point cloud as a VTK XML PolyData file with a
+// Points array and one point-data scalar array.
+func WriteVTP(w io.Writer, c *pointcloud.Cloud) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "<?xml version=\"1.0\"?>\n")
+	fmt.Fprintf(bw, "<VTKFile type=\"PolyData\" version=\"0.1\" byte_order=\"LittleEndian\">\n")
+	fmt.Fprintf(bw, "  <PolyData>\n")
+	fmt.Fprintf(bw, "    <Piece NumberOfPoints=\"%d\">\n", c.Len())
+	fmt.Fprintf(bw, "      <PointData Scalars=\"%s\">\n", xmlEscape(c.Name))
+	fmt.Fprintf(bw, "        <DataArray type=\"Float64\" Name=\"%s\" format=\"ascii\">\n", xmlEscape(c.Name))
+	if err := writeFloats(bw, c.Values); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "        </DataArray>\n")
+	fmt.Fprintf(bw, "      </PointData>\n")
+	fmt.Fprintf(bw, "      <Points>\n")
+	fmt.Fprintf(bw, "        <DataArray type=\"Float64\" Name=\"Points\" NumberOfComponents=\"3\" format=\"ascii\">\n")
+	flat := make([]float64, 0, 3*c.Len())
+	for _, p := range c.Points {
+		flat = append(flat, p.X, p.Y, p.Z)
+	}
+	if err := writeFloats(bw, flat); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "        </DataArray>\n")
+	fmt.Fprintf(bw, "      </Points>\n")
+	fmt.Fprintf(bw, "    </Piece>\n")
+	fmt.Fprintf(bw, "  </PolyData>\n")
+	fmt.Fprintf(bw, "</VTKFile>\n")
+	return bw.Flush()
+}
+
+// ReadVTP parses a VTK XML PolyData file written by WriteVTP (or any
+// single-piece ascii .vtp with 3-component points and one scalar array).
+func ReadVTP(r io.Reader) (*pointcloud.Cloud, error) {
+	var f xmlVTKFile
+	if err := decodeXML(r, &f); err != nil {
+		return nil, fmt.Errorf("vtk: parsing vtp: %w", err)
+	}
+	if f.PolyData == nil {
+		return nil, fmt.Errorf("vtk: file type %q is not PolyData", f.Type)
+	}
+	if len(f.PolyData.Pieces) != 1 {
+		return nil, fmt.Errorf("vtk: expected one PolyData piece, found %d", len(f.PolyData.Pieces))
+	}
+	piece := f.PolyData.Pieces[0]
+	if piece.Points == nil || len(piece.Points.Arrays) == 0 {
+		return nil, fmt.Errorf("vtk: PolyData piece has no Points array")
+	}
+	coords, err := parseFloats(piece.Points.Arrays[0].Body, -1)
+	if err != nil {
+		return nil, err
+	}
+	if len(coords)%3 != 0 {
+		return nil, fmt.Errorf("vtk: point coordinate count %d is not a multiple of 3", len(coords))
+	}
+	n := len(coords) / 3
+	name := "scalar"
+	var values []float64
+	if piece.PointData != nil && len(piece.PointData.Arrays) > 0 {
+		arr := piece.PointData.Arrays[0]
+		name = arr.Name
+		values, err = parseFloats(arr.Body, n)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		values = make([]float64, n)
+	}
+	c := pointcloud.New(name, n)
+	for i := 0; i < n; i++ {
+		c.Add(mathutil.Vec3{X: coords[3*i], Y: coords[3*i+1], Z: coords[3*i+2]}, values[i])
+	}
+	return c, nil
+}
+
+// WriteVTPFile writes the cloud to path.
+func WriteVTPFile(path string, c *pointcloud.Cloud) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteVTP(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadVTPFile reads a cloud from path.
+func ReadVTPFile(path string) (*pointcloud.Cloud, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadVTP(f)
+}
