@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments-smoke cover clean
+.PHONY: all build vet test test-short race check bench experiments-smoke cover clean
 
 all: build vet test
 
@@ -19,8 +19,16 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Data-race detection over the short suite (parallel loops, stream
+# pipeline, telemetry registry).
+race:
+	$(GO) test -race -short ./...
+
+# The full pre-commit gate: compile, lint, race-check, test.
+check: build vet race test-short
+
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
 
 # Fast end-to-end sanity pass over every experiment.
 experiments-smoke:

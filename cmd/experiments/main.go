@@ -8,31 +8,64 @@
 //	experiments -list                     # show the experiment index
 //
 // Output is an aligned text table per experiment (and optional CSV
-// files via -csv), matching the rows/series the paper reports.
+// files via -csv), matching the rows/series the paper reports. With
+// -bench-out a machine-readable run summary (per-experiment wall time,
+// the table rows including SNR, and the full telemetry snapshot with
+// per-stage span timings) is written as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"fillvoid/internal/experiments"
+	"fillvoid/internal/telemetry"
 )
+
+// benchExperiment is one experiment's entry in the -bench-out summary.
+type benchExperiment struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	WallMS  float64    `json:"wall_ms"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// SNRdB collects the parsed values of the first SNR column, when the
+	// experiment reports one, so downstream tooling does not have to
+	// re-locate it in Rows.
+	SNRdB []float64 `json:"snr_db,omitempty"`
+	Notes []string  `json:"notes,omitempty"`
+}
+
+// benchSummary is the -bench-out JSON document.
+type benchSummary struct {
+	GeneratedUnixNS int64               `json:"generated_unix_ns"`
+	Scale           string              `json:"scale"`
+	Dataset         string              `json:"dataset,omitempty"`
+	Seed            int64               `json:"seed"`
+	Experiments     []benchExperiment   `json:"experiments"`
+	Telemetry       *telemetry.Snapshot `json:"telemetry"`
+}
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig2..fig14, table1, table2, or 'all')")
-		scale   = flag.String("scale", "small", "workload scale: small, medium, paper")
-		dataset = flag.String("dataset", "", "restrict multi-dataset experiments: isabel, combustion, ionization")
-		seed    = flag.Int64("seed", 42, "seed for sampling, init, and shuffles")
-		out     = flag.String("out", "", "directory for rendered images (fig2/fig3)")
-		csvDir  = flag.String("csv", "", "directory to also write <id>.csv files into")
-		workers = flag.Int("workers", 0, "parallelism (0 = all cores)")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
-		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp      = flag.String("exp", "", "experiment id (fig2..fig14, table1, table2, or 'all')")
+		scale    = flag.String("scale", "small", "workload scale: small, medium, paper")
+		dataset  = flag.String("dataset", "", "restrict multi-dataset experiments: isabel, combustion, ionization")
+		seed     = flag.Int64("seed", 42, "seed for sampling, init, and shuffles")
+		out      = flag.String("out", "", "directory for rendered images (fig2/fig3)")
+		csvDir   = flag.String("csv", "", "directory to also write <id>.csv files into")
+		workers  = flag.Int("workers", 0, "parallelism (0 = all cores)")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		benchOut = flag.String("bench-out", "", "write a machine-readable run summary (e.g. BENCH_experiments.json)")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -64,6 +97,17 @@ func main() {
 		}
 	}
 
+	// The bench summary embeds a telemetry snapshot, so it implies
+	// metric collection even without -metrics-out / -pprof.
+	if *benchOut != "" {
+		telemetry.Enable()
+	}
+	stop, err := tf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+
 	cfg := &experiments.Config{
 		Scale:   sc,
 		Dataset: *dataset,
@@ -86,9 +130,18 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
+	summary := benchSummary{
+		GeneratedUnixNS: time.Now().UnixNano(),
+		Scale:           *scale,
+		Dataset:         *dataset,
+		Seed:            *seed,
+	}
 	for _, r := range runners {
 		start := time.Now()
+		sp := telemetry.Default().StartSpan("experiment/" + r.ID)
 		res, err := r.Run(cfg)
+		sp.End()
+		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
 			os.Exit(1)
@@ -104,8 +157,71 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		summary.Experiments = append(summary.Experiments, benchExperiment{
+			ID:      res.ID,
+			Title:   res.Title,
+			WallMS:  float64(wall) / float64(time.Millisecond),
+			Columns: res.Columns,
+			Rows:    res.Rows,
+			SNRdB:   snrColumn(res),
+			Notes:   res.Notes,
+		})
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[%s] completed in %s\n", r.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s] completed in %s\n", r.ID, wall.Round(time.Millisecond))
 		}
 	}
+
+	if *benchOut != "" {
+		summary.Telemetry = telemetry.Default().Snapshot()
+		if err := writeBench(*benchOut, &summary); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote run summary to %s\n", *benchOut)
+		}
+	}
+	if err := stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// snrColumn parses the first SNR column out of the result rows: a
+// header mentioning "snr" ("snr_dB", "fcnn_snr", ...) or, in the
+// quality sweeps where every method column is an SNR in dB, the "fcnn"
+// column (the paper's method).
+func snrColumn(res *experiments.Result) []float64 {
+	col := -1
+	for i, c := range res.Columns {
+		lc := strings.ToLower(c)
+		if strings.Contains(lc, "snr") || lc == "fcnn" {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil
+	}
+	var vals []float64
+	for _, row := range res.Rows {
+		if col >= len(row) {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(row[col]), 64)
+		if err != nil {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+func writeBench(path string, s *benchSummary) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
 }

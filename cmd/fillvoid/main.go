@@ -27,8 +27,24 @@ import (
 	"fillvoid/internal/interp"
 	"fillvoid/internal/metrics"
 	"fillvoid/internal/sampling"
+	"fillvoid/internal/telemetry"
 	"fillvoid/internal/vtk"
 )
+
+// startTelemetry applies the shared observability flags after fs.Parse
+// and returns a finish func that merges snapshot-write/server-shutdown
+// errors into the command's named return error.
+func startTelemetry(tf *telemetry.Flags, cmdErr *error) (finish func(), err error) {
+	stop, err := tf.Start()
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		if serr := stop(); serr != nil && *cmdErr == nil {
+			*cmdErr = serr
+		}
+	}, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -86,14 +102,20 @@ commands:
 run 'fillvoid <command>' with no flags to see its options`)
 }
 
-func cmdGenerate(args []string) error {
+func cmdGenerate(args []string) (err error) {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	dataset := fs.String("dataset", "isabel", "dataset analog: "+strings.Join(datasets.Names(), ", "))
 	t := fs.Int("t", 0, "timestep")
 	div := fs.Int("div", 5, "resolution divisor vs the paper's native dims (1 = full)")
 	seed := fs.Int64("seed", 42, "generator seed")
 	out := fs.String("o", "volume.vti", "output .vti path")
+	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
 
 	gen, err := datasets.ByName(*dataset, *seed)
 	if err != nil {
@@ -109,14 +131,20 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
-func cmdSample(args []string) error {
+func cmdSample(args []string) (err error) {
 	fs := flag.NewFlagSet("sample", flag.ExitOnError)
 	in := fs.String("in", "", "input .vti volume")
 	frac := fs.Float64("frac", 0.01, "sampling fraction (0, 1]")
 	method := fs.String("method", "importance", "sampler: importance, random, stratified")
 	seed := fs.Int64("seed", 42, "sampler seed")
 	out := fs.String("o", "points.vtp", "output .vtp path")
+	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -141,7 +169,7 @@ func cmdSample(args []string) error {
 	return nil
 }
 
-func cmdTrain(args []string) error {
+func cmdTrain(args []string) (err error) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	in := fs.String("in", "", "input .vti ground-truth volume")
 	model := fs.String("model", "model.bin", "output model path")
@@ -149,7 +177,13 @@ func cmdTrain(args []string) error {
 	hidden := fs.String("hidden", "128,64,32,16,8", "hidden layer widths, comma separated")
 	maxRows := fs.Int("max-rows", 20000, "cap on training rows (0 = unlimited)")
 	seed := fs.Int64("seed", 42, "seed")
+	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -181,7 +215,7 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-func cmdFinetune(args []string) error {
+func cmdFinetune(args []string) (err error) {
 	fs := flag.NewFlagSet("finetune", flag.ExitOnError)
 	in := fs.String("in", "", "new .vti ground-truth volume (new timestep or resolution)")
 	model := fs.String("model", "", "pretrained model path")
@@ -189,7 +223,13 @@ func cmdFinetune(args []string) error {
 	epochs := fs.Int("epochs", 0, "fine-tune epochs (0 = mode default)")
 	caseMode := fs.Int("case", 1, "1 = all layers (fast), 2 = last two layers (small storage)")
 	seed := fs.Int64("seed", 42, "sampler seed")
+	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	if *in == "" || *model == "" {
 		return fmt.Errorf("-in and -model are required")
 	}
@@ -219,14 +259,20 @@ func cmdFinetune(args []string) error {
 	return nil
 }
 
-func cmdReconstruct(args []string) error {
+func cmdReconstruct(args []string) (err error) {
 	fs := flag.NewFlagSet("reconstruct", flag.ExitOnError)
 	points := fs.String("points", "", "input .vtp sampled point cloud")
 	like := fs.String("like", "", ".vti volume defining the output grid geometry")
 	method := fs.String("method", "fcnn", "fcnn, linear, linear-seq, natural, shepard, nearest, rbf")
 	model := fs.String("model", "", "trained model path (required for -method fcnn)")
 	out := fs.String("o", "recon.vti", "output .vti path")
+	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	if *points == "" || *like == "" {
 		return fmt.Errorf("-points and -like are required")
 	}
@@ -272,11 +318,17 @@ func cmdReconstruct(args []string) error {
 	return nil
 }
 
-func cmdEvaluate(args []string) error {
+func cmdEvaluate(args []string) (err error) {
 	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
 	truthPath := fs.String("truth", "", "ground-truth .vti")
 	reconPath := fs.String("recon", "", "reconstructed .vti")
+	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	if *truthPath == "" || *reconPath == "" {
 		return fmt.Errorf("-truth and -recon are required")
 	}
@@ -309,12 +361,18 @@ func cmdEvaluate(args []string) error {
 	return nil
 }
 
-func cmdRender(args []string) error {
+func cmdRender(args []string) (err error) {
 	fs := flag.NewFlagSet("render", flag.ExitOnError)
 	in := fs.String("in", "", "input .vti volume")
 	slice := fs.Int("slice", -1, "z-slice index (-1 = middle)")
 	out := fs.String("o", "slice.ppm", "output .ppm path")
+	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -353,7 +411,7 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func cmdPack(args []string) error {
+func cmdPack(args []string) (err error) {
 	fs := flag.NewFlagSet("pack", flag.ExitOnError)
 	in := fs.String("in", "", "input .vti volume")
 	frac := fs.Float64("frac", 0.01, "sampling fraction (0, 1]")
@@ -361,7 +419,13 @@ func cmdPack(args []string) error {
 	bits := fs.Int("bits", 16, "value quantization depth [4, 32]")
 	seed := fs.Int64("seed", 42, "sampler seed")
 	out := fs.String("o", "samples.fvs", "output .fvs path")
+	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -403,11 +467,17 @@ func cmdPack(args []string) error {
 	return nil
 }
 
-func cmdUnpack(args []string) error {
+func cmdUnpack(args []string) (err error) {
 	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
 	in := fs.String("in", "", "input .fvs file")
 	out := fs.String("o", "points.vtp", "output .vtp path")
+	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}

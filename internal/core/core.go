@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"time"
 
 	"fillvoid/internal/features"
 	"fillvoid/internal/grid"
@@ -36,6 +38,7 @@ import (
 	"fillvoid/internal/parallel"
 	"fillvoid/internal/pointcloud"
 	"fillvoid/internal/sampling"
+	"fillvoid/internal/telemetry"
 )
 
 // Options configures pretraining and reconstruction.
@@ -182,6 +185,40 @@ type FCNN struct {
 	// model transfers across resolutions and spatial domains (Fig 13).
 	norm      *features.Normalizer
 	fieldName string
+	// tm records the most recent training and reconstruction wall
+	// times; it is the single timing source consumers (stream.Pipeline,
+	// experiments) read so their reports can never disagree with the
+	// telemetry spans.
+	tm *timings
+}
+
+// timings holds an FCNN's most recent stage durations.
+type timings struct {
+	mu    sync.Mutex
+	train time.Duration
+	recon time.Duration
+}
+
+func (t *timings) setTrain(d time.Duration) {
+	t.mu.Lock()
+	t.train = d
+	t.mu.Unlock()
+}
+
+func (t *timings) setRecon(d time.Duration) {
+	t.mu.Lock()
+	t.recon = d
+	t.mu.Unlock()
+}
+
+// Timings returns the wall time of the model's most recent training
+// run (Pretrain or FineTune, feature build included) and most recent
+// Reconstruct call. These are the same measurements the telemetry
+// spans record.
+func (r *FCNN) Timings() (train, recon time.Duration) {
+	r.tm.mu.Lock()
+	defer r.tm.mu.Unlock()
+	return r.tm.train, r.tm.recon
 }
 
 // Pretrain samples truth at each training fraction with the given
@@ -190,7 +227,10 @@ type FCNN struct {
 // via Losses.
 func Pretrain(truth *grid.Volume, fieldName string, sampler sampling.Sampler, opts Options) (*FCNN, error) {
 	opts = opts.withDefaults()
-	ts, norm, err := buildTrainingSet(truth, fieldName, sampler, opts, nil)
+	reg := telemetry.Default()
+	sp := reg.StartSpan("pretrain")
+	start := time.Now()
+	ts, norm, err := buildTrainingSet(truth, fieldName, sampler, opts, nil, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +246,12 @@ func Pretrain(truth *grid.Volume, fieldName string, sampler sampling.Sampler, op
 	if err != nil {
 		return nil, err
 	}
-	r := &FCNN{opts: opts, net: net, norm: norm, fieldName: fieldName}
+	if reg.Enabled() {
+		net.SetObserver(reg.Train("pretrain"))
+	}
+	reg.Counter("core.pretrain.rows").Add(int64(ts.Len()))
+	r := &FCNN{opts: opts, net: net, norm: norm, fieldName: fieldName, tm: &timings{}}
+	trainSp := sp.Child("train")
 	if opts.ValidationFraction > 0 {
 		train, val, err := ts.Split(opts.ValidationFraction, opts.Seed^0x5a11d)
 		if err != nil {
@@ -222,6 +267,14 @@ func Pretrain(truth *grid.Volume, fieldName string, sampler sampling.Sampler, op
 	} else if _, err := net.TrainEpochs(ts.X, ts.Y, opts.Epochs); err != nil {
 		return nil, err
 	}
+	trainSp.End()
+	sp.End()
+	elapsed := time.Since(start)
+	r.tm.setTrain(elapsed)
+	reg.Counter("core.pretrain.runs").Inc()
+	telemetry.Infof("pretrain done",
+		"field", fieldName, "rows", ts.Len(), "epochs", len(net.Losses),
+		"params", net.ParamCount(), "dur", elapsed.Round(time.Millisecond))
 	return r, nil
 }
 
@@ -234,15 +287,18 @@ func Pretrain(truth *grid.Volume, fieldName string, sampler sampling.Sampler, op
 // shift under it — and only the position scaling is refit to the new
 // grid's bounds, which is what lets fine-tuning cross resolutions and
 // spatial domains.
-func buildTrainingSet(truth *grid.Volume, fieldName string, sampler sampling.Sampler, opts Options, baseNorm *features.Normalizer) (*features.TrainingSet, *features.Normalizer, error) {
+func buildTrainingSet(truth *grid.Volume, fieldName string, sampler sampling.Sampler, opts Options, baseNorm *features.Normalizer, parent *telemetry.Span) (*features.TrainingSet, *features.Normalizer, error) {
 	if sampler == nil {
 		sampler = &sampling.Importance{Seed: opts.Seed}
 	}
+	fbSp := parent.Child("feature-build")
+	defer fbSp.End()
 	type sampled struct {
 		cloud *pointcloud.Cloud
 		void  []int
 		frac  float64
 	}
+	sampleSp := parent.Child("sample")
 	var all []sampled
 	for _, frac := range opts.TrainFractions {
 		cloud, idxs, err := sampler.Sample(truth, fieldName, frac)
@@ -251,6 +307,7 @@ func buildTrainingSet(truth *grid.Volume, fieldName string, sampler sampling.Sam
 		}
 		all = append(all, sampled{cloud: cloud, void: sampling.VoidIndices(truth, idxs), frac: frac})
 	}
+	sampleSp.End()
 	if len(all) == 0 {
 		return nil, nil, errors.New("core: no training fractions")
 	}
@@ -336,7 +393,10 @@ func (r *FCNN) FineTune(truth *grid.Volume, sampler sampling.Sampler, mode FineT
 			epochs = opts.FineTuneEpochs * 30
 		}
 	}
-	ts, _, err := buildTrainingSet(truth, r.fieldName, sampler, opts, r.norm)
+	reg := telemetry.Default()
+	sp := reg.StartSpan("finetune")
+	start := time.Now()
+	ts, _, err := buildTrainingSet(truth, r.fieldName, sampler, opts, r.norm, sp)
 	if err != nil {
 		return err
 	}
@@ -348,8 +408,20 @@ func (r *FCNN) FineTune(truth *grid.Volume, sampler sampling.Sampler, mode FineT
 	default:
 		return fmt.Errorf("core: unknown fine-tune mode %v", mode)
 	}
+	if reg.Enabled() {
+		r.net.SetObserver(reg.Train("finetune"))
+	}
+	trainSp := sp.Child("train")
 	_, err = r.net.TrainEpochs(ts.X, ts.Y, epochs)
+	trainSp.End()
 	r.net.UnfreezeAll()
+	sp.End()
+	elapsed := time.Since(start)
+	r.tm.setTrain(elapsed)
+	reg.Counter("core.finetune.runs").Inc()
+	telemetry.Infof("finetune done",
+		"field", r.fieldName, "mode", mode, "rows", ts.Len(), "epochs", epochs,
+		"dur", elapsed.Round(time.Millisecond))
 	return err
 }
 
@@ -366,6 +438,9 @@ func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (*grid.Vol
 	if c.Len() < r.opts.Features.K {
 		return nil, fmt.Errorf("core: cloud has %d points, need >= %d", c.Len(), r.opts.Features.K)
 	}
+	reg := telemetry.Default()
+	sp := reg.StartSpan("reconstruct")
+	start := time.Now()
 	out := spec.NewVolume()
 	norm := &features.Normalizer{ValMin: r.norm.ValMin, ValScale: r.norm.ValScale}
 	posNorm := features.NewNormalizer(out.Bounds(), 0, 1)
@@ -383,7 +458,9 @@ func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (*grid.Vol
 	voidIdx := make([]int, 0, n)
 	exact := make([]float64, n)
 	isExact := make([]bool, n)
+	knnSp := sp.Child("knn-query")
 	nearest := nearestSampleTable(c, out, r.opts.Workers)
+	knnSp.End()
 	for idx := 0; idx < n; idx++ {
 		if nearest.d2[idx] <= eps2 {
 			exact[idx] = c.Values[nearest.idx[idx]]
@@ -397,13 +474,16 @@ func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (*grid.Vol
 	if batch <= 0 {
 		batch = 1 << 18
 	}
-	for start := 0; start < len(voidIdx); start += batch {
-		end := start + batch
+	for bstart := 0; bstart < len(voidIdx); bstart += batch {
+		end := bstart + batch
 		if end > len(voidIdx) {
 			end = len(voidIdx)
 		}
-		chunk := voidIdx[start:end]
+		chunk := voidIdx[bstart:end]
+		featSp := sp.Child("featurize")
 		x := ex.GridMatrix(out, chunk)
+		featSp.End()
+		predSp := sp.Child("predict")
 		pred, err := r.net.Predict(x)
 		if err != nil {
 			return nil, err
@@ -411,12 +491,23 @@ func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (*grid.Vol
 		parallel.For(len(chunk), r.opts.Workers, func(i int) {
 			out.Data[chunk[i]] = norm.Denorm(pred.At(i, 0))
 		})
+		predSp.End()
+		reg.Counter("core.reconstruct.batches").Inc()
 	}
 	for idx := 0; idx < n; idx++ {
 		if isExact[idx] {
 			out.Data[idx] = exact[idx]
 		}
 	}
+	sp.End()
+	elapsed := time.Since(start)
+	r.tm.setRecon(elapsed)
+	reg.Counter("core.reconstruct.runs").Inc()
+	reg.Counter("core.reconstruct.void_points").Add(int64(len(voidIdx)))
+	reg.Counter("core.reconstruct.exact_points").Add(int64(n - len(voidIdx)))
+	telemetry.Debugf("reconstruct done",
+		"points", n, "void", len(voidIdx), "samples", c.Len(),
+		"dur", elapsed.Round(time.Millisecond))
 	return out, nil
 }
 
@@ -468,6 +559,7 @@ func (r *FCNN) Clone() *FCNN {
 	cp.net = r.net.Clone()
 	n := *r.norm
 	cp.norm = &n
+	cp.tm = &timings{}
 	return &cp
 }
 
@@ -511,7 +603,7 @@ func Load(rd io.Reader) (*FCNN, error) {
 		return nil, err
 	}
 	norm := b.Norm
-	return &FCNN{opts: b.Opts.withDefaults(), net: net, norm: &norm, fieldName: b.FieldName}, nil
+	return &FCNN{opts: b.Opts.withDefaults(), net: net, norm: &norm, fieldName: b.FieldName, tm: &timings{}}, nil
 }
 
 // SaveFile writes the reconstructor to path.

@@ -23,6 +23,7 @@ import (
 	"fillvoid/internal/metrics"
 	"fillvoid/internal/nn"
 	"fillvoid/internal/sampling"
+	"fillvoid/internal/telemetry"
 )
 
 // Scale bundles every knob that trades runtime for fidelity.
@@ -274,8 +275,10 @@ func (c *Config) pretrained(gen datasets.Generator) (*core.FCNN, *grid.Volume, e
 	c.mu.Unlock()
 
 	c.logf("[%s] pretraining FCNN (%v hidden, %d epochs)...", gen.Name(), c.Scale.Hidden, c.Scale.Epochs)
+	sp := telemetry.Default().StartSpan("experiments/pretrain/" + gen.Name())
 	start := time.Now()
 	m, err := core.Pretrain(truth, gen.FieldName(), c.sampler(0), c.coreOptions())
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -21,6 +21,7 @@ import (
 	"fillvoid/internal/parallel"
 	"fillvoid/internal/pointcloud"
 	"fillvoid/internal/sampling"
+	"fillvoid/internal/telemetry"
 )
 
 // Config controls feature extraction.
@@ -165,7 +166,13 @@ func NewExtractor(cfg Config, c *pointcloud.Cloud, norm *Normalizer) (*Extractor
 	if norm == nil {
 		return nil, errors.New("features: nil normalizer")
 	}
-	return &Extractor{cfg: cfg, cloud: c, tree: kdtree.Build(c.Points), norm: norm}, nil
+	reg := telemetry.Default()
+	sp := reg.StartSpan("features/knn-build")
+	tree := kdtree.Build(c.Points)
+	sp.End()
+	reg.Counter("features.knn_tables_built").Inc()
+	reg.Counter("features.knn_indexed_points").Add(int64(c.Len()))
+	return &Extractor{cfg: cfg, cloud: c, tree: tree, norm: norm}, nil
 }
 
 // Config returns the extractor's configuration.
@@ -200,12 +207,15 @@ func (e *Extractor) FeaturesInto(q mathutil.Vec3, dst []float64, nbBuf []kdtree.
 // parallel: one row per query, InputWidth columns.
 func (e *Extractor) Matrix(queries []mathutil.Vec3) *nn.Matrix {
 	x := nn.NewMatrix(len(queries), e.cfg.InputWidth())
+	sp := telemetry.Default().StartSpan("features/extract")
 	parallel.ForChunked(len(queries), 0, func(lo, hi int) {
 		nbBuf := make([]kdtree.Neighbor, 0, e.cfg.K)
 		for i := lo; i < hi; i++ {
 			e.FeaturesInto(queries[i], x.Row(i), nbBuf)
 		}
 	})
+	sp.End()
+	telemetry.Default().Counter("features.rows_built").Add(int64(len(queries)))
 	return x
 }
 
@@ -213,12 +223,15 @@ func (e *Extractor) Matrix(queries []mathutil.Vec3) *nn.Matrix {
 // of volume geometry v (values of v are not read — only positions).
 func (e *Extractor) GridMatrix(v *grid.Volume, idxs []int) *nn.Matrix {
 	x := nn.NewMatrix(len(idxs), e.cfg.InputWidth())
+	sp := telemetry.Default().StartSpan("features/extract")
 	parallel.ForChunked(len(idxs), 0, func(lo, hi int) {
 		nbBuf := make([]kdtree.Neighbor, 0, e.cfg.K)
 		for i := lo; i < hi; i++ {
 			e.FeaturesInto(v.PointAt(idxs[i]), x.Row(i), nbBuf)
 		}
 	})
+	sp.End()
+	telemetry.Default().Counter("features.rows_built").Add(int64(len(idxs)))
 	return x
 }
 
@@ -397,11 +410,15 @@ func (t *TrainingSet) GradientWeights(floor float64) []float64 {
 // location, targets from the ground-truth volume (available in situ at
 // training time).
 func Build(cfg Config, truth *grid.Volume, cloud *pointcloud.Cloud, voidIdxs []int, norm *Normalizer) (*TrainingSet, error) {
+	reg := telemetry.Default()
+	sp := reg.StartSpan("features/build")
+	defer sp.End()
 	ex, err := NewExtractor(cfg, cloud, norm)
 	if err != nil {
 		return nil, err
 	}
 	x := ex.GridMatrix(truth, voidIdxs)
 	y := Targets(cfg, norm, truth, voidIdxs)
+	reg.Counter("features.training_rows").Add(int64(len(voidIdxs)))
 	return &TrainingSet{X: x, Y: y}, nil
 }

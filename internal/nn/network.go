@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"fillvoid/internal/mathutil"
 	"fillvoid/internal/parallel"
+	"fillvoid/internal/telemetry"
 )
 
 // Config describes a fully connected regression network.
@@ -66,6 +68,10 @@ type Network struct {
 	cfg    Config
 	layers []*dense
 	opts   []*adamPair
+	// obs, when set, receives one telemetry.EpochStat per training
+	// epoch (loss, learning rate, throughput, trainable params). It is
+	// called synchronously between epochs and is not serialized.
+	obs telemetry.TrainObserver
 	// Losses records the mean training loss of every epoch ever run on
 	// this network, in order — full training followed by any
 	// fine-tuning epochs (Fig 12 plots this).
@@ -105,6 +111,16 @@ func New(cfg Config) (*Network, error) {
 
 // Config returns the construction configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetObserver installs (or clears, with nil) the per-epoch training
+// observer. The observer is invoked synchronously after every epoch of
+// TrainEpochs / TrainWithValidation with monotonically increasing
+// lifetime epoch indices; it is not copied by Clone nor persisted by
+// Save.
+func (n *Network) SetObserver(o telemetry.TrainObserver) { n.obs = o }
+
+// Observer returns the installed per-epoch observer (nil when unset).
+func (n *Network) Observer() telemetry.TrainObserver { return n.obs }
 
 // NumLayers returns the number of dense layers (hidden + output).
 func (n *Network) NumLayers() int { return len(n.layers) }
@@ -264,6 +280,13 @@ func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
 	if decayFactor <= 0 || decayFactor > 1 {
 		decayFactor = 0.5
 	}
+	// epochBase keeps observer epoch indices monotone across repeated
+	// TrainEpochs calls (fine-tuning continues the lifetime count).
+	epochBase := len(n.Losses)
+	var epochStart time.Time
+	if n.obs != nil {
+		epochStart = time.Now()
+	}
 	for e := 0; e < epochs; e++ {
 		if n.cfg.LRDecayEvery > 0 && e > 0 && e%n.cfg.LRDecayEvery == 0 {
 			adamCfg.LearningRate *= decayFactor
@@ -285,7 +308,26 @@ func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
 			totalLoss += loss
 			batches++
 		}
-		epochLosses = append(epochLosses, totalLoss/float64(batches))
+		meanLoss := totalLoss / float64(batches)
+		epochLosses = append(epochLosses, meanLoss)
+		if n.obs != nil {
+			now := time.Now()
+			d := now.Sub(epochStart)
+			epochStart = now
+			eps := 0.0
+			if secs := d.Seconds(); secs > 0 {
+				eps = float64(x.Rows) / secs
+			}
+			n.obs.ObserveEpoch(telemetry.EpochStat{
+				Epoch:           epochBase + e,
+				Loss:            meanLoss,
+				LearningRate:    adamCfg.LearningRate,
+				Examples:        x.Rows,
+				ExamplesPerSec:  eps,
+				TrainableParams: n.TrainableParamCount(),
+				DurationNS:      int64(d),
+			})
+		}
 	}
 	n.Losses = append(n.Losses, epochLosses...)
 	return epochLosses, nil
@@ -314,7 +356,13 @@ func (n *Network) TrainWithValidation(x, y, vx, vy *Matrix, epochs, patience int
 			bestB = append(bestB, append([]float64(nil), l.b...))
 		}
 	}
+	// The observer is driven from this loop (not the inner TrainEpochs
+	// calls) so each stat carries the epoch's validation loss too.
+	obs := n.obs
+	n.obs = nil
+	defer func() { n.obs = obs }()
 	for e := 0; e < epochs; e++ {
+		epochStart := time.Now()
 		tl, err := n.TrainEpochs(x, y, 1)
 		if err != nil {
 			return nil, nil, err
@@ -329,6 +377,24 @@ func (n *Network) TrainWithValidation(x, y, vx, vy *Matrix, epochs, patience int
 		}
 		trainLosses = append(trainLosses, tl[0])
 		valLosses = append(valLosses, vl)
+		if obs != nil {
+			d := time.Since(epochStart)
+			eps := 0.0
+			if secs := d.Seconds(); secs > 0 {
+				eps = float64(x.Rows) / secs
+			}
+			obs.ObserveEpoch(telemetry.EpochStat{
+				Epoch:           len(n.Losses) - 1,
+				Loss:            tl[0],
+				ValLoss:         vl,
+				ValLossValid:    true,
+				LearningRate:    n.cfg.Adam.withDefaults().LearningRate,
+				Examples:        x.Rows,
+				ExamplesPerSec:  eps,
+				TrainableParams: n.TrainableParamCount(),
+				DurationNS:      int64(d),
+			})
+		}
 		if vl < best {
 			best = vl
 			bad = 0

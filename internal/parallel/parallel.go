@@ -13,7 +13,68 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"fillvoid/internal/telemetry"
 )
+
+// loopRecord accumulates one parallel loop invocation's utilization
+// data: per-worker busy time vs the wall-clock capacity of the fan-out.
+// A nil *loopRecord (telemetry disabled) is a no-op, so the hot path
+// pays a single atomic load.
+type loopRecord struct {
+	reg     *telemetry.Registry
+	name    string
+	start   time.Time
+	busyNS  atomic.Int64
+	workers int
+}
+
+func startLoop(name string, workers int) *loopRecord {
+	reg := telemetry.Default()
+	if !reg.Enabled() {
+		return nil
+	}
+	return &loopRecord{reg: reg, name: name, start: time.Now(), workers: workers}
+}
+
+// workerStart returns the start instant for one worker's busy window.
+func (r *loopRecord) workerStart() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// workerDone folds one worker's busy window into the record.
+func (r *loopRecord) workerDone(start time.Time) {
+	if r == nil {
+		return
+	}
+	r.busyNS.Add(int64(time.Since(start)))
+}
+
+// done publishes the loop's counters: calls, items, busy worker time,
+// and the capacity (wall × workers) those workers were given. The
+// utilization gauge is the lifetime busy/capacity ratio — a measure of
+// how evenly the loop bodies load the fan-out.
+func (r *loopRecord) done(items int) {
+	if r == nil {
+		return
+	}
+	wall := time.Since(r.start)
+	busy := r.busyNS.Load()
+	capacity := int64(wall) * int64(r.workers)
+	r.reg.Counter(r.name + ".calls").Inc()
+	r.reg.Counter(r.name + ".items").Add(int64(items))
+	r.reg.Counter(r.name + ".busy_ns").Add(busy)
+	r.reg.Counter(r.name + ".capacity_ns").Add(capacity)
+	totalBusy := r.reg.Counter(r.name + ".busy_ns").Value()
+	totalCap := r.reg.Counter(r.name + ".capacity_ns").Value()
+	if totalCap > 0 {
+		r.reg.Gauge(r.name + ".utilization").Set(float64(totalBusy) / float64(totalCap))
+	}
+}
 
 // DefaultWorkers reports the worker count used when a caller passes
 // workers <= 0. It honours GOMAXPROCS so tests can pin parallelism.
@@ -34,10 +95,14 @@ func For(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	rec := startLoop("parallel.for", workers)
 	if workers == 1 {
+		ws := rec.workerStart()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		rec.workerDone(ws)
+		rec.done(n)
 		return
 	}
 	// Grab indices in blocks to amortize the atomic; block size keeps
@@ -52,6 +117,8 @@ func For(n, workers int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ws := rec.workerStart()
+			defer rec.workerDone(ws)
 			for {
 				start := int(atomic.AddInt64(&next, int64(block))) - block
 				if start >= n {
@@ -68,6 +135,7 @@ func For(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	rec.done(n)
 }
 
 // ForChunked runs fn(start, end) over contiguous disjoint chunks covering
@@ -84,8 +152,12 @@ func ForChunked(n, workers int, fn func(start, end int)) {
 	if workers > n {
 		workers = n
 	}
+	rec := startLoop("parallel.for_chunked", workers)
 	if workers == 1 {
+		ws := rec.workerStart()
 		fn(0, n)
+		rec.workerDone(ws)
+		rec.done(n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -99,12 +171,15 @@ func ForChunked(n, workers int, fn func(start, end int)) {
 		}
 		go func(s, e int) {
 			defer wg.Done()
+			ws := rec.workerStart()
+			defer rec.workerDone(ws)
 			if s < e {
 				fn(s, e)
 			}
 		}(start, end)
 	}
 	wg.Wait()
+	rec.done(n)
 }
 
 // MapReduce applies fn(i) for every i in [0, n), each worker folding its

@@ -25,6 +25,7 @@ import (
 	"fillvoid/internal/interp"
 	"fillvoid/internal/metrics"
 	"fillvoid/internal/sampling"
+	"fillvoid/internal/telemetry"
 )
 
 // Config controls the pipeline.
@@ -52,6 +53,9 @@ type Config struct {
 	// ValueBits is the codec quantization depth (default 16) when
 	// CompactStorage is on.
 	ValueBits int
+	// Telemetry receives the pipeline's spans and counters (nil: the
+	// process-global telemetry.Default registry).
+	Telemetry *telemetry.Registry
 }
 
 // StepReport summarizes one pipeline step.
@@ -68,9 +72,13 @@ type StepReport struct {
 	// KeepModels; only the trainable (last two) layers under Case 2.
 	// Zero when KeepModels is off and it is not the first step.
 	ModelBytes int64
-	// TrainTime covers pretraining (first step) or fine-tuning.
+	// TrainTime covers pretraining (first step) or fine-tuning. It is
+	// read from the model's own stage timer ((*core.FCNN).Timings), the
+	// same measurement the "pretrain"/"finetune" telemetry spans record,
+	// so the two can never disagree.
 	TrainTime time.Duration
-	// ReconTime covers sampling-to-volume reconstruction.
+	// ReconTime covers sampling-to-volume reconstruction, read from the
+	// same stage timer as the "reconstruct" telemetry span.
 	ReconTime time.Duration
 }
 
@@ -103,11 +111,16 @@ func (p *Pipeline) Reports() []StepReport { return p.reports }
 // reconstruct, account. The full field `truth` is only available inside
 // this call, as in a real in situ pipeline.
 func (p *Pipeline) Step(truth *grid.Volume, t int) (StepReport, error) {
+	reg := p.telemetry()
+	stepSp := reg.StartSpan("pipeline/step")
+	defer stepSp.End()
 	rep := StepReport{Timestep: t}
 	sampler := &sampling.Importance{Seed: p.cfg.SamplerSeed + int64(t)*911}
 
 	// 1. The stored artifact: the sampled cloud.
+	sampleSp := stepSp.Child("sample")
 	cloud, idxs, err := sampler.Sample(truth, p.cfg.FieldName, p.cfg.Fraction)
+	sampleSp.End()
 	if err != nil {
 		return rep, err
 	}
@@ -121,8 +134,11 @@ func (p *Pipeline) Step(truth *grid.Volume, t int) (StepReport, error) {
 		rep.SampleBytes = int64(cloud.Len()) * 4 * 8 // x, y, z, value float64
 	}
 
-	// 2. Keep the model current.
-	start := time.Now()
+	// 2. Keep the model current. The wall time is taken from the
+	// model's own stage timer — the same measurement core's
+	// pretrain/finetune telemetry spans record — rather than a second
+	// clock around the call, so report and telemetry cannot drift.
+	trainSp := stepSp.Child("train")
 	first := p.model == nil
 	if first {
 		model, err := core.Pretrain(truth, p.cfg.FieldName, sampler, p.cfg.Options)
@@ -135,7 +151,8 @@ func (p *Pipeline) Step(truth *grid.Volume, t int) (StepReport, error) {
 			return rep, err
 		}
 	}
-	rep.TrainTime = time.Since(start)
+	trainSp.End()
+	rep.TrainTime, _ = p.model.Timings()
 
 	// 3. Storage for model state.
 	switch {
@@ -150,20 +167,34 @@ func (p *Pipeline) Step(truth *grid.Volume, t int) (StepReport, error) {
 	}
 
 	// 4. Reconstruct from the stored samples and score.
-	start = time.Now()
+	reconSp := stepSp.Child("reconstruct")
 	recon, err := p.model.Reconstruct(cloud, interp.SpecOf(truth))
+	reconSp.End()
 	if err != nil {
 		return rep, err
 	}
-	rep.ReconTime = time.Since(start)
+	_, rep.ReconTime = p.model.Timings()
 	snr, err := metrics.SNR(truth, recon)
 	if err != nil {
 		return rep, err
 	}
 	rep.SNR = snr
+	reg.Counter("pipeline.steps").Inc()
+	telemetry.Infof("pipeline step done",
+		"t", t, "snr_db", fmt.Sprintf("%.2f", snr), "samples", rep.SampleCount,
+		"train", rep.TrainTime.Round(time.Millisecond),
+		"recon", rep.ReconTime.Round(time.Millisecond))
 
 	p.reports = append(p.reports, rep)
 	return rep, nil
+}
+
+// telemetry returns the registry pipeline instrumentation records into.
+func (p *Pipeline) telemetry() *telemetry.Registry {
+	if p.cfg.Telemetry != nil {
+		return p.cfg.Telemetry
+	}
+	return telemetry.Default()
 }
 
 // Totals aggregates storage and time across all steps so far.

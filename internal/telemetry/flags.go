@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+)
+
+// Flags bundles the standard observability CLI flags shared by the
+// fillvoid and experiments commands:
+//
+//	-log-level <debug|info|warn|error|off>   structured stderr logging
+//	-metrics-out <file.json>                 write a telemetry snapshot on exit
+//	-pprof <addr>                            serve /metrics, expvar and pprof
+//
+// Register with RegisterFlags before fs.Parse, then call Start after;
+// the returned stop function flushes the snapshot and shuts the server
+// down.
+type Flags struct {
+	LogLevel   string
+	MetricsOut string
+	PprofAddr  string
+}
+
+// RegisterFlags installs the telemetry flags on a FlagSet.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.LogLevel, "log-level", "warn", "log level: debug, info, warn, error, off")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a telemetry JSON snapshot to this file on exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Start applies the parsed flags: sets the log level, enables the
+// default registry when any output is requested, and starts the HTTP
+// server when -pprof is given. The returned stop function writes the
+// -metrics-out snapshot (if any) and closes the server; call it once,
+// after the command's work is done.
+func (f *Flags) Start() (stop func() error, err error) {
+	level, err := ParseLevel(f.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	SetLogLevel(level)
+	var srv *Server
+	if f.MetricsOut != "" || f.PprofAddr != "" {
+		Enable()
+	}
+	if f.PprofAddr != "" {
+		srv, err = Serve(f.PprofAddr, Default())
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: starting -pprof server: %w", err)
+		}
+		Infof("telemetry server listening", "addr", srv.Addr())
+	}
+	return func() error {
+		var firstErr error
+		if f.MetricsOut != "" {
+			if err := Default().WriteSnapshotFile(f.MetricsOut); err != nil {
+				firstErr = err
+			} else {
+				Infof("wrote telemetry snapshot", "path", f.MetricsOut)
+			}
+		}
+		if srv != nil {
+			if err := srv.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

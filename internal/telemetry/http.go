@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server exposes a registry over HTTP for live inspection:
+//
+//	/metrics        JSON snapshot of the registry
+//	/debug/vars     expvar (includes the fillvoid.telemetry var)
+//	/debug/pprof/   the full net/http/pprof index (profile, heap, ...)
+//
+// Construct with Serve; Close releases the listener.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// publishOnce guards the process-global expvar registration (expvar
+// panics on duplicate Publish).
+var publishOnce sync.Once
+
+// Serve starts an HTTP server on addr (use "127.0.0.1:0" for an
+// ephemeral port) exposing the registry. It returns once the listener
+// is bound; requests are served on a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("fillvoid.telemetry", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

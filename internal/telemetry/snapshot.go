@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1; last is +Inf
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// SpanSnapshot is the exported aggregate of one span label path.
+type SpanSnapshot struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+	LastNS  int64 `json:"last_ns"`
+}
+
+// Snapshot is a point-in-time JSON-serializable export of a registry.
+// It round-trips through encoding/json losslessly.
+type Snapshot struct {
+	TakenUnixNS int64                        `json:"taken_unix_ns"`
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]float64           `json:"gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans       map[string]SpanSnapshot      `json:"spans,omitempty"`
+	Training    map[string][]EpochStat       `json:"training,omitempty"`
+}
+
+// Snapshot exports the registry's current state. It is safe to call
+// concurrently with metric updates; individual metrics are read
+// atomically but the snapshot as a whole is not a consistent cut.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		TakenUnixNS: time.Now().UnixNano(),
+		Counters:    map[string]int64{},
+		Gauges:      map[string]float64{},
+		Histograms:  map[string]HistogramSnapshot{},
+		Spans:       map[string]SpanSnapshot{},
+		Training:    map[string][]EpochStat{},
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	spans := make(map[string]*SpanStat, len(r.spans))
+	for k, v := range r.spans {
+		spans[k] = v
+	}
+	series := make(map[string]*TrainSeries, len(r.series))
+	for k, v := range r.series {
+		series[k] = v
+	}
+	r.mu.RUnlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = HistogramSnapshot{
+			Bounds: h.Bounds(),
+			Counts: h.BucketCounts(),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+	}
+	for k, st := range spans {
+		st.mu.Lock()
+		s.Spans[k] = SpanSnapshot{
+			Count:   st.count,
+			TotalNS: int64(st.total),
+			MinNS:   int64(st.min),
+			MaxNS:   int64(st.max),
+			LastNS:  int64(st.last),
+		}
+		st.mu.Unlock()
+	}
+	for k, t := range series {
+		s.Training[k] = t.Epochs()
+	}
+	return s
+}
+
+// MarshalIndent renders the snapshot as indented JSON.
+func (s *Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// WriteJSON writes the snapshot as indented JSON to w.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	b, err := s.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteSnapshotFile takes a snapshot of the registry and writes it to
+// path as indented JSON.
+func (r *Registry) WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSnapshot parses a snapshot previously written with WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// SpanPaths returns the snapshot's span labels in sorted order.
+func (s *Snapshot) SpanPaths() []string {
+	out := make([]string, 0, len(s.Spans))
+	for k := range s.Spans {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanStat aggregates every completed span with one label path.
+type SpanStat struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+	last  time.Duration
+}
+
+func (s *SpanStat) record(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 || d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	s.count++
+	s.total += d
+	s.last = d
+}
+
+// Count returns how many spans completed under this label.
+func (s *SpanStat) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Total returns the summed duration of all completed spans.
+func (s *SpanStat) Total() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Last returns the duration of the most recently completed span.
+func (s *SpanStat) Last() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Span is one in-flight timed stage. Spans carry a hierarchical label
+// path ("pretrain/feature-build"); children created with Child extend
+// the path. A nil Span (what a disabled registry hands out) is a valid
+// no-op, so instrumentation sites never branch.
+type Span struct {
+	r     *Registry
+	path  string
+	start time.Time
+}
+
+// StartSpan begins a named stage timer. When the registry is disabled
+// it returns nil, whose methods are all no-ops.
+func (r *Registry) StartSpan(path string) *Span {
+	if !r.enabled.Load() {
+		return nil
+	}
+	return &Span{r: r, path: path, start: time.Now()}
+}
+
+// Child begins a nested span labelled parent-path/name.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{r: s.r, path: s.path + "/" + name, start: time.Now()}
+}
+
+// Path returns the span's full label path ("" for nil).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// End stops the span, records its duration under the label path, and
+// returns the elapsed time (0 for nil).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.spanStat(s.path).record(d)
+	return d
+}
+
+// spanStat returns (creating on first use) the aggregate for a path.
+func (r *Registry) spanStat(path string) *SpanStat {
+	r.mu.RLock()
+	st := r.spans[path]
+	r.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st = r.spans[path]; st == nil {
+		st = &SpanStat{}
+		r.spans[path] = st
+	}
+	return st
+}
+
+// SpanStatFor returns the aggregate stats recorded under a label path,
+// or nil if no span with that path has completed.
+func (r *Registry) SpanStatFor(path string) *SpanStat {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.spans[path]
+}
+
+// Time runs fn under a span with the given path and returns fn's
+// duration; sugar for the Start/End pair when the stage is a closure.
+func (r *Registry) Time(path string, fn func()) time.Duration {
+	sp := r.StartSpan(path)
+	fn()
+	return sp.End()
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import "sync"
+
+// EpochStat is one training epoch's worth of progress data, delivered
+// to TrainObservers by the nn epoch loop.
+type EpochStat struct {
+	// Epoch is the 0-based epoch index within the network's lifetime
+	// (full training followed by fine-tuning epochs keeps counting up).
+	Epoch int `json:"epoch"`
+	// Loss is the epoch's mean training loss.
+	Loss float64 `json:"loss"`
+	// ValLoss is the held-out validation loss when validation is
+	// running, else 0 with ValLossValid false.
+	ValLoss      float64 `json:"val_loss,omitempty"`
+	ValLossValid bool    `json:"val_loss_valid,omitempty"`
+	// LearningRate is the optimizer learning rate in effect this epoch
+	// (after any scheduled decay).
+	LearningRate float64 `json:"lr"`
+	// Examples is the number of training rows seen this epoch.
+	Examples int `json:"examples"`
+	// ExamplesPerSec is the epoch's training throughput.
+	ExamplesPerSec float64 `json:"examples_per_sec"`
+	// TrainableParams counts the parameters of unfrozen layers (shrinks
+	// under Case 2 fine-tuning).
+	TrainableParams int `json:"trainable_params"`
+	// DurationNS is the epoch wall time in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// TrainObserver receives per-epoch training statistics. Implementations
+// must be safe for use from the training goroutine; they are called
+// synchronously between epochs, so they should be cheap.
+type TrainObserver interface {
+	ObserveEpoch(EpochStat)
+}
+
+// TrainSeries is a named, append-only record of epoch statistics; it
+// implements TrainObserver and is what Registry.Train hands to the
+// training loop.
+type TrainSeries struct {
+	name string
+	mu   sync.Mutex
+	eps  []EpochStat
+}
+
+// Name returns the series label ("pretrain", "finetune", ...).
+func (t *TrainSeries) Name() string { return t.name }
+
+// ObserveEpoch implements TrainObserver. Safe on a nil receiver so a
+// disabled registry's series can be wired unconditionally.
+func (t *TrainSeries) ObserveEpoch(e EpochStat) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.eps = append(t.eps, e)
+	t.mu.Unlock()
+}
+
+// Epochs returns a copy of the recorded epoch stats in arrival order.
+func (t *TrainSeries) Epochs() []EpochStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]EpochStat(nil), t.eps...)
+}
+
+// Train returns the named training series, creating it on first use
+// (nil when the registry is disabled — still a valid TrainObserver).
+func (r *Registry) Train(name string) *TrainSeries {
+	if !r.enabled.Load() {
+		return nil
+	}
+	r.mu.RLock()
+	t := r.series[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.series[name]; t == nil {
+		t = &TrainSeries{name: name}
+		r.series[name] = t
+	}
+	return t
+}
+
+// MultiObserver fans one epoch stream out to several observers,
+// skipping nils.
+type MultiObserver []TrainObserver
+
+// ObserveEpoch implements TrainObserver.
+func (m MultiObserver) ObserveEpoch(e EpochStat) {
+	for _, o := range m {
+		if o != nil {
+			o.ObserveEpoch(e)
+		}
+	}
+}
+
+// ObserverFunc adapts a function to the TrainObserver interface.
+type ObserverFunc func(EpochStat)
+
+// ObserveEpoch implements TrainObserver.
+func (f ObserverFunc) ObserveEpoch(e EpochStat) { f(e) }
