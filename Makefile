@@ -34,9 +34,17 @@ bench:
 experiments-smoke:
 	$(GO) run ./cmd/experiments -exp all -scale tiny -quiet
 
+# Per-package coverage, with a hard floor on the reconstruction engine:
+# internal/recon is the one execution path every method runs through, so
+# it must stay >= 80% covered.
 cover:
-	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) test -short -cover -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+	@$(GO) test -short -cover ./internal/recon/ | \
+		awk '{ for (i = 1; i <= NF; i++) if ($$i == "coverage:") pct = substr($$(i+1), 1, length($$(i+1))-1) } \
+		END { if (pct == "") { print "cover: no coverage reported for internal/recon"; exit 1 } \
+		printf "internal/recon coverage: %s%% (floor 80%%)\n", pct; \
+		if (pct + 0 < 80) { print "cover: internal/recon below 80% floor"; exit 1 } }'
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

@@ -23,6 +23,7 @@ package fillvoid
 // BenchmarkExtPipelineStep.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -212,8 +213,9 @@ func BenchmarkFig9Reconstruct(b *testing.B) {
 			}
 		}
 	})
+	reg := interp.StandardRegistry(0)
 	for _, name := range []string{"linear", "natural", "shepard", "nearest", "rbf"} {
-		m, err := interp.ByName(name)
+		m, err := reg.Get(name)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,6 +229,50 @@ func BenchmarkFig9Reconstruct(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Engine: shared query plan vs per-method index rebuilds on a
+// Fig 9-style five-method comparison run ---
+
+func BenchmarkMultiMethodSharedPlan(b *testing.B) {
+	truth, cloud1, _, model := fixtures(b)
+	spec := SpecOf(truth)
+	reg := NewRegistry(0)
+	reg.RegisterMethod(model)
+	names := []string{"fcnn", "linear", "natural", "shepard", "nearest"}
+	methods := make([]Reconstructor, len(names))
+	for i, name := range names {
+		m, err := reg.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		methods[i] = m
+	}
+	ctx := context.Background()
+	b.Run("shared-plan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plan, err := NewPlan(cloud1, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, m := range methods {
+				if _, err := Reconstruct(ctx, m, plan, FullRegion(spec)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("per-method-plans", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, m := range methods {
+				if _, err := m.Reconstruct(cloud1, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // --- Fig 10: reconstruction time vs sampling percentage, including the
@@ -276,7 +322,10 @@ func BenchmarkFig11FineTune(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tuned := model.Clone()
+		tuned, err := model.Clone()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := tuned.FineTune(later, &sampling.Importance{Seed: 3}, core.FineTuneAll, 5); err != nil {
 			b.Fatal(err)
 		}
@@ -462,7 +511,15 @@ func BenchmarkExtVolumeRender(b *testing.B) {
 
 func BenchmarkExtEnsembleReconstruct(b *testing.B) {
 	truth, cloud1, _, model := fixtures(b)
-	ens, err := ensemble.FromModels([]*core.FCNN{model, model.Clone(), model.Clone()})
+	cp1, err := model.Clone()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp2, err := model.Clone()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ens, err := ensemble.FromModels([]*core.FCNN{model, cp1, cp2})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -23,7 +23,6 @@ import (
 	"fillvoid/internal/codec"
 	"fillvoid/internal/core"
 	"fillvoid/internal/datasets"
-	"fillvoid/internal/grid"
 	"fillvoid/internal/interp"
 	"fillvoid/internal/metrics"
 	"fillvoid/internal/sampling"
@@ -277,6 +276,21 @@ func cmdReconstruct(args []string) (err error) {
 		return fmt.Errorf("-points and -like are required")
 	}
 
+	// Resolve the method through the registry before touching any input
+	// files: a typo'd -method or a missing -model fails here, up front,
+	// with the registered-name list in the error.
+	reg := interp.StandardRegistry(0)
+	reg.Register("fcnn", func() (interp.Reconstructor, error) {
+		if *model == "" {
+			return nil, fmt.Errorf("-model is required for -method fcnn")
+		}
+		return core.LoadFile(*model)
+	})
+	m, err := reg.Get(*method)
+	if err != nil {
+		return err
+	}
+
 	cloud, err := vtk.ReadVTPFile(*points)
 	if err != nil {
 		return err
@@ -285,36 +299,15 @@ func cmdReconstruct(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	spec := interp.SpecOf(ref)
-
-	var recon *grid.Volume
-	if *method == "fcnn" {
-		if *model == "" {
-			return fmt.Errorf("-model is required for -method fcnn")
-		}
-		r, err := core.LoadFile(*model)
-		if err != nil {
-			return err
-		}
-		recon, err = r.Reconstruct(cloud, spec)
-		if err != nil {
-			return err
-		}
-	} else {
-		m, err := interp.ByName(*method)
-		if err != nil {
-			return err
-		}
-		recon, err = m.Reconstruct(cloud, spec)
-		if err != nil {
-			return err
-		}
+	vol, err := m.Reconstruct(cloud, interp.SpecOf(ref))
+	if err != nil {
+		return err
 	}
-	if err := vtk.WriteVTIFile(*out, recon, name); err != nil {
+	if err := vtk.WriteVTIFile(*out, vol, name); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %dx%dx%d reconstructed with %s from %d samples\n",
-		*out, recon.NX, recon.NY, recon.NZ, *method, cloud.Len())
+		*out, vol.NX, vol.NY, vol.NZ, *method, cloud.Len())
 	return nil
 }
 

@@ -101,6 +101,29 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+// A mistyped -method must fail before any input file is read (the paths
+// here don't exist) and the error must list the registered names.
+func TestCLIUnknownMethodListsValidNames(t *testing.T) {
+	bin := buildCLI(t)
+	cmd := exec.Command(bin, "reconstruct", "-points", "no-such.vtp", "-like", "no-such.vti", "-method", "typo")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown method unexpectedly succeeded:\n%s", out)
+	}
+	s := string(out)
+	if !strings.Contains(s, `"typo"`) {
+		t.Fatalf("error does not echo the bad name: %s", s)
+	}
+	for _, name := range []string{"fcnn", "linear", "natural", "shepard", "nearest"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("error does not list %q: %s", name, s)
+		}
+	}
+	if strings.Contains(s, "no-such") {
+		t.Fatalf("method validation should run before reading inputs: %s", s)
+	}
+}
+
 func TestCLIPackUnpack(t *testing.T) {
 	bin := buildCLI(t)
 	dir := t.TempDir()

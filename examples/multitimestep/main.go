@@ -67,7 +67,10 @@ func main() {
 
 		// Fine-tune a clone on this timestep (the original stays as
 		// pretrained, exactly like the paper's Fig 11 protocol).
-		tuned := pretrainedModel.Clone()
+		tuned, err := pretrainedModel.Clone()
+		if err != nil {
+			log.Fatal(err)
+		}
 		if err := tuned.FineTune(truth, fillvoid.NewImportanceSampler(3), fillvoid.FineTuneAll, 10); err != nil {
 			log.Fatal(err)
 		}

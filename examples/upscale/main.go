@@ -66,7 +66,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tuned := model.Clone()
+	tuned, err := model.Clone()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := tuned.FineTune(high, fillvoid.NewImportanceSampler(3), fillvoid.FineTuneAll, 10); err != nil {
 		log.Fatal(err)
 	}

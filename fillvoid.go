@@ -29,6 +29,7 @@
 package fillvoid
 
 import (
+	"context"
 	"io"
 
 	"fillvoid/internal/codec"
@@ -42,6 +43,7 @@ import (
 	"fillvoid/internal/mathutil"
 	"fillvoid/internal/metrics"
 	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
 	"fillvoid/internal/render"
 	"fillvoid/internal/sampling"
 	"fillvoid/internal/sim"
@@ -60,9 +62,20 @@ type (
 	// Vec3 is a 3-D point or direction.
 	Vec3 = mathutil.Vec3
 	// GridSpec describes the output grid a reconstruction fills.
-	GridSpec = interp.GridSpec
-	// Reconstructor rebuilds a full grid from a sampled cloud.
-	Reconstructor = interp.Reconstructor
+	GridSpec = recon.GridSpec
+	// Reconstructor rebuilds fields from a sampled cloud: the legacy
+	// full-grid Reconstruct plus the engine's plan-sharing, cancellable
+	// ReconstructRegion.
+	Reconstructor = recon.Reconstructor
+	// Plan caches per-(cloud, grid) query state — validation, k-d tree,
+	// nearest-sample table — shared by every reconstructor that runs
+	// against the pair.
+	Plan = recon.Plan
+	// Region selects where a reconstruction is evaluated: the full grid,
+	// a sub-grid box, or an arbitrary point list.
+	Region = recon.Region
+	// Registry maps method names to reconstructors (baselines + fcnn).
+	Registry = recon.Registry
 	// Sampler selects a subset of a volume's grid points.
 	Sampler = sampling.Sampler
 	// Generator is a continuous spatiotemporal dataset analog.
@@ -145,16 +158,25 @@ func LoadModel(r io.Reader) (*FCNN, error) { return core.Load(r) }
 // LoadModelFile reads a model from a file path.
 func LoadModelFile(path string) (*FCNN, error) { return core.LoadFile(path) }
 
+// NewRegistry returns a registry with every rule-based baseline
+// registered ("nearest", "shepard", "natural", "rbf", "linear",
+// "linear-seq"). Register a trained model with RegisterMethod to add
+// "fcnn". workers <= 0 means all cores.
+func NewRegistry(workers int) *Registry { return interp.StandardRegistry(workers) }
+
 // ReconstructorByName constructs a rule-based baseline: "nearest",
 // "shepard", "natural", "rbf", "linear", "linear-seq".
-func ReconstructorByName(name string) (Reconstructor, error) { return interp.ByName(name) }
+func ReconstructorByName(name string) (Reconstructor, error) {
+	return interp.StandardRegistry(0).Get(name)
+}
 
 // BaselineReconstructors returns the paper's Fig 9 method lineup
 // (linear, natural, shepard, nearest) with default parameters.
 func BaselineReconstructors() []Reconstructor {
+	reg := interp.StandardRegistry(0)
 	var out []Reconstructor
 	for _, name := range interp.BaselineNames() {
-		m, err := interp.ByName(name)
+		m, err := reg.Get(name)
 		if err != nil {
 			// BaselineNames only returns known names.
 			panic(err)
@@ -162,6 +184,36 @@ func BaselineReconstructors() []Reconstructor {
 		out = append(out, m)
 	}
 	return out
+}
+
+// Engine entry points: build a Plan once per (cloud, grid) pair, then
+// run any number of methods and region queries against it.
+
+// NewPlan builds a shared query plan for a sampled cloud and output
+// grid. The expensive pieces (spatial index, nearest-sample table) are
+// built lazily on first use and shared by every method run against the
+// plan.
+func NewPlan(c *Cloud, spec GridSpec) (*Plan, error) { return recon.NewPlan(c, spec) }
+
+// FullRegion returns the whole-grid region of a spec.
+func FullRegion(spec GridSpec) Region { return recon.Full(spec) }
+
+// BoxRegion returns the sub-grid region [i0,i1)×[j0,j1)×[k0,k1).
+func BoxRegion(i0, j0, k0, i1, j1, k1 int) Region { return recon.Box(i0, j0, k0, i1, j1, k1) }
+
+// PointsRegion returns a region evaluating arbitrary world-space points.
+func PointsRegion(pts []Vec3) Region { return recon.PointList(pts) }
+
+// Reconstruct runs a method over a region of the plan's grid with
+// cancellable chunked execution, returning a volume shaped like the
+// region.
+func Reconstruct(ctx context.Context, m Reconstructor, p *Plan, region Region) (*Volume, error) {
+	return recon.Reconstruct(ctx, m, p, region)
+}
+
+// ReconstructPoints evaluates a method at arbitrary world-space points.
+func ReconstructPoints(ctx context.Context, m Reconstructor, p *Plan, pts []Vec3) ([]float64, error) {
+	return recon.ReconstructPoints(ctx, m, p, pts)
 }
 
 // SNR returns the paper's signal-to-noise ratio (dB) of a

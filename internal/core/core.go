@@ -22,6 +22,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -32,11 +33,11 @@ import (
 
 	"fillvoid/internal/features"
 	"fillvoid/internal/grid"
-	"fillvoid/internal/interp"
-	"fillvoid/internal/kdtree"
+	"fillvoid/internal/mathutil"
 	"fillvoid/internal/nn"
 	"fillvoid/internal/parallel"
 	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
 	"fillvoid/internal/sampling"
 	"fillvoid/internal/telemetry"
 )
@@ -425,48 +426,58 @@ func (r *FCNN) FineTune(truth *grid.Volume, sampler sampling.Sampler, mode FineT
 	return err
 }
 
-// Name implements interp.Reconstructor.
+// Name implements recon.Reconstructor.
 func (r *FCNN) Name() string { return "fcnn" }
 
-// Reconstruct implements interp.Reconstructor: it fills the spec'd grid
-// from the sampled cloud. Grid nodes coinciding with samples keep their
-// exact sampled value; every other node (the void locations) is
-// predicted by the network in one parallel batched pass. The position
-// normalization is refit to the output grid's bounds, which is what
-// lets a model trained on one resolution/domain reconstruct another.
-func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (*grid.Volume, error) {
+// Reconstruct implements recon.Reconstructor (legacy full-grid path): it
+// fills the spec'd grid from the sampled cloud via a private query plan.
+func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec recon.GridSpec) (*grid.Volume, error) {
+	return recon.ReconstructCloud(context.Background(), r, c, spec)
+}
+
+// ReconstructRegion implements recon.Reconstructor. Region queries
+// coinciding with samples keep their exact sampled value; every other
+// query (the void locations) is predicted by the network in batched
+// inference passes, with the context checked between batches. The
+// position normalization is refit to the plan's full grid bounds — not
+// the region's — which is what lets a model trained on one
+// resolution/domain reconstruct another, and makes a sub-box query
+// bit-identical to the same box cut from a full-grid reconstruction.
+func (r *FCNN) ReconstructRegion(ctx context.Context, p *recon.Plan, region recon.Region, dst []float64) error {
+	c := p.Cloud()
 	if c.Len() < r.opts.Features.K {
-		return nil, fmt.Errorf("core: cloud has %d points, need >= %d", c.Len(), r.opts.Features.K)
+		return fmt.Errorf("core: cloud has %d points, need >= %d", c.Len(), r.opts.Features.K)
 	}
+	spec := p.Spec()
 	reg := telemetry.Default()
 	sp := reg.StartSpan("reconstruct")
+	defer sp.End()
 	start := time.Now()
-	out := spec.NewVolume()
 	norm := &features.Normalizer{ValMin: r.norm.ValMin, ValScale: r.norm.ValScale}
-	posNorm := features.NewNormalizer(out.Bounds(), 0, 1)
+	posNorm := features.NewNormalizer(spec.Bounds(), 0, 1)
 	norm.PosMin = posNorm.PosMin
 	norm.PosScale = posNorm.PosScale
 
-	ex, err := features.NewExtractor(r.opts.Features, c, norm)
+	ex, err := features.NewExtractorWithTree(r.opts.Features, c, p.Tree(), norm)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
-	// Split grid nodes into exact sample hits and void locations.
-	n := out.Len()
-	eps2 := minSpacing2(spec) * 1e-12
-	voidIdx := make([]int, 0, n)
-	exact := make([]float64, n)
-	isExact := make([]bool, n)
+	// Split queries into exact sample hits and void locations.
+	n := region.Len()
+	eps2 := spec.MinSpacing2() * 1e-12
 	knnSp := sp.Child("knn-query")
-	nearest := nearestSampleTable(c, out, r.opts.Workers)
+	nearIdx, nearD2, err := p.NearestFor(ctx, region, r.opts.Workers)
 	knnSp.End()
-	for idx := 0; idx < n; idx++ {
-		if nearest.d2[idx] <= eps2 {
-			exact[idx] = c.Values[nearest.idx[idx]]
-			isExact[idx] = true
+	if err != nil {
+		return err
+	}
+	voidIdx := make([]int, 0, n)
+	for m := 0; m < n; m++ {
+		if nearD2[m] <= eps2 {
+			dst[m] = c.Values[nearIdx[m]]
 		} else {
-			voidIdx = append(voidIdx, idx)
+			voidIdx = append(voidIdx, m)
 		}
 	}
 
@@ -474,32 +485,34 @@ func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (*grid.Vol
 	if batch <= 0 {
 		batch = 1 << 18
 	}
+	queries := make([]mathutil.Vec3, 0, minIntCore(batch, len(voidIdx)))
 	for bstart := 0; bstart < len(voidIdx); bstart += batch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		end := bstart + batch
 		if end > len(voidIdx) {
 			end = len(voidIdx)
 		}
 		chunk := voidIdx[bstart:end]
 		featSp := sp.Child("featurize")
-		x := ex.GridMatrix(out, chunk)
+		queries = queries[:0]
+		for _, m := range chunk {
+			queries = append(queries, region.PointAt(spec, m))
+		}
+		x := ex.Matrix(queries)
 		featSp.End()
 		predSp := sp.Child("predict")
 		pred, err := r.net.Predict(x)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		parallel.For(len(chunk), r.opts.Workers, func(i int) {
-			out.Data[chunk[i]] = norm.Denorm(pred.At(i, 0))
+			dst[chunk[i]] = norm.Denorm(pred.At(i, 0))
 		})
 		predSp.End()
 		reg.Counter("core.reconstruct.batches").Inc()
 	}
-	for idx := 0; idx < n; idx++ {
-		if isExact[idx] {
-			out.Data[idx] = exact[idx]
-		}
-	}
-	sp.End()
 	elapsed := time.Since(start)
 	r.tm.setRecon(elapsed)
 	reg.Counter("core.reconstruct.runs").Inc()
@@ -508,34 +521,14 @@ func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (*grid.Vol
 	telemetry.Debugf("reconstruct done",
 		"points", n, "void", len(voidIdx), "samples", c.Len(),
 		"dur", elapsed.Round(time.Millisecond))
-	return out, nil
+	return nil
 }
 
-type nearestTable struct {
-	idx []int32
-	d2  []float64
-}
-
-func nearestSampleTable(c *pointcloud.Cloud, v *grid.Volume, workers int) *nearestTable {
-	t := &nearestTable{idx: make([]int32, v.Len()), d2: make([]float64, v.Len())}
-	tree := kdtree.Build(c.Points)
-	parallel.For(v.Len(), workers, func(i int) {
-		ni, d2 := tree.Nearest(v.PointAt(i))
-		t.idx[i] = int32(ni)
-		t.d2[i] = d2
-	})
-	return t
-}
-
-func minSpacing2(spec interp.GridSpec) float64 {
-	m := spec.Spacing.X
-	if spec.Spacing.Y < m {
-		m = spec.Spacing.Y
+func minIntCore(a, b int) int {
+	if a < b {
+		return a
 	}
-	if spec.Spacing.Z < m {
-		m = spec.Spacing.Z
-	}
-	return m * m
+	return b
 }
 
 // Losses returns the concatenated per-epoch training losses (full
@@ -554,13 +547,17 @@ func (r *FCNN) FieldName() string { return r.fieldName }
 // Clone deep-copies the reconstructor (model weights included) so a
 // pretrained model can be fine-tuned per timestep without mutating the
 // original — the Fig 11 experiment does exactly this.
-func (r *FCNN) Clone() *FCNN {
+func (r *FCNN) Clone() (*FCNN, error) {
 	cp := *r
-	cp.net = r.net.Clone()
+	net, err := r.net.Clone()
+	if err != nil {
+		return nil, err
+	}
+	cp.net = net
 	n := *r.norm
 	cp.norm = &n
 	cp.tm = &timings{}
-	return &cp
+	return &cp, nil
 }
 
 // bundle is the gob wire format for a saved FCNN reconstructor.

@@ -169,7 +169,10 @@ func TestFineTuneImprovesLaterTimestep(t *testing.T) {
 	}
 	beforeSNR := snrOf(t, later, before)
 
-	tuned := r.Clone()
+	tuned, err := r.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := tuned.FineTune(later, &sampling.Importance{Seed: 31}, FineTuneAll, 8); err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +190,10 @@ func TestFineTuneImprovesLaterTimestep(t *testing.T) {
 
 func TestFineTuneLastTwoOnlyChangesLastTwoLayers(t *testing.T) {
 	r, truth := pretrained(t)
-	tuned := r.Clone()
+	tuned, err := r.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := tuned.FineTune(truth, &sampling.Importance{Seed: 3}, FineTuneLastTwo, 5); err != nil {
 		t.Fatal(err)
 	}

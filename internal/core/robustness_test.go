@@ -93,7 +93,10 @@ func TestFineTuneUnknownMode(t *testing.T) {
 		t.Skip("trains a model")
 	}
 	r, truth := pretrained(t)
-	tuned := r.Clone()
+	tuned, err := r.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := tuned.FineTune(truth, &sampling.Importance{Seed: 1}, FineTuneMode(99), 1); err == nil {
 		t.Fatal("accepted unknown fine-tune mode")
 	}

@@ -13,6 +13,7 @@
 package ensemble
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"fillvoid/internal/grid"
 	"fillvoid/internal/interp"
 	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
 	"fillvoid/internal/sampling"
 )
 
@@ -81,22 +83,30 @@ func (e *Ensemble) FineTune(truth *grid.Volume, baseSampler int64, mode core.Fin
 }
 
 // Reconstruct returns the ensemble-mean reconstruction and the
-// per-point predictive standard deviation on the same grid. Members run
-// concurrently (each member's internal parallelism is bounded by its
-// own Workers setting, so on a single-core box this degrades
-// gracefully).
+// per-point predictive standard deviation on the same grid. All members
+// share one query plan — the k-d tree and nearest-sample table are built
+// once, not per member — and run concurrently against it (each member's
+// internal parallelism is bounded by its own Workers setting, so on a
+// single-core box this degrades gracefully).
 func (e *Ensemble) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (mean, stddev *grid.Volume, err error) {
 	if len(e.members) == 0 {
 		return nil, nil, errors.New("ensemble: empty")
 	}
-	recons := make([]*grid.Volume, len(e.members))
+	plan, err := recon.NewPlan(c, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	region := recon.Full(spec)
+	recons := make([][]float64, len(e.members))
 	errs := make([]error, len(e.members))
 	var wg sync.WaitGroup
 	wg.Add(len(e.members))
 	for m, member := range e.members {
 		go func(m int, member *core.FCNN) {
 			defer wg.Done()
-			recons[m], errs[m] = member.Reconstruct(c, spec)
+			dst := make([]float64, region.Len())
+			errs[m] = member.ReconstructRegion(context.Background(), plan, region, dst)
+			recons[m] = dst
 		}(m, member)
 	}
 	wg.Wait()
@@ -112,12 +122,12 @@ func (e *Ensemble) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (mean,
 	for i := range mean.Data {
 		mu := 0.0
 		for _, r := range recons {
-			mu += r.Data[i]
+			mu += r[i]
 		}
 		mu *= invM
 		varsum := 0.0
 		for _, r := range recons {
-			d := r.Data[i] - mu
+			d := r[i] - mu
 			varsum += d * d
 		}
 		mean.Data[i] = mu

@@ -149,7 +149,10 @@ func ExtCase2(cfg *Config) (*Result, error) {
 		{core.FineTuneLastTwo, cfg.Scale.Case2Epochs},
 	}
 	for _, r := range runs {
-		tuned := model.Clone()
+		tuned, err := model.Clone()
+		if err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		if err := tuned.FineTune(target, cfg.sampler(0), r.mode, r.epochs); err != nil {
 			return nil, err

@@ -60,7 +60,10 @@ func ExtSim(cfg *Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		tuned := model.Clone()
+		tuned, err := model.Clone()
+		if err != nil {
+			return nil, err
+		}
 		if err := tuned.FineTune(truth, cfg.sampler(0), core.FineTuneAll, cfg.Scale.FineTuneEpochs); err != nil {
 			return nil, err
 		}

@@ -69,7 +69,10 @@ func Fig11(cfg *Config) (*Result, error) {
 			row = append(row, fmtF(snr(truth, recon)))
 		}
 		for _, m := range []*core.FCNN{pfEarly, pfMid} {
-			tuned := m.Clone()
+			tuned, err := m.Clone()
+			if err != nil {
+				return nil, err
+			}
 			if err := tuned.FineTune(truth, cfg.sampler(0), core.FineTuneAll, cfg.Scale.FineTuneEpochs); err != nil {
 				return nil, err
 			}
@@ -103,7 +106,10 @@ func Fig12(cfg *Config) (*Result, error) {
 	fullLosses := model.Losses()
 
 	later := cfg.truthAt(gen, trainTimestep(gen)+gen.NumTimesteps()/4)
-	tuned := model.Clone()
+	tuned, err := model.Clone()
+	if err != nil {
+		return nil, err
+	}
 	markBefore := len(tuned.Losses())
 	if err := tuned.FineTune(later, cfg.sampler(0), core.FineTuneAll, cfg.Scale.FineTuneEpochs); err != nil {
 		return nil, err

@@ -49,7 +49,10 @@ func Fig13(cfg *Config) (*Result, error) {
 		return nil, err
 	}
 	cfg.logf("[fig13] fine-tuning low-res model to the high-res domain...")
-	tuned := lowModel.Clone()
+	tuned, err := lowModel.Clone()
+	if err != nil {
+		return nil, err
+	}
 	if err := tuned.FineTune(hiRes, cfg.sampler(0), core.FineTuneAll, cfg.Scale.FineTuneEpochs); err != nil {
 		return nil, err
 	}

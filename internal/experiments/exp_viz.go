@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -8,6 +9,7 @@ import (
 	"fillvoid/internal/grid"
 	"fillvoid/internal/interp"
 	"fillvoid/internal/iso"
+	"fillvoid/internal/recon"
 	"fillvoid/internal/render"
 )
 
@@ -56,8 +58,8 @@ func ExtViz(cfg *Config) (*Result, error) {
 		Columns: []string{"method", "field_snr_dB", "isosurface_chamfer", "render_rmse"},
 	}
 
-	evalOne := func(name string, recon *grid.Volume) error {
-		mesh, err := iso.Extract(recon, isovalue)
+	evalOne := func(name string, vol *grid.Volume) error {
+		mesh, err := iso.Extract(vol, isovalue)
 		if err != nil {
 			return err
 		}
@@ -68,7 +70,7 @@ func ExtViz(cfg *Config) (*Result, error) {
 				return err
 			}
 		}
-		img, err := render.Render(recon, ropts)
+		img, err := render.Render(vol, ropts)
 		if err != nil {
 			return err
 		}
@@ -82,25 +84,26 @@ func ExtViz(cfg *Config) (*Result, error) {
 			}
 		}
 		res.Rows = append(res.Rows, []string{
-			name, fmtF(snr(truth, recon)), fmt.Sprintf("%.4f", chamfer), fmtF(rmse),
+			name, fmtF(snr(truth, vol)), fmt.Sprintf("%.4f", chamfer), fmtF(rmse),
 		})
 		cfg.logf("[ext-viz] %s done", name)
 		return nil
 	}
 
-	fcnnRecon, err := model.Reconstruct(cloud, spec)
+	methods, err := cfg.methods(model, "fcnn", "linear", "natural", "shepard", "nearest")
 	if err != nil {
 		return nil, err
 	}
-	if err := evalOne("fcnn", fcnnRecon); err != nil {
+	plan, err := recon.NewPlan(cloud, spec)
+	if err != nil {
 		return nil, err
 	}
-	for _, m := range reconstructorSet(cfg.Workers) {
-		recon, err := m.Reconstruct(cloud, spec)
+	for _, m := range methods {
+		vol, err := recon.Reconstruct(context.Background(), m, plan, recon.Full(spec))
 		if err != nil {
 			return nil, err
 		}
-		if err := evalOne(m.Name(), recon); err != nil {
+		if err := evalOne(m.Name(), vol); err != nil {
 			return nil, err
 		}
 	}

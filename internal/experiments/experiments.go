@@ -333,13 +333,21 @@ func fmtPct(f float64) string {
 	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", f*100), "0"), ".") + "%"
 }
 
-// reconstructorSet returns the paper's Fig 9/10 method lineup. The
-// sequential-linear variant is timing-only (Fig 10).
-func reconstructorSet(workers int) []interp.Reconstructor {
-	return []interp.Reconstructor{
-		&interp.Linear{Workers: workers},
-		&interp.NaturalNeighbor{Workers: workers},
-		&interp.Shepard{Workers: workers},
-		&interp.Nearest{Workers: workers},
+// methods resolves a named method lineup through one registry holding
+// the rule-based baselines plus the trained model (as "fcnn"), so the
+// neural method is not special-cased anywhere in the harness.
+func (cfg *Config) methods(model *core.FCNN, names ...string) ([]interp.Reconstructor, error) {
+	reg := interp.StandardRegistry(cfg.Workers)
+	if model != nil {
+		reg.RegisterMethod(model)
 	}
+	out := make([]interp.Reconstructor, 0, len(names))
+	for _, name := range names {
+		m, err := reg.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
 }

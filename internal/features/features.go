@@ -175,6 +175,26 @@ func NewExtractor(cfg Config, c *pointcloud.Cloud, norm *Normalizer) (*Extractor
 	return &Extractor{cfg: cfg, cloud: c, tree: tree, norm: norm}, nil
 }
 
+// NewExtractorWithTree is NewExtractor over a pre-built k-d tree on the
+// same cloud's points — used by the recon engine so every method sharing
+// a query plan shares one spatial index instead of each extractor
+// rebuilding its own.
+func NewExtractorWithTree(cfg Config, c *pointcloud.Cloud, tree *kdtree.Tree, norm *Normalizer) (*Extractor, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("features: K must be >= 1, got %d", cfg.K)
+	}
+	if c.Len() < cfg.K {
+		return nil, fmt.Errorf("features: cloud has %d points, need >= K = %d", c.Len(), cfg.K)
+	}
+	if norm == nil {
+		return nil, errors.New("features: nil normalizer")
+	}
+	if tree == nil {
+		return nil, errors.New("features: nil tree")
+	}
+	return &Extractor{cfg: cfg, cloud: c, tree: tree, norm: norm}, nil
+}
+
 // Config returns the extractor's configuration.
 func (e *Extractor) Config() Config { return e.cfg }
 

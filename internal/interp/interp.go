@@ -2,67 +2,37 @@
 // baselines the paper compares against (Section III-B): nearest
 // neighbor, modified Shepard inverse-distance weighting, discrete-Sibson
 // natural neighbor, local radial basis functions, and an adapter over
-// the Delaunay piecewise-linear interpolator. All methods share the
-// Reconstructor interface: unstructured samples in, full regular grid
-// out.
+// the Delaunay piecewise-linear interpolator. All methods implement
+// recon.Reconstructor and execute through the shared recon engine: a
+// query Plan (validated cloud + k-d tree + nearest-sample table) built
+// once per (cloud, grid) pair, cancellable chunked execution, and
+// region-of-interest queries.
 package interp
 
 import (
-	"errors"
-	"fmt"
+	"context"
 
 	"fillvoid/internal/grid"
-	"fillvoid/internal/kdtree"
-	"fillvoid/internal/mathutil"
-	"fillvoid/internal/parallel"
 	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
 )
 
-// GridSpec describes the output grid a reconstructor must fill.
-type GridSpec struct {
-	NX, NY, NZ      int
-	Origin, Spacing mathutil.Vec3
-}
+// GridSpec describes the output grid a reconstructor must fill. It is
+// the engine's recon.GridSpec; the alias keeps this package's historical
+// surface.
+type GridSpec = recon.GridSpec
 
 // SpecOf extracts the spec of an existing volume (the usual case:
 // reconstruct back onto the original simulation grid).
-func SpecOf(v *grid.Volume) GridSpec {
-	return GridSpec{NX: v.NX, NY: v.NY, NZ: v.NZ, Origin: v.Origin, Spacing: v.Spacing}
-}
+func SpecOf(v *grid.Volume) GridSpec { return recon.SpecOf(v) }
 
-// NewVolume allocates a zeroed volume with this spec's geometry.
-func (s GridSpec) NewVolume() *grid.Volume {
-	return grid.NewWithGeometry(s.NX, s.NY, s.NZ, s.Origin, s.Spacing)
-}
-
-// Len returns the number of grid points in the spec.
-func (s GridSpec) Len() int { return s.NX * s.NY * s.NZ }
-
-// Reconstructor rebuilds a full regular-grid field from a sampled point
-// cloud.
-type Reconstructor interface {
-	// Name identifies the method in experiment output ("nearest",
-	// "shepard", "natural", "linear", "rbf", "fcnn").
-	Name() string
-	// Reconstruct fills the spec'd grid from the cloud.
-	Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error)
-}
+// Reconstructor is the engine's method interface (see
+// recon.Reconstructor): legacy full-grid Reconstruct plus the
+// plan-sharing, cancellable ReconstructRegion.
+type Reconstructor = recon.Reconstructor
 
 // ErrEmptyCloud is returned when a reconstructor receives no samples.
-var ErrEmptyCloud = errors.New("interp: point cloud is empty")
-
-func validate(c *pointcloud.Cloud, spec GridSpec) error {
-	if err := c.Validate(); err != nil {
-		return err
-	}
-	if c.Len() == 0 {
-		return ErrEmptyCloud
-	}
-	if spec.NX < 1 || spec.NY < 1 || spec.NZ < 1 {
-		return fmt.Errorf("interp: invalid grid spec %dx%dx%d", spec.NX, spec.NY, spec.NZ)
-	}
-	return nil
-}
+var ErrEmptyCloud = recon.ErrEmptyCloud
 
 // Nearest assigns each grid point the value of its closest sample —
 // fast, but blocky at sparse sampling (the paper's weakest baseline).
@@ -74,49 +44,40 @@ type Nearest struct {
 // Name implements Reconstructor.
 func (r *Nearest) Name() string { return "nearest" }
 
-// Reconstruct implements Reconstructor.
+// Reconstruct implements Reconstructor (legacy full-grid path).
 func (r *Nearest) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error) {
-	if err := validate(c, spec); err != nil {
-		return nil, err
-	}
-	tree := kdtree.Build(c.Points)
-	out := spec.NewVolume()
-	parallel.For(out.Len(), r.Workers, func(idx int) {
-		i, err := nearestIndex(tree, out.PointAt(idx))
-		if err == nil {
-			out.Data[idx] = c.Values[i]
-		}
-	})
-	return out, nil
+	return recon.ReconstructCloud(context.Background(), r, c, spec)
 }
 
-func nearestIndex(tree *kdtree.Tree, q mathutil.Vec3) (int, error) {
-	i, _ := tree.Nearest(q)
-	if i < 0 {
-		return 0, ErrEmptyCloud
+// ReconstructRegion implements Reconstructor: the nearest-sample table
+// is exactly the plan's, so this is a lookup.
+func (r *Nearest) ReconstructRegion(ctx context.Context, p *recon.Plan, region recon.Region, dst []float64) error {
+	idx, _, err := p.NearestFor(ctx, region, r.Workers)
+	if err != nil {
+		return err
 	}
-	return i, nil
+	vals := p.Cloud().Values
+	for m := range dst {
+		dst[m] = vals[idx[m]]
+	}
+	return nil
 }
 
-// ByName constructs a reconstructor with its paper-default parameters.
-// Known names: nearest, shepard, natural, rbf, linear, linear-seq.
-func ByName(name string) (Reconstructor, error) {
-	switch name {
-	case "nearest":
-		return &Nearest{}, nil
-	case "shepard":
-		return &Shepard{}, nil
-	case "natural":
-		return &NaturalNeighbor{}, nil
-	case "rbf":
-		return &RBF{}, nil
-	case "linear":
-		return &Linear{}, nil
-	case "linear-seq":
+// StandardRegistry returns a registry with every rule-based baseline
+// registered under its paper name: nearest, shepard, natural, rbf,
+// linear, and linear-seq (the sequential Fig 10 timing variant). Neural
+// methods (fcnn) are registered by callers holding a trained model.
+func StandardRegistry(workers int) *recon.Registry {
+	reg := recon.NewRegistry()
+	reg.RegisterMethod(&Nearest{Workers: workers})
+	reg.RegisterMethod(&Shepard{Workers: workers})
+	reg.RegisterMethod(&NaturalNeighbor{Workers: workers})
+	reg.RegisterMethod(&RBF{Workers: workers})
+	reg.RegisterMethod(&Linear{Workers: workers})
+	reg.Register("linear-seq", func() (recon.Reconstructor, error) {
 		return &Linear{Workers: 1}, nil
-	default:
-		return nil, fmt.Errorf("interp: unknown reconstructor %q", name)
-	}
+	})
+	return reg
 }
 
 // BaselineNames lists the rule-based methods in the order the paper's

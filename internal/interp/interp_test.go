@@ -2,6 +2,7 @@ package interp
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"fillvoid/internal/datasets"
@@ -218,18 +219,26 @@ func TestShepardWeightsLocal(t *testing.T) {
 	}
 }
 
-func TestByName(t *testing.T) {
+func TestStandardRegistry(t *testing.T) {
+	reg := StandardRegistry(0)
 	for _, name := range []string{"nearest", "shepard", "natural", "rbf", "linear", "linear-seq"} {
-		m, err := ByName(name)
+		m, err := reg.Get(name)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if m.Name() != name {
-			t.Fatalf("ByName(%q).Name() = %q", name, m.Name())
+			t.Fatalf("Get(%q).Name() = %q", name, m.Name())
 		}
 	}
-	if _, err := ByName("bogus"); err == nil {
+	_, err := reg.Get("bogus")
+	if err == nil {
 		t.Fatal("expected error")
+	}
+	// Typos should be self-diagnosing: the error lists what is registered.
+	for _, want := range []string{"bogus", "linear", "natural", "nearest", "rbf", "shepard"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
 	}
 }
 

@@ -1,21 +1,24 @@
 package interp
 
 import (
+	"context"
+
 	"fillvoid/internal/delaunay"
 	"fillvoid/internal/grid"
-	"fillvoid/internal/kdtree"
 	"fillvoid/internal/parallel"
 	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
 )
 
 // Linear is Delaunay-triangulation piecewise-linear interpolation — the
 // strongest rule-based baseline in the paper. The triangulation is
-// built once per cloud; grid queries then walk the mesh and evaluate
-// barycentric weights. Workers = 1 reproduces the paper's "naive
-// sequential" timing line; Workers <= 0 uses every core and reproduces
-// the "CGAL + OpenMP" line in Fig 10 (reconstruction time only — the
-// build is sequential in both configurations, as in the paper, where
-// triangulation construction is also serial per timestep).
+// built once per plan (memoized, so region queries and repeated runs
+// against the same cloud share it); grid queries then walk the mesh and
+// evaluate barycentric weights. Workers = 1 reproduces the paper's
+// "naive sequential" timing line; Workers <= 0 uses every core and
+// reproduces the "CGAL + OpenMP" line in Fig 10 (reconstruction time
+// only — the build is sequential in both configurations, as in the
+// paper, where triangulation construction is also serial per timestep).
 //
 // Queries outside the convex hull of the samples fall back to the
 // nearest sample value.
@@ -33,40 +36,44 @@ func (r *Linear) Name() string {
 	return "linear"
 }
 
-// Reconstruct implements Reconstructor.
+// Reconstruct implements Reconstructor (legacy full-grid path).
 func (r *Linear) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error) {
-	if err := validate(c, spec); err != nil {
-		return nil, err
-	}
+	return recon.ReconstructCloud(context.Background(), r, c, spec)
+}
+
+// ReconstructRegion implements Reconstructor. The tetrahedralization is
+// the per-method state worth sharing across queries, so it lives in the
+// plan's memo under "delaunay".
+func (r *Linear) ReconstructRegion(ctx context.Context, p *recon.Plan, region recon.Region, dst []float64) error {
+	c := p.Cloud()
 	if c.Len() < 4 {
 		// Too few points to triangulate: degrade to nearest neighbor.
 		nn := &Nearest{Workers: r.Workers}
-		return nn.Reconstruct(c, spec)
+		return nn.ReconstructRegion(ctx, p, region, dst)
 	}
-	tri, err := delaunay.Build(c.Points, c.Values)
+	v, err := p.Memo("delaunay", func() (any, error) {
+		return delaunay.Build(c.Points, c.Values)
+	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	tree := kdtree.Build(c.Points)
-	out := spec.NewVolume()
-	workers := r.Workers
-	if workers <= 0 {
-		workers = parallel.DefaultWorkers()
-	}
-	// Chunked so each worker's Locator benefits from the spatial
-	// coherence of consecutive grid indices (short mesh walks).
-	parallel.ForChunked(out.Len(), workers, func(start, end int) {
+	tri := v.(*delaunay.Triangulation)
+	tree := p.Tree()
+	spec := p.Spec()
+	// Chunked so each tile's Locator benefits from the spatial coherence
+	// of consecutive grid indices (short mesh walks).
+	return parallel.ForChunkedCtx(ctx, region.Len(), r.Workers, func(start, end int) error {
 		loc := tri.NewLocator()
-		for idx := start; idx < end; idx++ {
-			q := out.PointAt(idx)
-			if v, ok := loc.Interpolate(q); ok {
-				out.Data[idx] = v
+		for m := start; m < end; m++ {
+			q := region.PointAt(spec, m)
+			if val, ok := loc.Interpolate(q); ok {
+				dst[m] = val
 				continue
 			}
 			if i, _ := tree.Nearest(q); i >= 0 {
-				out.Data[idx] = c.Values[i]
+				dst[m] = c.Values[i]
 			}
 		}
+		return nil
 	})
-	return out, nil
 }

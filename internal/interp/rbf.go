@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,6 +10,7 @@ import (
 	"fillvoid/internal/mathutil"
 	"fillvoid/internal/parallel"
 	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
 )
 
 // RBF is local radial-basis-function interpolation over the K nearest
@@ -29,7 +31,7 @@ type RBF struct {
 	// neighbor spacing (imq only); defaults to 1.
 	Shape float64
 	// Ridge is the diagonal regularization added to the kernel matrix;
-	// defaults to 1e-10.
+	// defaults to 1e-8.
 	Ridge float64
 	// Workers bounds the query parallelism (<= 0 means all cores).
 	Workers int
@@ -38,11 +40,15 @@ type RBF struct {
 // Name implements Reconstructor.
 func (r *RBF) Name() string { return "rbf" }
 
-// Reconstruct implements Reconstructor.
+// Reconstruct implements Reconstructor (legacy full-grid path).
 func (r *RBF) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error) {
-	if err := validate(c, spec); err != nil {
-		return nil, err
-	}
+	return recon.ReconstructCloud(context.Background(), r, c, spec)
+}
+
+// ReconstructRegion implements Reconstructor: per-query local solves
+// against the plan's shared tree.
+func (r *RBF) ReconstructRegion(ctx context.Context, p *recon.Plan, region recon.Region, dst []float64) error {
+	c := p.Cloud()
 	k := r.K
 	if k < 1 {
 		k = 16
@@ -63,25 +69,21 @@ func (r *RBF) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, err
 		kernel = "imq"
 	}
 	if kernel != "imq" && kernel != "tps" {
-		return nil, fmt.Errorf("interp: unknown RBF kernel %q (want imq or tps)", kernel)
+		return fmt.Errorf("interp: unknown RBF kernel %q (want imq or tps)", kernel)
 	}
-	tree := kdtree.Build(c.Points)
-	out := spec.NewVolume()
-	workers := r.Workers
-	if workers <= 0 {
-		workers = parallel.DefaultWorkers()
-	}
-	parallel.ForChunked(out.Len(), workers, func(start, end int) {
+	tree := p.Tree()
+	spec := p.Spec()
+	return parallel.ForChunkedCtx(ctx, region.Len(), r.Workers, func(start, end int) error {
 		nbBuf := make([]kdtree.Neighbor, 0, k)
 		mat := make([]float64, (k+1)*(k+1))
 		rhs := make([]float64, k+1)
-		for idx := start; idx < end; idx++ {
-			q := out.PointAt(idx)
+		for m := start; m < end; m++ {
+			q := region.PointAt(spec, m)
 			nbs := tree.KNearestInto(q, k, nbBuf)
-			out.Data[idx] = rbfValue(c, nbs, q, kernel, shape, ridge, mat, rhs)
+			dst[m] = rbfValue(c, nbs, q, kernel, shape, ridge, mat, rhs)
 		}
+		return nil
 	})
-	return out, nil
 }
 
 func rbfValue(c *pointcloud.Cloud, nbs []kdtree.Neighbor, q mathutil.Vec3, kernel string, shape, ridge float64, mat, rhs []float64) float64 {

@@ -1,12 +1,14 @@
 package interp
 
 import (
+	"context"
 	"math"
 
 	"fillvoid/internal/grid"
 	"fillvoid/internal/kdtree"
 	"fillvoid/internal/parallel"
 	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
 )
 
 // Shepard is modified Shepard (Franke–Little) interpolation: inverse
@@ -28,11 +30,16 @@ type Shepard struct {
 // Name implements Reconstructor.
 func (r *Shepard) Name() string { return "shepard" }
 
-// Reconstruct implements Reconstructor.
+// Reconstruct implements Reconstructor (legacy full-grid path).
 func (r *Shepard) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error) {
-	if err := validate(c, spec); err != nil {
-		return nil, err
-	}
+	return recon.ReconstructCloud(context.Background(), r, c, spec)
+}
+
+// ReconstructRegion implements Reconstructor: per-query k-NN against the
+// plan's shared tree. Each query is independent, so tiling cannot change
+// the result.
+func (r *Shepard) ReconstructRegion(ctx context.Context, p *recon.Plan, region recon.Region, dst []float64) error {
+	c := p.Cloud()
 	k := r.K
 	if k < 1 {
 		k = 12
@@ -40,21 +47,16 @@ func (r *Shepard) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume,
 	if k > c.Len() {
 		k = c.Len()
 	}
-	tree := kdtree.Build(c.Points)
-	out := spec.NewVolume()
-	workers := r.Workers
-	if workers <= 0 {
-		workers = parallel.DefaultWorkers()
-	}
-	parallel.ForChunked(out.Len(), workers, func(start, end int) {
+	tree := p.Tree()
+	spec := p.Spec()
+	return parallel.ForChunkedCtx(ctx, region.Len(), r.Workers, func(start, end int) error {
 		buf := make([]kdtree.Neighbor, 0, k)
-		for idx := start; idx < end; idx++ {
-			q := out.PointAt(idx)
-			nbs := tree.KNearestInto(q, k, buf)
-			out.Data[idx] = shepardValue(c, nbs)
+		for m := start; m < end; m++ {
+			nbs := tree.KNearestInto(region.PointAt(spec, m), k, buf)
+			dst[m] = shepardValue(c, nbs)
 		}
+		return nil
 	})
-	return out, nil
 }
 
 // shepardValue evaluates the Franke–Little weighted average over the

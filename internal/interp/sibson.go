@@ -1,12 +1,14 @@
 package interp
 
 import (
+	"context"
 	"math"
 
 	"fillvoid/internal/grid"
-	"fillvoid/internal/kdtree"
+	"fillvoid/internal/mathutil"
 	"fillvoid/internal/parallel"
 	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
 )
 
 // NaturalNeighbor is discrete Sibson interpolation (Park et al., IEEE
@@ -20,10 +22,17 @@ import (
 //
 // so every voxel x scatters the value of its nearest sample to all grid
 // nodes within radius |x - n(x)| of x. Accumulated sums divided by
-// counts give the Sibson estimate. The scatter is parallelized by
-// output z-slab: each worker revisits the source voxels that can reach
-// its slab and writes only rows it owns, so no synchronization is
-// needed on the accumulators.
+// counts give the Sibson estimate.
+//
+// Box regions keep the scatter form, restricted to the region's output
+// nodes but still scanning every full-grid source voxel (the stolen
+// volumes are defined on the full grid); the per-voxel nearest table
+// comes from the shared plan. Arbitrary point queries use the equivalent
+// gather form: accumulate every voxel x with |x - q| < |x - n(x)|.
+// The scatter is parallelized by output z-plane tile: each worker writes
+// only rows it owns, so no synchronization is needed on the
+// accumulators, and each output node receives its contributions in
+// source-scan order regardless of tiling.
 type NaturalNeighbor struct {
 	// Workers bounds the scatter parallelism (<= 0 means all cores).
 	Workers int
@@ -32,58 +41,72 @@ type NaturalNeighbor struct {
 // Name implements Reconstructor.
 func (r *NaturalNeighbor) Name() string { return "natural" }
 
-// Reconstruct implements Reconstructor.
+// Reconstruct implements Reconstructor (legacy full-grid path).
 func (r *NaturalNeighbor) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error) {
-	if err := validate(c, spec); err != nil {
-		return nil, err
-	}
-	tree := kdtree.Build(c.Points)
-	out := spec.NewVolume()
-	n := out.Len()
+	return recon.ReconstructCloud(context.Background(), r, c, spec)
+}
 
-	// Pass 1: nearest sample and squared distance for every voxel
-	// (parallel). Squared distances are kept exact — taking a square
-	// root and re-squaring would flip strict comparisons at the exact
-	// ties regular grids produce constantly.
-	nearestIdx := make([]int32, n)
-	nearestD2 := make([]float64, n)
-	parallel.For(n, r.Workers, func(idx int) {
-		i, d2 := tree.Nearest(out.PointAt(idx))
-		nearestIdx[idx] = int32(i)
-		nearestD2[idx] = d2
+// planeMaxD returns, per source z-plane, the maximum scatter radius of
+// its voxels — the source-plane culling bound. Memoized on the plan so
+// repeated region queries share it.
+func (r *NaturalNeighbor) planeMaxD(p *recon.Plan, nearestD2 []float64) []float64 {
+	v, _ := p.Memo("natural/plane-max-d", func() (any, error) {
+		spec := p.Spec()
+		nxy := spec.NX * spec.NY
+		out := make([]float64, spec.NZ)
+		parallel.For(spec.NZ, r.Workers, func(sk int) {
+			base := sk * nxy
+			maxD2 := 0.0
+			for o := 0; o < nxy; o++ {
+				if nearestD2[base+o] > maxD2 {
+					maxD2 = nearestD2[base+o]
+				}
+			}
+			out[sk] = math.Sqrt(maxD2)
+		})
+		return out, nil
 	})
+	return v.([]float64)
+}
 
-	// Pass 2: scatter, decomposed by output z-slab.
-	sums := make([]float64, n)
-	counts := make([]int32, n)
+// ReconstructRegion implements Reconstructor.
+func (r *NaturalNeighbor) ReconstructRegion(ctx context.Context, p *recon.Plan, region recon.Region, dst []float64) error {
+	c := p.Cloud()
+	spec := p.Spec()
+	// Squared distances are kept exact throughout — taking a square root
+	// and re-squaring would flip strict comparisons at the exact ties
+	// regular grids produce constantly.
+	nearestIdx, nearestD2 := p.NearestTable(r.Workers)
+	planeMaxD := r.planeMaxD(p, nearestD2)
+	if region.IsPoints() {
+		return r.gatherPoints(ctx, p, region.Points, dst, nearestIdx, nearestD2, planeMaxD)
+	}
+
+	// Scatter, decomposed by output z-plane tile. Accumulators are
+	// region-local; sources are the full grid.
+	w := region.I1 - region.I0
+	h := region.J1 - region.J0
+	nzr := region.K1 - region.K0
+	sums := make([]float64, region.Len())
+	counts := make([]int32, region.Len())
 	workers := r.Workers
 	if workers <= 0 {
 		workers = parallel.DefaultWorkers()
 	}
-	if workers > spec.NZ {
-		workers = spec.NZ
+	if workers > nzr {
+		workers = nzr
 	}
 	nxy := spec.NX * spec.NY
-	// Per-plane maximum scatter radius, for source-plane culling.
-	planeMaxD := make([]float64, spec.NZ)
-	parallel.For(spec.NZ, r.Workers, func(sk int) {
-		base := sk * nxy
-		maxD2 := 0.0
-		for o := 0; o < nxy; o++ {
-			if nearestD2[base+o] > maxD2 {
-				maxD2 = nearestD2[base+o]
-			}
-		}
-		planeMaxD[sk] = math.Sqrt(maxD2)
-	})
-	parallel.ForChunked(spec.NZ, workers, func(zLo, zHi int) {
+	err := parallel.ForChunkedCtx(ctx, nzr, workers, func(zLo, zHi int) error {
+		// Absolute output planes this tile owns.
+		kLo, kHi := region.K0+zLo, region.K0+zHi
 		// Source voxels at plane sk can reach output planes within
 		// ceil(d / spacing.Z); scan the superset of source planes whose
-		// scatter balls intersect [zLo, zHi).
+		// scatter balls intersect [kLo, kHi).
 		for sk := 0; sk < spec.NZ; sk++ {
 			base := sk * nxy
 			reach := int(planeMaxD[sk]/spec.Spacing.Z) + 1
-			if sk+reach < zLo || sk-reach >= zHi {
+			if sk+reach < kLo || sk-reach >= kHi {
 				continue
 			}
 			for sj := 0; sj < spec.NY; sj++ {
@@ -94,61 +117,119 @@ func (r *NaturalNeighbor) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid
 						continue // sampled node: no stolen volume
 					}
 					val := c.Values[nearestIdx[src]]
-					scatterBall(out, spec, si, sj, sk, d2, val, zLo, zHi, sums, counts)
+					scatterBall(spec, region, si, sj, sk, d2, val, kLo, kHi, w, h, sums, counts)
 				}
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return err
+	}
 
-	// Pass 3: finalize. Nodes that coincide with a sample (d = 0) keep
-	// the exact sampled value — natural neighbor interpolation is exact
-	// at the samples; nodes nothing scattered to fall back to nearest.
-	parallel.For(n, r.Workers, func(idx int) {
+	// Finalize. Nodes that coincide with a sample (d = 0) keep the exact
+	// sampled value — natural neighbor interpolation is exact at the
+	// samples; nodes nothing scattered to fall back to nearest.
+	return parallel.ForCtx(ctx, region.Len(), r.Workers, func(m int) error {
+		g := region.GridIndex(spec, m)
 		switch {
-		case nearestD2[idx] == 0:
-			out.Data[idx] = c.Values[nearestIdx[idx]]
-		case counts[idx] > 0:
-			out.Data[idx] = sums[idx] / float64(counts[idx])
+		case nearestD2[g] == 0:
+			dst[m] = c.Values[nearestIdx[g]]
+		case counts[m] > 0:
+			dst[m] = sums[m] / float64(counts[m])
 		default:
-			out.Data[idx] = c.Values[nearestIdx[idx]]
+			dst[m] = c.Values[nearestIdx[g]]
 		}
+		return nil
 	})
-	return out, nil
 }
 
-// scatterBall adds val to every grid node whose squared distance to the
-// source node (si, sj, sk) is strictly below d2, restricted to output
-// planes [zLo, zHi). The index bounds may be slightly generous (the
-// sqrt is only used for bounding); the inclusion test uses d2 exactly.
-func scatterBall(out *grid.Volume, spec GridSpec, si, sj, sk int, d2, val float64, zLo, zHi int, sums []float64, counts []int32) {
+// gatherPoints answers arbitrary query points in the gather form of the
+// same discrete-Sibson estimate: accumulate the nearest-sample value of
+// every grid voxel x the query would steal (|x - q| < |x - n(x)|).
+func (r *NaturalNeighbor) gatherPoints(ctx context.Context, p *recon.Plan, pts []mathutil.Vec3, dst []float64, nearestIdx []int32, nearestD2 []float64, planeMaxD []float64) error {
+	c := p.Cloud()
+	spec := p.Spec()
+	tree := p.Tree()
+	return parallel.ForCtx(ctx, len(pts), r.Workers, func(m int) error {
+		q := pts[m]
+		bi, bd2 := tree.Nearest(q)
+		if bd2 == 0 {
+			dst[m] = c.Values[bi]
+			return nil
+		}
+		sum := 0.0
+		count := 0
+		for sk := 0; sk < spec.NZ; sk++ {
+			dz := spec.Origin.Z + float64(sk)*spec.Spacing.Z - q.Z
+			if math.Abs(dz) >= planeMaxD[sk] {
+				continue
+			}
+			dz2 := dz * dz
+			base := sk * spec.NX * spec.NY
+			for sj := 0; sj < spec.NY; sj++ {
+				dy := spec.Origin.Y + float64(sj)*spec.Spacing.Y - q.Y
+				dyz2 := dz2 + dy*dy
+				row := base + sj*spec.NX
+				for si := 0; si < spec.NX; si++ {
+					src := row + si
+					d2 := nearestD2[src]
+					if d2 == 0 {
+						continue
+					}
+					dx := spec.Origin.X + float64(si)*spec.Spacing.X - q.X
+					if dyz2+dx*dx < d2 {
+						sum += c.Values[nearestIdx[src]]
+						count++
+					}
+				}
+			}
+		}
+		if count > 0 {
+			dst[m] = sum / float64(count)
+		} else {
+			dst[m] = c.Values[bi]
+		}
+		return nil
+	})
+}
+
+// scatterBall adds val to every region output node whose squared
+// distance to the source node (si, sj, sk) is strictly below d2,
+// restricted to absolute output planes [kLo, kHi) and the region's i/j
+// box. The index bounds may be slightly generous (the sqrt is only used
+// for bounding); the inclusion test uses d2 exactly. w and h are the
+// region's x/y extents for region-local indexing.
+func scatterBall(spec GridSpec, region recon.Region, si, sj, sk int, d2, val float64, kLo, kHi, w, h int, sums []float64, counts []int32) {
 	d := math.Sqrt(d2)
 	ri := int(d/spec.Spacing.X) + 1
 	rj := int(d/spec.Spacing.Y) + 1
 	rk := int(d/spec.Spacing.Z) + 1
-	kMin := maxInt(sk-rk, zLo)
-	kMax := minInt(sk+rk, zHi-1)
+	kMin := maxInt(sk-rk, kLo)
+	kMax := minInt(sk+rk, kHi-1)
 	for k := kMin; k <= kMax; k++ {
 		dz := float64(k-sk) * spec.Spacing.Z
 		dz2 := dz * dz
 		if dz2 >= d2 {
 			continue
 		}
-		jMin := maxInt(sj-rj, 0)
-		jMax := minInt(sj+rj, spec.NY-1)
+		jMin := maxInt(sj-rj, region.J0)
+		jMax := minInt(sj+rj, region.J1-1)
 		for j := jMin; j <= jMax; j++ {
 			dy := float64(j-sj) * spec.Spacing.Y
 			dyz2 := dz2 + dy*dy
 			if dyz2 >= d2 {
 				continue
 			}
-			iMin := maxInt(si-ri, 0)
-			iMax := minInt(si+ri, spec.NX-1)
-			row := out.Index(0, j, k)
+			iMin := maxInt(si-ri, region.I0)
+			iMax := minInt(si+ri, region.I1-1)
+			row := w * ((j - region.J0) + h*(k-region.K0))
 			for i := iMin; i <= iMax; i++ {
 				dx := float64(i-si) * spec.Spacing.X
 				if dyz2+dx*dx < d2 {
-					sums[row+i] += val
-					counts[row+i]++
+					m := row + (i - region.I0)
+					sums[m] += val
+					counts[m]++
 				}
 			}
 		}

@@ -265,6 +265,19 @@ func (t *Tree) KNearestBatch(queries []mathutil.Vec3, k int) [][]Neighbor {
 	return out
 }
 
+// NearestBulk runs Nearest for n queries in parallel, writing the
+// nearest sample index and squared distance into idx and d2 (both of
+// length n). point maps a query ordinal to its position, so callers can
+// enumerate grid nodes without materializing them. It is the bulk entry
+// point the recon engine uses to build nearest-sample tables.
+func (t *Tree) NearestBulk(n, workers int, point func(i int) mathutil.Vec3, idx []int32, d2 []float64) {
+	parallel.For(n, workers, func(i int) {
+		bi, bd2 := t.Nearest(point(i))
+		idx[i] = int32(bi)
+		d2[i] = bd2
+	})
+}
+
 func inf() float64 { return math.Inf(1) }
 
 // heapNeighbors is a fixed-capacity max-heap by Dist2: the root is the

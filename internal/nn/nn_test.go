@@ -240,7 +240,10 @@ func TestLoadGarbage(t *testing.T) {
 
 func TestCloneIndependent(t *testing.T) {
 	net, _ := New(testConfig())
-	cp := net.Clone()
+	cp, err := net.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
 	x, y := makeRegression(100, 17, func(a, b float64) float64 { return a })
 	if _, err := cp.TrainEpochs(x, y, 2); err != nil {
 		t.Fatal(err)

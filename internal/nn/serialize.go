@@ -94,11 +94,10 @@ func LoadFile(path string) (*Network, error) {
 // loss history, with fresh optimizer state. Fine-tuning experiments
 // clone the pretrained model per target timestep so the original stays
 // untouched.
-func (n *Network) Clone() *Network {
+func (n *Network) Clone() (*Network, error) {
 	out, err := New(n.cfg)
 	if err != nil {
-		// n was constructed with this config; it cannot fail.
-		panic(err)
+		return nil, fmt.Errorf("nn: cloning network: %w", err)
 	}
 	for i, l := range n.layers {
 		copy(out.layers[i].w, l.w)
@@ -106,5 +105,5 @@ func (n *Network) Clone() *Network {
 		out.layers[i].frozen = l.frozen
 	}
 	out.Losses = append([]float64(nil), n.Losses...)
-	return out
+	return out, nil
 }

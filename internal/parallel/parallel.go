@@ -10,6 +10,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -180,6 +181,96 @@ func ForChunked(n, workers int, fn func(start, end int)) {
 	}
 	wg.Wait()
 	rec.done(n)
+}
+
+// ForCtx is the cancellable variant of For: fn(i) runs for every i in
+// [0, n) unless the context is cancelled or some fn returns an error
+// first. Workers grab index tiles atomically and check for cancellation
+// between tiles, so a cancel stops the loop within one tile per worker.
+// ForCtx returns the first fn error, else ctx.Err() if the loop was cut
+// short, else nil. Iterations already in flight when the loop stops are
+// allowed to finish; fn must tolerate the loop not covering all of [0, n).
+func ForCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForChunkedCtx(ctx, n, workers, func(start, end int) error {
+		for i := start; i < end; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ForChunkedCtx runs fn(start, end) over contiguous index tiles covering
+// [0, n) with context cancellation and early error propagation. Unlike
+// ForChunked, tiles are small (about 32 per worker) and claimed
+// atomically, so cancellation latency is one tile, not one n/workers
+// chunk — callers needing stable per-worker scratch should allocate it
+// inside fn per tile. The first fn error cancels the remaining tiles and
+// is returned; if the parent context is cancelled first, ctx.Err() is
+// returned. A nil return means fn covered all of [0, n).
+func ForChunkedCtx(ctx context.Context, n, workers int, fn func(start, end int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	tile := n / (workers * 32)
+	if tile < 1 {
+		tile = 1
+	}
+	rec := startLoop("parallel.for_ctx", workers)
+	loopCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errOnce sync.Once
+		fnErr   error
+		next    int64
+		wg      sync.WaitGroup
+	)
+	body := func() {
+		ws := rec.workerStart()
+		defer rec.workerDone(ws)
+		for {
+			if loopCtx.Err() != nil {
+				return
+			}
+			start := int(atomic.AddInt64(&next, int64(tile))) - tile
+			if start >= n {
+				return
+			}
+			end := start + tile
+			if end > n {
+				end = n
+			}
+			if err := fn(start, end); err != nil {
+				errOnce.Do(func() { fnErr = err })
+				cancel()
+				return
+			}
+		}
+	}
+	if workers == 1 {
+		body()
+	} else {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				body()
+			}()
+		}
+		wg.Wait()
+	}
+	rec.done(n)
+	if fnErr != nil {
+		return fnErr
+	}
+	return ctx.Err()
 }
 
 // MapReduce applies fn(i) for every i in [0, n), each worker folding its

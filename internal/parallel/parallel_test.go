@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -90,5 +92,106 @@ func TestMapReduceSingleWorker(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatal("DefaultWorkers < 1")
+	}
+}
+
+func TestForCtxCoversAllIndicesOnce(t *testing.T) {
+	ctx := context.Background()
+	for _, n := range []int{0, 1, 7, 100, 10000} {
+		for _, workers := range []int{0, 1, 3, 16} {
+			counts := make([]int32, n)
+			err := ForCtx(ctx, n, workers, func(i int) error {
+				atomic.AddInt32(&counts[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForCtxReturnsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var calls int32
+		err := ForCtx(context.Background(), 100000, workers, func(i int) error {
+			atomic.AddInt32(&calls, 1)
+			if i == 5 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want boom", workers, err)
+		}
+		// The error cancels the remaining tiles: most of the range is
+		// never visited.
+		if c := atomic.LoadInt32(&calls); c >= 100000 {
+			t.Fatalf("workers=%d: error did not stop the loop (%d calls)", workers, c)
+		}
+	}
+}
+
+func TestForChunkedCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var tiles int32
+		err := ForChunkedCtx(ctx, 1<<20, workers, func(start, end int) error {
+			if atomic.AddInt32(&tiles, 1) == 2 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if n := atomic.LoadInt32(&tiles); n > int32(workers)+2 {
+			t.Fatalf("workers=%d: %d tiles ran after cancel", workers, n)
+		}
+	}
+}
+
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls int32
+	err := ForCtx(ctx, 1000, 4, func(i int) error {
+		atomic.AddInt32(&calls, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if c := atomic.LoadInt32(&calls); c > 4 {
+		t.Fatalf("%d iterations ran on a cancelled context", c)
+	}
+}
+
+func TestForChunkedCtxTilesCoverDisjointly(t *testing.T) {
+	n := 12345
+	seen := make([]int32, n)
+	err := ForChunkedCtx(context.Background(), n, 7, func(start, end int) error {
+		if start < 0 || end > n || start >= end {
+			t.Errorf("bad tile [%d,%d)", start, end)
+		}
+		for i := start; i < end; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
 	}
 }

@@ -1,0 +1,80 @@
+package recon
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/pointcloud"
+)
+
+// Reconstructor is the one interface every reconstruction method —
+// neural or rule-based — implements.
+//
+// ReconstructRegion is the engine path: evaluate the method over region
+// using the shared plan, writing one value per query into dst (len ==
+// region.Len(), in region order). Implementations must honor ctx and
+// must not retain dst.
+//
+// Reconstruct is the legacy convenience path (full grid, background
+// context, private plan); the engine provides it via ReconstructCloud,
+// so implementations are one-liners.
+type Reconstructor interface {
+	Name() string
+	Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid.Volume, error)
+	ReconstructRegion(ctx context.Context, p *Plan, region Region, dst []float64) error
+}
+
+// Registry maps method names to reconstructor factories. Factories
+// rather than instances so that methods with construction-time
+// requirements (FCNN needs a trained model) can fail at Get time with a
+// useful error instead of deep inside a run.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]func() (Reconstructor, error)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]func() (Reconstructor, error))}
+}
+
+// Register binds name to a factory, replacing any previous binding.
+func (r *Registry) Register(name string, factory func() (Reconstructor, error)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[name] = factory
+}
+
+// RegisterMethod binds m.Name() to m itself.
+func (r *Registry) RegisterMethod(m Reconstructor) {
+	r.Register(m.Name(), func() (Reconstructor, error) { return m, nil })
+}
+
+// Get resolves a method by name. Unknown names error with the sorted
+// list of registered names so CLI typos are self-diagnosing.
+func (r *Registry) Get(name string) (Reconstructor, error) {
+	r.mu.RLock()
+	factory, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("recon: unknown reconstructor %q (registered: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return factory()
+}
+
+// Names returns the sorted registered method names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -15,6 +15,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"fillvoid/internal/grid"
 	"fillvoid/internal/interp"
 	"fillvoid/internal/metrics"
+	"fillvoid/internal/recon"
 	"fillvoid/internal/sampling"
 	"fillvoid/internal/telemetry"
 )
@@ -32,6 +34,12 @@ import (
 type Config struct {
 	// Fraction is the per-timestep storage budget (e.g. 0.01 for 1%).
 	Fraction float64
+	// Method names the reconstructor used in step 4 (default "fcnn").
+	// Any registry name works — the trained model is registered
+	// alongside the rule-based baselines, so e.g. "linear" reconstructs
+	// the stored samples with the Delaunay baseline while the model is
+	// still kept current for storage accounting.
+	Method string
 	// FieldName labels the stored scalar.
 	FieldName string
 	// Mode selects the fine-tuning strategy for timesteps after the
@@ -88,6 +96,10 @@ type Pipeline struct {
 	cfg     Config
 	model   *core.FCNN
 	reports []StepReport
+	// out is the reconstruction buffer, reused across timesteps so a
+	// long-running pipeline does not reallocate a full-grid volume (and
+	// its engine feature buffers) every step.
+	out *grid.Volume
 }
 
 // New validates the configuration and returns an idle pipeline.
@@ -97,6 +109,16 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.FieldName == "" {
 		return nil, errors.New("stream: FieldName is required")
+	}
+	if cfg.Method == "" {
+		cfg.Method = "fcnn"
+	}
+	// Fail on a typo'd method at construction, not steps into a run. The
+	// registry here mirrors the one Step resolves through.
+	if cfg.Method != "fcnn" {
+		if _, err := interp.StandardRegistry(cfg.Options.Workers).Get(cfg.Method); err != nil {
+			return nil, err
+		}
 	}
 	return &Pipeline{cfg: cfg}, nil
 }
@@ -111,6 +133,13 @@ func (p *Pipeline) Reports() []StepReport { return p.reports }
 // reconstruct, account. The full field `truth` is only available inside
 // this call, as in a real in situ pipeline.
 func (p *Pipeline) Step(truth *grid.Volume, t int) (StepReport, error) {
+	return p.StepCtx(context.Background(), truth, t)
+}
+
+// StepCtx is Step with cancellation: the reconstruction phase runs
+// through the recon engine's chunked executor and stops promptly when
+// ctx is cancelled.
+func (p *Pipeline) StepCtx(ctx context.Context, truth *grid.Volume, t int) (StepReport, error) {
 	reg := p.telemetry()
 	stepSp := reg.StartSpan("pipeline/step")
 	defer stepSp.End()
@@ -166,15 +195,43 @@ func (p *Pipeline) Step(truth *grid.Volume, t int) (StepReport, error) {
 		rep.ModelBytes = int64(p.model.Network().ParamCount()) * 8
 	}
 
-	// 4. Reconstruct from the stored samples and score.
+	// 4. Reconstruct from the stored samples through the engine: resolve
+	// the configured method from one registry holding the baselines plus
+	// the current model, build the cloud's query plan, and execute into
+	// the reused output buffer.
+	methods := interp.StandardRegistry(p.cfg.Options.Workers)
+	methods.RegisterMethod(p.model)
+	m, err := methods.Get(p.cfg.Method)
+	if err != nil {
+		return rep, err
+	}
+	spec := interp.SpecOf(truth)
+	if p.out == nil || p.out.NX != spec.NX || p.out.NY != spec.NY || p.out.NZ != spec.NZ {
+		p.out = spec.NewVolume()
+	} else {
+		p.out.Origin = spec.Origin
+		p.out.Spacing = spec.Spacing
+	}
 	reconSp := stepSp.Child("reconstruct")
-	recon, err := p.model.Reconstruct(cloud, interp.SpecOf(truth))
+	plan, err := recon.NewPlan(cloud, spec)
+	if err != nil {
+		reconSp.End()
+		return rep, err
+	}
+	reconStart := time.Now()
+	err = recon.ReconstructInto(ctx, m, plan, recon.Full(spec), p.out)
 	reconSp.End()
 	if err != nil {
 		return rep, err
 	}
-	_, rep.ReconTime = p.model.Timings()
-	snr, err := metrics.SNR(truth, recon)
+	if p.cfg.Method == "fcnn" {
+		// The model's own stage timer — the same measurement the
+		// "reconstruct" telemetry span records.
+		_, rep.ReconTime = p.model.Timings()
+	} else {
+		rep.ReconTime = time.Since(reconStart)
+	}
+	snr, err := metrics.SNR(truth, p.out)
 	if err != nil {
 		return rep, err
 	}
