@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench experiments-smoke cover clean
+.PHONY: all build vet test test-short race check bench experiments-smoke serve-smoke cover clean
 
 all: build vet test
 
@@ -34,6 +34,14 @@ bench:
 experiments-smoke:
 	$(GO) run ./cmd/experiments -exp all -scale tiny -quiet
 
+# Boots `fillvoid serve` on an ephemeral port, uploads a cloud, runs two
+# ROI reconstructions (the second must hit the plan cache), checks
+# /healthz, and SIGTERMs for a graceful drain.
+serve-smoke:
+	$(GO) build -o fillvoid.smoke ./cmd/fillvoid
+	$(GO) run ./scripts/serve-smoke -bin ./fillvoid.smoke
+	rm -f fillvoid.smoke
+
 # Per-package coverage, with a hard floor on the reconstruction engine:
 # internal/recon is the one execution path every method runs through, so
 # it must stay >= 80% covered.
@@ -47,4 +55,4 @@ cover:
 		if (pct + 0 < 80) { print "cover: internal/recon below 80% floor"; exit 1 } }'
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt fillvoid.smoke

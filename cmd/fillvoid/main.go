@@ -12,6 +12,7 @@
 //	fillvoid reconstruct -points points.vtp -like vol.vti -method fcnn -model model.bin -o recon.vti
 //	fillvoid evaluate    -truth vol.vti -recon recon.vti
 //	fillvoid render      -in recon.vti -slice 5 -o slice.ppm
+//	fillvoid serve       -addr :8080 -model model.bin
 package main
 
 import (
@@ -71,6 +72,8 @@ func main() {
 		err = cmdPack(args)
 	case "unpack":
 		err = cmdUnpack(args)
+	case "serve":
+		err = cmdServe(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -97,6 +100,7 @@ commands:
   render       render a z-slice of a volume to a PPM image
   pack         sample a volume into the compact .fvs storage format
   unpack       expand a .fvs file back into a .vtp point cloud
+  serve        run the HTTP reconstruction service
 
 run 'fillvoid <command>' with no flags to see its options`)
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fillvoid/internal/core"
+	"fillvoid/internal/interp"
+	"fillvoid/internal/recon"
+	"fillvoid/internal/server"
+	"fillvoid/internal/telemetry"
+)
+
+// cmdServe runs the HTTP reconstruction service: the model (if any) is
+// loaded once, query plans are cached per (cloud, grid), and requests
+// are answered until SIGINT/SIGTERM triggers a graceful drain.
+func cmdServe(args []string) (err error) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	model := fs.String("model", "", "trained model path; registers the \"fcnn\" method when set")
+	workers := fs.Int("workers", 0, "engine worker goroutines per reconstruction (0 = all cores)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max simultaneously executing reconstructions (0 = 2x cores)")
+	maxQueue := fs.Int("max-queue", 0, "max requests waiting for a slot before 429 (0 = 64)")
+	queueTimeout := fs.Duration("queue-timeout", 0, "max wait for an execution slot before 503 (0 = 5s)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-reconstruction deadline before 504 (0 = 60s)")
+	planCache := fs.Int("plan-cache", 0, "plan LRU capacity in (cloud, grid) entries (0 = 16)")
+	cloudCache := fs.Int("cloud-cache", 0, "uploaded-cloud LRU capacity (0 = 32)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max graceful-shutdown drain before aborting in-flight work")
+	tf := telemetry.RegisterFlags(fs)
+	fs.Parse(args)
+	finish, err := startTelemetry(tf, &err)
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	// The service's own /metrics endpoint should always have data,
+	// independent of the -pprof/-metrics-out flags.
+	telemetry.Enable()
+
+	reg := interp.StandardRegistry(*workers)
+	if *model != "" {
+		r, err := core.LoadFile(*model)
+		if err != nil {
+			return fmt.Errorf("loading model: %w", err)
+		}
+		reg.RegisterMethod(r)
+	} else {
+		reg.Register("fcnn", func() (recon.Reconstructor, error) {
+			return nil, fmt.Errorf("no model loaded (restart with -model)")
+		})
+	}
+
+	srv, err := server.New(server.Config{
+		Registry:       reg,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		RequestTimeout: *requestTimeout,
+		PlanCacheSize:  *planCache,
+		CloudCacheSize: *cloudCache,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Printf("fillvoid serve: listening on http://%s (methods: %v)\n", srv.Addr(), reg.Names())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("fillvoid serve: %s received, draining in-flight requests...\n", s)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	fmt.Println("fillvoid serve: drained, bye")
+	return nil
+}

@@ -46,6 +46,7 @@ import (
 	"fillvoid/internal/recon"
 	"fillvoid/internal/render"
 	"fillvoid/internal/sampling"
+	"fillvoid/internal/server"
 	"fillvoid/internal/sim"
 	"fillvoid/internal/stream"
 	"fillvoid/internal/vtk"
@@ -215,6 +216,22 @@ func Reconstruct(ctx context.Context, m Reconstructor, p *Plan, region Region) (
 func ReconstructPoints(ctx context.Context, m Reconstructor, p *Plan, pts []Vec3) ([]float64, error) {
 	return recon.ReconstructPoints(ctx, m, p, pts)
 }
+
+// Serving: the same engine behind a concurrent HTTP service (the
+// `fillvoid serve` subcommand) with plan caching, bounded-concurrency
+// admission, and graceful shutdown.
+
+type (
+	// Server is the HTTP reconstruction service.
+	Server = server.Server
+	// ServerConfig configures NewServer; its zero value picks sensible
+	// defaults for everything but the required Registry.
+	ServerConfig = server.Config
+)
+
+// NewServer builds the reconstruction HTTP service. Start it with
+// (*Server).Start and stop it with (*Server).Shutdown.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // SNR returns the paper's signal-to-noise ratio (dB) of a
 // reconstruction against the original.

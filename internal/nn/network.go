@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"fillvoid/internal/mathutil"
@@ -64,10 +65,23 @@ func PyramidHidden(n, widest int) []int {
 }
 
 // Network is a trained or trainable FCNN.
+//
+// Ownership rule: at most one goroutine may train (TrainEpochs,
+// TrainWithValidation, FineTune paths) or Load-copy into a network at a
+// time, but Save and Clone are safe to call concurrently with training:
+// every weight mutation happens under an internal mutex that Save and
+// Clone also take while snapshotting. Server-side model registries rely
+// on this to checkpoint or hot-copy a model while it fine-tunes.
 type Network struct {
 	cfg    Config
 	layers []*dense
 	opts   []*adamPair
+	// mu guards weight/bias mutation (optimizer steps, best-weight
+	// restore) and Losses appends against concurrent Save/Clone
+	// snapshots. Gradient computation runs outside the lock; only the
+	// apply step takes it, so the cost per minibatch is one uncontended
+	// lock.
+	mu sync.Mutex
 	// obs, when set, receives one telemetry.EpochStat per training
 	// epoch (loss, learning rate, throughput, trainable params). It is
 	// called synchronously between epochs and is not serialized.
@@ -276,24 +290,20 @@ func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
 
 	epochLosses := make([]float64, 0, epochs)
 	adamCfg := n.cfg.Adam
-	decayFactor := n.cfg.LRDecayFactor
-	if decayFactor <= 0 || decayFactor > 1 {
-		decayFactor = 0.5
-	}
-	// epochBase keeps observer epoch indices monotone across repeated
-	// TrainEpochs calls (fine-tuning continues the lifetime count).
+	// epochBase keeps observer epoch indices — and the decay schedule —
+	// monotone across repeated TrainEpochs calls: fine-tuning and the
+	// one-epoch inner calls of TrainWithValidation continue the lifetime
+	// count instead of restarting it, so LRDecayEvery fires at lifetime
+	// epochs k, 2k, ... no matter how training is sliced into calls.
 	epochBase := len(n.Losses)
 	var epochStart time.Time
 	if n.obs != nil {
 		epochStart = time.Now()
 	}
 	for e := 0; e < epochs; e++ {
-		if n.cfg.LRDecayEvery > 0 && e > 0 && e%n.cfg.LRDecayEvery == 0 {
-			adamCfg.LearningRate *= decayFactor
-		}
+		adamCfg.LearningRate = n.LearningRateAt(epochBase + e)
 		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		totalLoss := 0.0
-		batches := 0
 		for start := 0; start < x.Rows; start += batch {
 			end := start + batch
 			if end > x.Rows {
@@ -305,10 +315,12 @@ func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
 				copy(by.Row(i), y.Row(perm[start+i]))
 			}
 			loss := n.trainBatch(bx.SliceRows(0, bn), by.SliceRows(0, bn), scratch, gw, gb, workers, adamCfg)
-			totalLoss += loss
-			batches++
+			// Weight each batch's mean loss by its row count so the
+			// epoch mean is the true dataset MSE even when the final
+			// minibatch is partial (rows % batch != 0).
+			totalLoss += loss * float64(bn)
 		}
-		meanLoss := totalLoss / float64(batches)
+		meanLoss := totalLoss / float64(x.Rows)
 		epochLosses = append(epochLosses, meanLoss)
 		if n.obs != nil {
 			now := time.Now()
@@ -329,8 +341,32 @@ func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
 			})
 		}
 	}
+	n.mu.Lock()
 	n.Losses = append(n.Losses, epochLosses...)
+	n.mu.Unlock()
 	return epochLosses, nil
+}
+
+// LearningRateAt returns the learning rate in effect during the given
+// 0-based lifetime epoch under the configured step-decay schedule: the
+// base Adam rate multiplied by LRDecayFactor once per completed
+// LRDecayEvery-epoch interval. It is a pure function of the config and
+// the epoch index, so the decayed rate survives any slicing of training
+// into calls — and Save/Load, since the lifetime epoch count (len of
+// Losses) is persisted.
+func (n *Network) LearningRateAt(lifetimeEpoch int) float64 {
+	lr := n.cfg.Adam.LearningRate
+	if n.cfg.LRDecayEvery <= 0 || lifetimeEpoch <= 0 {
+		return lr
+	}
+	factor := n.cfg.LRDecayFactor
+	if factor <= 0 || factor > 1 {
+		factor = 0.5
+	}
+	for i := 0; i < lifetimeEpoch/n.cfg.LRDecayEvery; i++ {
+		lr *= factor
+	}
+	return lr
 }
 
 // TrainWithValidation trains like TrainEpochs but holds out (vx, vy)
@@ -388,7 +424,7 @@ func (n *Network) TrainWithValidation(x, y, vx, vy *Matrix, epochs, patience int
 				Loss:            tl[0],
 				ValLoss:         vl,
 				ValLossValid:    true,
-				LearningRate:    n.cfg.Adam.withDefaults().LearningRate,
+				LearningRate:    n.LearningRateAt(len(n.Losses) - 1),
 				Examples:        x.Rows,
 				ExamplesPerSec:  eps,
 				TrainableParams: n.TrainableParamCount(),
@@ -407,10 +443,12 @@ func (n *Network) TrainWithValidation(x, y, vx, vy *Matrix, epochs, patience int
 		}
 	}
 	if bestW != nil {
+		n.mu.Lock()
 		for i, l := range n.layers {
 			copy(l.w, bestW[i])
 			copy(l.b, bestB[i])
 		}
+		n.mu.Unlock()
 	}
 	return trainLosses, valLosses, nil
 }
@@ -470,6 +508,9 @@ func (n *Network) trainBatch(bx, by *Matrix, scratch []*trainScratch, gw, gb [][
 			}
 		}
 	}
+	// The apply step mutates weights under n.mu so a concurrent Save or
+	// Clone snapshots a consistent parameter set.
+	n.mu.Lock()
 	for li, l := range n.layers {
 		if l.frozen {
 			continue
@@ -477,6 +518,7 @@ func (n *Network) trainBatch(bx, by *Matrix, scratch []*trainScratch, gw, gb [][
 		n.opts[li].w.step(l.w, gw[li], adamCfg)
 		n.opts[li].b.step(l.b, gb[li], adamCfg)
 	}
+	n.mu.Unlock()
 	total := 0.0
 	for _, v := range losses {
 		total += v

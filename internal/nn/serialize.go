@@ -22,19 +22,33 @@ type modelFile struct {
 
 const modelVersion = 1
 
-// Save writes the network to w in gob format.
+// Save writes the network to w in gob format. The weights, biases and
+// loss history are snapshotted under the network's mutex before
+// encoding, so Save is safe to call while another goroutine trains or
+// fine-tunes the network (the snapshot is a consistent post-step state;
+// see the Network ownership rule). Encoding itself runs outside the
+// lock so a slow writer never stalls training.
 func (n *Network) Save(w io.Writer) error {
+	mf := n.snapshot()
+	return gob.NewEncoder(w).Encode(&mf)
+}
+
+// snapshot copies the mutable state (weights, biases, freeze flags,
+// losses) under the mutex into a detached modelFile.
+func (n *Network) snapshot() modelFile {
 	mf := modelFile{
 		Version: modelVersion,
 		Config:  n.cfg,
-		Losses:  n.Losses,
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mf.Losses = append([]float64(nil), n.Losses...)
 	for _, l := range n.layers {
-		mf.Weights = append(mf.Weights, l.w)
-		mf.Biases = append(mf.Biases, l.b)
+		mf.Weights = append(mf.Weights, append([]float64(nil), l.w...))
+		mf.Biases = append(mf.Biases, append([]float64(nil), l.b...))
 		mf.Frozen = append(mf.Frozen, l.frozen)
 	}
-	return gob.NewEncoder(w).Encode(&mf)
+	return mf
 }
 
 // Load reads a network previously written by Save.
@@ -93,12 +107,15 @@ func LoadFile(path string) (*Network, error) {
 // Clone deep-copies the network, including weights, freeze flags and
 // loss history, with fresh optimizer state. Fine-tuning experiments
 // clone the pretrained model per target timestep so the original stays
-// untouched.
+// untouched. Like Save, the copy is taken under the source network's
+// mutex, so cloning is safe while the source trains.
 func (n *Network) Clone() (*Network, error) {
 	out, err := New(n.cfg)
 	if err != nil {
 		return nil, fmt.Errorf("nn: cloning network: %w", err)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	for i, l := range n.layers {
 		copy(out.layers[i].w, l.w)
 		copy(out.layers[i].b, l.b)

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fillvoid/internal/telemetry"
+)
+
+// TestLRDecayAcrossTrainWithValidation pins the fix for the dead-decay
+// bug: TrainWithValidation drives training through one-epoch TrainEpochs
+// calls, and the decay schedule must fire on the lifetime epoch index,
+// not the (always-zero) per-call index. With LRDecayEvery=2 the applied
+// rate must halve at lifetime epochs 2 and 4, and the observer must
+// report the actually-applied rate.
+func TestLRDecayAcrossTrainWithValidation(t *testing.T) {
+	f := func(a, b float64) float64 { return a + b }
+	x, y := makeRegression(64, 7, f)
+	vx, vy := makeRegression(32, 8, f)
+	net, err := New(Config{
+		In: 2, Out: 1, Hidden: []int{8}, Seed: 1, BatchSize: 16,
+		LRDecayEvery: 2, LRDecayFactor: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rates []float64
+	net.SetObserver(telemetry.ObserverFunc(func(e telemetry.EpochStat) {
+		rates = append(rates, e.LearningRate)
+	}))
+	if _, _, err := net.TrainWithValidation(x, y, vx, vy, 6, 100); err != nil {
+		t.Fatal(err)
+	}
+	base := 1e-3 // Adam default
+	want := []float64{base, base, base / 2, base / 2, base / 4, base / 4}
+	if len(rates) != len(want) {
+		t.Fatalf("observed %d epochs, want %d", len(rates), len(want))
+	}
+	for i, w := range want {
+		if math.Abs(rates[i]-w) > 1e-15 {
+			t.Fatalf("epoch %d: reported lr %g, want %g (rates %v)", i, rates[i], w, rates)
+		}
+		if got := net.LearningRateAt(i); math.Abs(got-w) > 1e-15 {
+			t.Fatalf("LearningRateAt(%d) = %g, want %g", i, got, w)
+		}
+	}
+}
+
+// TestLRDecayPersistsAcrossTrainEpochsCalls checks that slicing the same
+// budget into several TrainEpochs calls (the fine-tuning pattern) walks
+// the identical lifetime schedule instead of restarting at the base rate
+// each call.
+func TestLRDecayPersistsAcrossTrainEpochsCalls(t *testing.T) {
+	x, y := makeRegression(48, 9, func(a, b float64) float64 { return a - b })
+	net, err := New(Config{
+		In: 2, Out: 1, Hidden: []int{8}, Seed: 2, BatchSize: 16,
+		LRDecayEvery: 2, LRDecayFactor: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rates []float64
+	net.SetObserver(telemetry.ObserverFunc(func(e telemetry.EpochStat) {
+		rates = append(rates, e.LearningRate)
+	}))
+	for call := 0; call < 2; call++ {
+		if _, err := net.TrainEpochs(x, y, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := 1e-3
+	want := []float64{base, base, base / 4, base / 4, base / 16, base / 16}
+	if len(rates) != len(want) {
+		t.Fatalf("observed %d epochs, want %d", len(rates), len(want))
+	}
+	for i, w := range want {
+		if math.Abs(rates[i]-w) > 1e-18 {
+			t.Fatalf("lifetime epoch %d: lr %g, want %g (rates %v)", i, rates[i], w, rates)
+		}
+	}
+}
+
+// TestEpochLossEqualsDatasetMSE pins the loss-accounting fix: with a
+// partial final minibatch (rows % batch != 0), the recorded epoch loss
+// must equal the true full-dataset MSE, which requires weighting each
+// batch's mean by its row count. Freezing every layer keeps the weights
+// constant so the per-batch losses and a post-hoc Predict/Loss pass see
+// the same model.
+func TestEpochLossEqualsDatasetMSE(t *testing.T) {
+	x, y := makeRegression(100, 11, func(a, b float64) float64 { return 3*a - b })
+	net, err := New(Config{In: 2, Out: 1, Hidden: []int{8}, Seed: 3, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < net.NumLayers(); i++ {
+		if err := net.SetTrainable(i, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	losses, err := net.TrainEpochs(x, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := net.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Loss(pred, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(losses[0]-want) / want; rel > 1e-9 {
+		t.Fatalf("epoch loss %g, dataset MSE %g (rel err %g)", losses[0], want, rel)
+	}
+}

@@ -195,3 +195,60 @@ func TestForChunkedCtxTilesCoverDisjointly(t *testing.T) {
 		}
 	}
 }
+
+// TestForChunkedStableChunkIndexAssumption pins the contract that
+// nn.(*Network).trainBatch and MapReduce build per-worker scratch on:
+// for any (n, workers), ForChunked hands out at most one chunk per
+// worker, every chunk starts at a multiple of chunk = ceil(n/workers),
+// and therefore start/chunk is a collision-free worker index in
+// [0, workers). If the chunking strategy ever changes (work stealing,
+// uneven splits, ...), this test fails instead of silently scrambling
+// per-worker gradient buffers.
+func TestForChunkedStableChunkIndexAssumption(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 63, 64, 65, 100, 4096, 12345} {
+		for _, workers := range []int{1, 2, 3, 5, 8, 16, 200} {
+			eff := workers
+			if eff > n {
+				eff = n // ForChunked clamps workers to n
+			}
+			chunk := (n + eff - 1) / eff
+			var calls int32
+			seen := make([]int32, eff)
+			ForChunked(n, workers, func(start, end int) {
+				atomic.AddInt32(&calls, 1)
+				if start%chunk != 0 {
+					t.Errorf("n=%d workers=%d: chunk start %d not a multiple of %d", n, workers, start, chunk)
+					return
+				}
+				w := start / chunk
+				if w < 0 || w >= eff {
+					t.Errorf("n=%d workers=%d: derived worker index %d out of [0,%d)", n, workers, w, eff)
+					return
+				}
+				atomic.AddInt32(&seen[w], 1)
+			})
+			if int(calls) > eff {
+				t.Fatalf("n=%d workers=%d: %d chunks for %d workers (want <= 1 per worker)", n, workers, calls, eff)
+			}
+			for w, c := range seen {
+				if c > 1 {
+					t.Fatalf("n=%d workers=%d: worker index %d derived by %d chunks", n, workers, w, c)
+				}
+			}
+		}
+	}
+}
+
+// TestMapReduceUnevenChunks exercises MapReduce where the final chunk is
+// partial (n not divisible by the chunk size), the configuration whose
+// accumulator slots depend on the start/chunk identity above.
+func TestMapReduceUnevenChunks(t *testing.T) {
+	n := 1003
+	sum := MapReduce(n, 7,
+		func() int { return 0 },
+		func(i int, acc int) int { return acc + i },
+		func(a, b int) int { return a + b })
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("MapReduce sum = %d, want %d", sum, want)
+	}
+}

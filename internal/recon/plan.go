@@ -3,6 +3,7 @@ package recon
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"fillvoid/internal/kdtree"
 	"fillvoid/internal/mathutil"
@@ -23,12 +24,14 @@ type Plan struct {
 	cloud *pointcloud.Cloud
 	spec  GridSpec
 
-	treeOnce sync.Once
-	tree     *kdtree.Tree
+	treeOnce  sync.Once
+	treeBuilt atomic.Bool
+	tree      *kdtree.Tree
 
-	nearOnce sync.Once
-	nearIdx  []int32   // nearest sample index per full-grid node
-	nearD2   []float64 // squared distance to it
+	nearOnce  sync.Once
+	nearBuilt atomic.Bool
+	nearIdx   []int32   // nearest sample index per full-grid node
+	nearD2    []float64 // squared distance to it
 
 	rangeOnce      sync.Once
 	valMin, valMax float64
@@ -72,6 +75,7 @@ func (p *Plan) Spec() GridSpec { return p.spec }
 func (p *Plan) Tree() *kdtree.Tree {
 	p.treeOnce.Do(func() {
 		p.tree = kdtree.Build(p.cloud.Points)
+		p.treeBuilt.Store(true)
 	})
 	return p.tree
 }
@@ -103,6 +107,7 @@ func (p *Plan) NearestTable(workers int) (idx []int32, d2 []float64) {
 			k := m / (nx * spec.NY)
 			return spec.Point(i, j, k)
 		}, p.nearIdx, p.nearD2)
+		p.nearBuilt.Store(true)
 	})
 	return p.nearIdx, p.nearD2
 }

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+
+	"fillvoid/internal/mathutil"
+	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
+)
+
+// CloudJSON is the wire form of a sampled point cloud: parallel point
+// and value arrays plus the scalar attribute name.
+type CloudJSON struct {
+	Name   string       `json:"name,omitempty"`
+	Points [][3]float64 `json:"points"`
+	Values []float64    `json:"values"`
+}
+
+// toCloud validates and converts the wire cloud.
+func (cj *CloudJSON) toCloud() (*pointcloud.Cloud, error) {
+	if len(cj.Points) == 0 {
+		return nil, fmt.Errorf("cloud has no points")
+	}
+	if len(cj.Points) != len(cj.Values) {
+		return nil, fmt.Errorf("cloud has %d points but %d values", len(cj.Points), len(cj.Values))
+	}
+	name := cj.Name
+	if name == "" {
+		name = "value"
+	}
+	c := pointcloud.New(name, len(cj.Points))
+	for i, p := range cj.Points {
+		c.Add(mathutil.Vec3{X: p[0], Y: p[1], Z: p[2]}, cj.Values[i])
+	}
+	return c, nil
+}
+
+// GridJSON is the wire form of an output grid: dimensions plus optional
+// world placement (origin defaults to zero, spacing to unit).
+type GridJSON struct {
+	Dims    [3]int      `json:"dims"`
+	Origin  *[3]float64 `json:"origin,omitempty"`
+	Spacing *[3]float64 `json:"spacing,omitempty"`
+}
+
+func (g GridJSON) toSpec() (recon.GridSpec, error) {
+	spec := recon.GridSpec{
+		NX: g.Dims[0], NY: g.Dims[1], NZ: g.Dims[2],
+		Spacing: mathutil.Vec3{X: 1, Y: 1, Z: 1},
+	}
+	if spec.NX < 1 || spec.NY < 1 || spec.NZ < 1 {
+		return spec, fmt.Errorf("invalid grid dims %dx%dx%d", spec.NX, spec.NY, spec.NZ)
+	}
+	if g.Origin != nil {
+		spec.Origin = mathutil.Vec3{X: g.Origin[0], Y: g.Origin[1], Z: g.Origin[2]}
+	}
+	if g.Spacing != nil {
+		spec.Spacing = mathutil.Vec3{X: g.Spacing[0], Y: g.Spacing[1], Z: g.Spacing[2]}
+		if spec.Spacing.X <= 0 || spec.Spacing.Y <= 0 || spec.Spacing.Z <= 0 {
+			return spec, fmt.Errorf("grid spacing must be positive, got %v", spec.Spacing)
+		}
+	}
+	return spec, nil
+}
+
+// RegionJSON selects where to reconstruct. At most one of Box and
+// Points may be set; neither means the full grid.
+type RegionJSON struct {
+	// Box is a half-open sub-grid range [i0,i1)x[j0,j1)x[k0,k1).
+	Box *[6]int `json:"box,omitempty"`
+	// Points are arbitrary world-space query positions.
+	Points [][3]float64 `json:"points,omitempty"`
+}
+
+func (rj RegionJSON) toRegion(spec recon.GridSpec) (recon.Region, error) {
+	if rj.Box != nil && rj.Points != nil {
+		return recon.Region{}, fmt.Errorf("region sets both box and points")
+	}
+	switch {
+	case rj.Points != nil:
+		pts := make([]mathutil.Vec3, len(rj.Points))
+		for i, p := range rj.Points {
+			pts[i] = mathutil.Vec3{X: p[0], Y: p[1], Z: p[2]}
+		}
+		if len(pts) == 0 {
+			return recon.Region{}, fmt.Errorf("region points list is empty")
+		}
+		return recon.PointList(pts), nil
+	case rj.Box != nil:
+		b := *rj.Box
+		r := recon.Box(b[0], b[1], b[2], b[3], b[4], b[5])
+		if err := r.Validate(spec); err != nil {
+			return recon.Region{}, err
+		}
+		return r, nil
+	default:
+		return recon.Full(spec), nil
+	}
+}
+
+// ReconstructRequest is the body of POST /v1/reconstruct. The sampled
+// cloud is given either inline (Cloud) or as the cloud_id of a
+// previously uploaded cloud (POST /v1/clouds); exactly one must be set.
+type ReconstructRequest struct {
+	// Method names a registered reconstructor ("nearest", "linear",
+	// "fcnn", ...; GET /v1/methods lists them).
+	Method  string     `json:"method"`
+	Cloud   *CloudJSON `json:"cloud,omitempty"`
+	CloudID string     `json:"cloud_id,omitempty"`
+	Grid    GridJSON   `json:"grid"`
+	Region  RegionJSON `json:"region"`
+}
+
+// ReconstructResponse carries the reconstructed values in region order
+// (x-fastest within a box; list order for point queries).
+type ReconstructResponse struct {
+	Method  string     `json:"method"`
+	Dims    [3]int     `json:"dims"`
+	Origin  [3]float64 `json:"origin"`
+	Spacing [3]float64 `json:"spacing"`
+	Values  []float64  `json:"values"`
+	// CloudID is the content hash of the cloud the query ran against;
+	// resend it as cloud_id to skip re-uploading the cloud.
+	CloudID string `json:"cloud_id"`
+	// PlanCached reports whether the query hit an existing plan (shared
+	// spatial index) instead of building a fresh one.
+	PlanCached bool    `json:"plan_cached"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// UploadResponse is the body returned by POST /v1/clouds.
+type UploadResponse struct {
+	CloudID string `json:"cloud_id"`
+	Points  int    `json:"points"`
+}
+
+// MethodsResponse is the body returned by GET /v1/methods.
+type MethodsResponse struct {
+	Methods []string `json:"methods"`
+}
+
+// HealthResponse is the body returned by GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	InFlight int64  `json:"in_flight"`
+	Queued   int64  `json:"queued"`
+	Plans    int    `json:"plans_cached"`
+	Clouds   int    `json:"clouds_cached"`
+}
+
+// errorResponse is the JSON error envelope for every non-2xx status.
+type errorResponse struct {
+	Error string `json:"error"`
+}

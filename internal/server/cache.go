@@ -1,0 +1,158 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
+	"fillvoid/internal/telemetry"
+)
+
+// lru is a minimal mutex-guarded LRU map used by both the plan cache
+// and the cloud store. onEvict (optional) runs under the lock when an
+// entry is displaced by capacity pressure.
+type lru[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[K]*list.Element
+	onEvict func(K, V)
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](capacity int, onEvict func(K, V)) *lru[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[K, V]{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[K]*list.Element, capacity),
+		onEvict: onEvict,
+	}
+}
+
+// get returns the value for key, marking it most recently used.
+func (c *lru[K, V]) get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// getOrAdd returns the existing value for key or inserts val, evicting
+// the least recently used entry if over capacity. The returned bool
+// reports whether the value was already present (a hit).
+func (c *lru[K, V]) getOrAdd(key K, val V) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[K, V]{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*lruEntry[K, V])
+		delete(c.items, e.key)
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.val)
+		}
+	}
+	return val, false
+}
+
+// len returns the current entry count.
+func (c *lru[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// planCache is the LRU of recon.Plans keyed by (cloud hash, GridSpec).
+// A cached plan carries the lazily built spatial index and per-method
+// memos, so repeated queries against the same sampled timestep skip the
+// k-d tree / nearest-table / tetrahedralization rebuilds entirely.
+type planCache struct {
+	lru *lru[recon.PlanKey, *recon.Plan]
+	tel *telemetry.Registry
+}
+
+func newPlanCache(capacity int, tel *telemetry.Registry) *planCache {
+	pc := &planCache{tel: tel}
+	pc.lru = newLRU[recon.PlanKey, *recon.Plan](capacity, func(k recon.PlanKey, p *recon.Plan) {
+		st := p.Stats()
+		tel.Counter("server.plan_cache.evictions").Inc()
+		tel.Gauge("server.plan_cache.bytes").Add(-float64(st.Bytes))
+		telemetry.Debugf("plan evicted",
+			"cloud", k.Cloud.String(), "grid",
+			[3]int{k.Spec.NX, k.Spec.NY, k.Spec.NZ},
+			"bytes", st.Bytes, "tree", st.TreeBuilt, "near", st.NearestTableBuilt)
+	})
+	return pc
+}
+
+// getOrBuild returns the cached plan for (cloud, spec) or builds and
+// caches a fresh one. The hit/miss counters are the serving-layer
+// cache-effectiveness signal; bytes are re-measured on hits too because
+// the plan's lazy pieces grow after insertion.
+func (pc *planCache) getOrBuild(key recon.PlanKey, cloud *pointcloud.Cloud, spec recon.GridSpec) (*recon.Plan, bool, error) {
+	if p, ok := pc.lru.get(key); ok {
+		pc.tel.Counter("server.plan_cache.hits").Inc()
+		return p, true, nil
+	}
+	p, err := recon.NewPlan(cloud, spec)
+	if err != nil {
+		return nil, false, err
+	}
+	got, existed := pc.lru.getOrAdd(key, p)
+	if existed {
+		// A concurrent request inserted first; use theirs.
+		pc.tel.Counter("server.plan_cache.hits").Inc()
+		return got, true, nil
+	}
+	pc.tel.Counter("server.plan_cache.misses").Inc()
+	pc.tel.Gauge("server.plan_cache.bytes").Add(float64(p.Stats().Bytes))
+	return p, false, nil
+}
+
+func (pc *planCache) len() int { return pc.lru.len() }
+
+// cloudStore holds uploaded clouds by content hash so clients can query
+// a sampled timestep many times while sending the data once.
+type cloudStore struct {
+	lru *lru[recon.CloudHash, *pointcloud.Cloud]
+	tel *telemetry.Registry
+}
+
+func newCloudStore(capacity int, tel *telemetry.Registry) *cloudStore {
+	cs := &cloudStore{tel: tel}
+	cs.lru = newLRU[recon.CloudHash, *pointcloud.Cloud](capacity, func(k recon.CloudHash, c *pointcloud.Cloud) {
+		tel.Counter("server.cloud_store.evictions").Inc()
+	})
+	return cs
+}
+
+// put stores the cloud under its content hash and returns the hash.
+func (cs *cloudStore) put(c *pointcloud.Cloud) recon.CloudHash {
+	h := recon.HashCloud(c)
+	cs.lru.getOrAdd(h, c)
+	return h
+}
+
+// get returns the cloud for a previously returned hash.
+func (cs *cloudStore) get(h recon.CloudHash) (*pointcloud.Cloud, bool) {
+	return cs.lru.get(h)
+}
+
+func (cs *cloudStore) len() int { return cs.lru.len() }

@@ -1,0 +1,405 @@
+// Package server turns the reconstruction engine into an HTTP service:
+// load models once, keep an LRU of query plans keyed by (cloud content
+// hash, grid spec) so repeated queries against the same sampled
+// timestep share the spatial index, and answer full-grid / sub-box ROI
+// / point-list queries with per-request contexts so a disconnected
+// client cancels engine work mid-flight.
+//
+// Endpoints:
+//
+//	POST /v1/reconstruct  run a method over a region (inline cloud or cloud_id)
+//	POST /v1/clouds       upload a cloud once, get its content-hash id
+//	GET  /v1/methods      list registered reconstructors
+//	GET  /healthz         liveness + in-flight/queue/cache counts
+//	GET  /metrics         telemetry JSON snapshot
+//	     /debug/pprof/*   net/http/pprof, /debug/vars expvar
+//
+// Admission is a bounded-concurrency semaphore with a bounded wait
+// queue: when every slot is busy a request waits up to QueueTimeout for
+// one (503 on timeout); when the queue itself is full the request is
+// rejected immediately with 429. Shutdown stops accepting connections
+// and drains in-flight reconstructions before returning.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
+	"fillvoid/internal/telemetry"
+)
+
+// Config configures the reconstruction service. The zero value of every
+// field picks a sensible default.
+type Config struct {
+	// Registry resolves method names; required (NewRegistry / the
+	// interp standard registry, plus RegisterMethod for a loaded FCNN).
+	Registry *recon.Registry
+	// MaxConcurrent bounds simultaneously executing reconstructions
+	// (default 2×GOMAXPROCS; reconstructions are internally parallel, so
+	// this is deliberately small).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// requests are rejected immediately with 429 (default 64).
+	MaxQueue int
+	// QueueTimeout is how long a queued request waits for a slot before
+	// a 503 (default 5s).
+	QueueTimeout time.Duration
+	// RequestTimeout bounds one reconstruction end to end; exceeding it
+	// cancels the engine and returns 504 (default 60s).
+	RequestTimeout time.Duration
+	// PlanCacheSize is the plan LRU capacity in entries (default 16).
+	PlanCacheSize int
+	// CloudCacheSize is the uploaded-cloud LRU capacity (default 32).
+	CloudCacheSize int
+	// MaxBodyBytes bounds request bodies (default 1 GiB).
+	MaxBodyBytes int64
+	// Telemetry receives the server's metrics (default: the process
+	// global registry).
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 16
+	}
+	if c.CloudCacheSize <= 0 {
+		c.CloudCacheSize = 32
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.Default()
+	}
+	return c
+}
+
+// Server is the reconstruction HTTP service. Construct with New, bind
+// with Start, stop with Shutdown (graceful) or Close (immediate).
+type Server struct {
+	cfg    Config
+	reg    *recon.Registry
+	tel    *telemetry.Registry
+	plans  *planCache
+	clouds *cloudStore
+	mux    *http.ServeMux
+
+	sem   chan struct{}
+	queue chan struct{}
+
+	inFlight atomic.Int64
+	queued   atomic.Int64
+
+	ln      net.Listener
+	httpSrv *http.Server
+}
+
+// New builds the service (no listener yet; see Start and Handler).
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("server: Config.Registry is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		tel:    cfg.Telemetry,
+		plans:  newPlanCache(cfg.PlanCacheSize, cfg.Telemetry),
+		clouds: newCloudStore(cfg.CloudCacheSize, cfg.Telemetry),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		queue:  make(chan struct{}, cfg.MaxQueue),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/reconstruct", s.instrument("reconstruct", s.handleReconstruct))
+	mux.HandleFunc("POST /v1/clouds", s.instrument("clouds", s.handleClouds))
+	mux.HandleFunc("GET /v1/methods", s.instrument("methods", s.handleMethods))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", telemetry.MetricsHandler(s.tel))
+	telemetry.RegisterDebug(mux)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's root handler (for tests and embedders
+// that manage their own listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (use "127.0.0.1:0" for an ephemeral port) and serves
+// in a background goroutine. It returns once the listener is bound.
+func (s *Server) Start(addr string) error {
+	if s.ln != nil {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go s.httpSrv.Serve(ln)
+	telemetry.Infof("fillvoid server listening", "addr", ln.Addr().String(),
+		"max_concurrent", s.cfg.MaxConcurrent, "max_queue", s.cfg.MaxQueue)
+	return nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: the listener closes so no new
+// requests are admitted, then in-flight reconstructions drain (bounded
+// by ctx) before Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	telemetry.Infof("fillvoid server draining", "in_flight", s.inFlight.Load())
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Close stops the server immediately, abandoning in-flight requests.
+func (s *Server) Close() error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
+}
+
+// statusWriter captures the response code for per-endpoint metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram
+// and request/error counters.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.tel.Histogram("server."+name+".seconds", nil).Observe(time.Since(start).Seconds())
+		s.tel.Counter("server." + name + ".requests").Inc()
+		if sw.code >= 400 {
+			s.tel.Counter(fmt.Sprintf("server.%s.errors.%dxx", name, sw.code/100)).Inc()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// acquire implements admission: fast path straight into an execution
+// slot; otherwise take a bounded queue slot and wait up to QueueTimeout.
+// It returns a release func on success, or the HTTP status to reject
+// with (429 queue full, 503 queue timeout, 499 client gone).
+func (s *Server) acquire(ctx context.Context) (release func(), status int, err error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		select {
+		case s.queue <- struct{}{}:
+		default:
+			s.tel.Counter("server.admission.rejected_429").Inc()
+			return nil, http.StatusTooManyRequests,
+				fmt.Errorf("queue full (%d waiting, %d executing)", s.cfg.MaxQueue, s.cfg.MaxConcurrent)
+		}
+		s.queued.Add(1)
+		timer := time.NewTimer(s.cfg.QueueTimeout)
+		defer func() {
+			timer.Stop()
+			s.queued.Add(-1)
+			<-s.queue
+		}()
+		select {
+		case s.sem <- struct{}{}:
+		case <-timer.C:
+			s.tel.Counter("server.admission.rejected_503").Inc()
+			return nil, http.StatusServiceUnavailable,
+				fmt.Errorf("no execution slot within %s", s.cfg.QueueTimeout)
+		case <-ctx.Done():
+			s.tel.Counter("server.admission.client_gone").Inc()
+			return nil, 499, ctx.Err()
+		}
+	}
+	s.inFlight.Add(1)
+	s.tel.Gauge("server.in_flight").Set(float64(s.inFlight.Load()))
+	return func() {
+		s.inFlight.Add(-1)
+		s.tel.Gauge("server.in_flight").Set(float64(s.inFlight.Load()))
+		<-s.sem
+	}, 0, nil
+}
+
+// resolveCloud returns the request's cloud and its content hash, either
+// from the inline payload (stored for reuse) or from the cloud store.
+func (s *Server) resolveCloud(req *ReconstructRequest) (*pointcloud.Cloud, recon.CloudHash, int, error) {
+	switch {
+	case req.Cloud != nil && req.CloudID != "":
+		return nil, 0, http.StatusBadRequest, errors.New("set either cloud or cloud_id, not both")
+	case req.Cloud != nil:
+		c, err := req.Cloud.toCloud()
+		if err != nil {
+			return nil, 0, http.StatusBadRequest, err
+		}
+		return c, s.clouds.put(c), 0, nil
+	case req.CloudID != "":
+		h, err := recon.ParseCloudHash(req.CloudID)
+		if err != nil {
+			return nil, 0, http.StatusBadRequest, err
+		}
+		c, ok := s.clouds.get(h)
+		if !ok {
+			return nil, 0, http.StatusNotFound,
+				fmt.Errorf("cloud %s not in store (re-upload via /v1/clouds)", req.CloudID)
+		}
+		return c, h, 0, nil
+	default:
+		return nil, 0, http.StatusBadRequest, errors.New("request needs cloud or cloud_id")
+	}
+}
+
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	release, status, err := s.acquire(r.Context())
+	if err != nil {
+		if status == 499 {
+			// Client already gone; nothing to write.
+			return
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var req ReconstructRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	m, err := s.reg.Get(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cloud, hash, status, err := s.resolveCloud(&req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	spec, err := req.Grid.toSpec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	region, err := req.Region.toRegion(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	plan, cached, err := s.plans.getOrBuild(recon.PlanKey{Cloud: hash, Spec: spec}, cloud, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "building plan: %v", err)
+		return
+	}
+
+	start := time.Now()
+	vol, err := recon.Reconstruct(ctx, m, plan, region)
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			// Client disconnected mid-reconstruction; the context
+			// cancellation already stopped the engine workers.
+			s.tel.Counter("server.reconstruct.cancelled").Inc()
+			telemetry.Debugf("reconstruction cancelled by client", "method", req.Method)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.tel.Counter("server.reconstruct.timeout").Inc()
+			writeError(w, http.StatusGatewayTimeout, "reconstruction exceeded %s", s.cfg.RequestTimeout)
+		default:
+			writeError(w, http.StatusUnprocessableEntity, "reconstruction failed: %v", err)
+		}
+		return
+	}
+	s.tel.Counter("server.reconstruct.points").Add(int64(region.Len()))
+	writeJSON(w, http.StatusOK, &ReconstructResponse{
+		Method:     req.Method,
+		Dims:       [3]int{vol.NX, vol.NY, vol.NZ},
+		Origin:     [3]float64{vol.Origin.X, vol.Origin.Y, vol.Origin.Z},
+		Spacing:    [3]float64{vol.Spacing.X, vol.Spacing.Y, vol.Spacing.Z},
+		Values:     vol.Data,
+		CloudID:    hash.String(),
+		PlanCached: cached,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleClouds(w http.ResponseWriter, r *http.Request) {
+	var cj CloudJSON
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&cj); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding cloud: %v", err)
+		return
+	}
+	c, err := cj.toCloud()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h := s.clouds.put(c)
+	writeJSON(w, http.StatusOK, &UploadResponse{CloudID: h.String(), Points: c.Len()})
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, &MethodsResponse{Methods: s.reg.Names()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, &HealthResponse{
+		Status:   "ok",
+		InFlight: s.inFlight.Load(),
+		Queued:   s.queued.Load(),
+		Plans:    s.plans.len(),
+		Clouds:   s.clouds.len(),
+	})
+}

@@ -25,26 +25,30 @@ type Server struct {
 // panics on duplicate Publish).
 var publishOnce sync.Once
 
-// Serve starts an HTTP server on addr (use "127.0.0.1:0" for an
-// ephemeral port) exposing the registry. It returns once the listener
-// is bound; requests are served on a background goroutine.
-func Serve(addr string, reg *Registry) (*Server, error) {
-	if reg == nil {
-		reg = Default()
-	}
+// MetricsHandler returns an http.Handler serving reg's JSON snapshot —
+// the /metrics payload. Embedders (the reconstruction server, custom
+// admin muxes) mount it wherever they like; Serve uses it for its own
+// /metrics route. A nil reg serves the process-global default registry.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		r := reg
+		if r == nil {
+			r = Default()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w)
+	})
+}
+
+// RegisterDebug mounts the standard debug endpoints on mux —
+// /debug/vars (expvar, including the fillvoid.telemetry var) and the
+// full /debug/pprof/ index — publishing the expvar exactly once per
+// process no matter how many servers register.
+func RegisterDebug(mux *http.ServeMux) {
 	publishOnce.Do(func() {
 		expvar.Publish("fillvoid.telemetry", expvar.Func(func() any {
 			return Default().Snapshot()
 		}))
-	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		reg.Snapshot().WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -52,6 +56,22 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve starts an HTTP server on addr (use "127.0.0.1:0" for an
+// ephemeral port) exposing the registry. It returns once the listener
+// is bound; requests are served on a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	RegisterDebug(mux)
 	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil

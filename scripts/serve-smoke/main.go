@@ -1,0 +1,227 @@
+// Command serve-smoke is the `make serve-smoke` driver: it boots a
+// fillvoid binary's serve subcommand on an ephemeral port, uploads a
+// small cloud, fires two ROI reconstructions (the second must hit the
+// plan cache), checks /healthz, and shuts the server down gracefully
+// with SIGTERM. Any failure exits non-zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "./fillvoid", "fillvoid binary to exercise")
+	flag.Parse()
+	if err := run(*bin); err != nil {
+		fmt.Fprintf(os.Stderr, "serve-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: PASS")
+}
+
+func run(bin string) error {
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s serve: %w", bin, err)
+	}
+	defer cmd.Process.Kill()
+
+	// The serve banner prints the bound ephemeral address.
+	base, err := scanAddr(stdout)
+	if err != nil {
+		return err
+	}
+	go io.Copy(io.Discard, stdout)
+
+	if err := waitHealthy(base, 5*time.Second); err != nil {
+		return err
+	}
+
+	cloudID, err := uploadCloud(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve-smoke: uploaded cloud %s\n", cloudID)
+
+	for i, wantCached := range []bool{false, true} {
+		cached, n, err := reconstructROI(base, cloudID)
+		if err != nil {
+			return fmt.Errorf("reconstruct %d: %w", i+1, err)
+		}
+		if n != 8*8*4 {
+			return fmt.Errorf("reconstruct %d returned %d values, want %d", i+1, n, 8*8*4)
+		}
+		if cached != wantCached {
+			return fmt.Errorf("reconstruct %d plan_cached=%v, want %v", i+1, cached, wantCached)
+		}
+	}
+	fmt.Println("serve-smoke: ROI reconstructions ok, second hit the plan cache")
+
+	if err := checkHealth(base); err != nil {
+		return err
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("serve exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("serve did not exit within 10s of SIGTERM")
+	}
+	return nil
+}
+
+// scanAddr extracts the listen address from the serve banner line
+// ("fillvoid serve: listening on http://127.0.0.1:PORT ...").
+func scanAddr(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return "", fmt.Errorf("serve exited before printing its address")
+			}
+			if i := strings.Index(line, "http://"); i >= 0 {
+				addr := line[i:]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				return addr, nil
+			}
+		case <-deadline:
+			return "", fmt.Errorf("timed out waiting for the serve banner")
+		}
+	}
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not healthy within %s: %v", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func uploadCloud(base string) (string, error) {
+	rng := rand.New(rand.NewSource(1))
+	cloud := map[string]any{"name": "pressure"}
+	var pts [][3]float64
+	var vals []float64
+	for i := 0; i < 500; i++ {
+		x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+		pts = append(pts, [3]float64{x, y, z})
+		vals = append(vals, x+2*y-z)
+	}
+	cloud["points"], cloud["values"] = pts, vals
+	var resp struct {
+		CloudID string `json:"cloud_id"`
+		Points  int    `json:"points"`
+	}
+	if err := postJSON(base+"/v1/clouds", cloud, &resp); err != nil {
+		return "", fmt.Errorf("uploading cloud: %w", err)
+	}
+	if resp.CloudID == "" || resp.Points != 500 {
+		return "", fmt.Errorf("bad upload response: %+v", resp)
+	}
+	return resp.CloudID, nil
+}
+
+func reconstructROI(base, cloudID string) (cached bool, values int, err error) {
+	req := map[string]any{
+		"method":   "nearest",
+		"cloud_id": cloudID,
+		"grid": map[string]any{
+			"dims":    [3]int{16, 16, 8},
+			"spacing": [3]float64{1.0 / 15, 1.0 / 15, 1.0 / 7},
+		},
+		"region": map[string]any{"box": [6]int{4, 4, 2, 12, 12, 6}},
+	}
+	var resp struct {
+		Values     []float64 `json:"values"`
+		PlanCached bool      `json:"plan_cached"`
+	}
+	if err := postJSON(base+"/v1/reconstruct", req, &resp); err != nil {
+		return false, 0, err
+	}
+	return resp.PlanCached, len(resp.Values), nil
+}
+
+func checkHealth(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+		Plans  int    `json:"plans_cached"`
+		Clouds int    `json:"clouds_cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return err
+	}
+	if h.Status != "ok" || h.Plans != 1 || h.Clouds != 1 {
+		return fmt.Errorf("unexpected health: %+v", h)
+	}
+	return nil
+}
+
+func postJSON(url string, body, into any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %d %s", url, resp.StatusCode, out)
+	}
+	return json.Unmarshal(out, into)
+}
