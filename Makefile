@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench experiments-smoke serve-smoke cover clean
+.PHONY: all build vet test test-short race check bench experiments-smoke serve-smoke cover fuzz clean
 
 all: build vet test
 
@@ -53,6 +53,15 @@ cover:
 		END { if (pct == "") { print "cover: no coverage reported for internal/recon"; exit 1 } \
 		printf "internal/recon coverage: %s%% (floor 80%%)\n", pct; \
 		if (pct + 0 < 80) { print "cover: internal/recon below 80% floor"; exit 1 } }'
+
+# Native-fuzzing smoke pass: each target runs for 10s on top of the
+# committed seed corpora in testdata/fuzz (go's fuzzer only takes one
+# package per invocation, hence two lines). FUZZTIME=2m for a longer
+# local session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/codec
+	$(GO) test -run='^$$' -fuzz=FuzzReconstructRequest -fuzztime=$(FUZZTIME) ./internal/server
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt fillvoid.smoke

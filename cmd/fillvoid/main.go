@@ -7,7 +7,7 @@
 //
 //	fillvoid generate    -dataset isabel -t 10 -o vol.vti
 //	fillvoid sample      -in vol.vti -frac 0.01 -o points.vtp
-//	fillvoid train       -in vol.vti -model model.bin
+//	fillvoid train       -in vol.vti -model model.bin [-checkpoint-dir ck -resume]
 //	fillvoid finetune    -in vol2.vti -model model.bin -o tuned.bin
 //	fillvoid reconstruct -points points.vtp -like vol.vti -method fcnn -model model.bin -o recon.vti
 //	fillvoid evaluate    -truth vol.vti -recon recon.vti
@@ -16,11 +16,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"fillvoid/internal/checkpoint"
 	"fillvoid/internal/codec"
 	"fillvoid/internal/core"
 	"fillvoid/internal/datasets"
@@ -180,6 +185,10 @@ func cmdTrain(args []string) (err error) {
 	hidden := fs.String("hidden", "128,64,32,16,8", "hidden layer widths, comma separated")
 	maxRows := fs.Int("max-rows", 20000, "cap on training rows (0 = unlimited)")
 	seed := fs.Int64("seed", 42, "seed")
+	ckDir := fs.String("checkpoint-dir", "", "directory for crash-safe training checkpoints (empty = off)")
+	ckEvery := fs.Int("checkpoint-every", 25, "epochs between checkpoints")
+	ckKeep := fs.Int("checkpoint-keep", 3, "checkpoints retained (newest first)")
+	resume := fs.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir")
 	tf := telemetry.RegisterFlags(fs)
 	fs.Parse(args)
 	finish, err := startTelemetry(tf, &err)
@@ -205,9 +214,35 @@ func cmdTrain(args []string) (err error) {
 		return err
 	}
 	fmt.Printf("pretraining on %s (%d points, field %q)...\n", *in, v.Len(), name)
-	r, err := core.Pretrain(v, name, &sampling.Importance{Seed: *seed}, opts)
-	if err != nil {
-		return err
+	var r *core.FCNN
+	if *ckDir != "" {
+		// Crash-safe path: SIGINT/SIGTERM stop training at the next epoch
+		// boundary after a final checkpoint; -resume continues from it.
+		mgr, err := checkpoint.NewManager(checkpoint.Config{Dir: *ckDir, Keep: *ckKeep})
+		if err != nil {
+			return err
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		r, err = core.PretrainResumable(ctx, v, name, &sampling.Importance{Seed: *seed}, opts,
+			core.Checkpointing{Manager: mgr, Every: *ckEvery, Resume: *resume})
+		if errors.Is(err, core.ErrStopped) {
+			losses := r.Losses()
+			fmt.Printf("interrupted after epoch %d; checkpoint saved in %s — rerun with -resume to continue\n",
+				len(losses), *ckDir)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		if *resume {
+			return fmt.Errorf("-resume requires -checkpoint-dir")
+		}
+		r, err = core.Pretrain(v, name, &sampling.Importance{Seed: *seed}, opts)
+		if err != nil {
+			return err
+		}
 	}
 	if err := r.SaveFile(*model); err != nil {
 		return err

@@ -32,6 +32,7 @@ import (
 	"context"
 	"io"
 
+	"fillvoid/internal/checkpoint"
 	"fillvoid/internal/codec"
 	"fillvoid/internal/core"
 	"fillvoid/internal/datasets"
@@ -151,6 +152,38 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // timestep (see core.Pretrain).
 func Pretrain(truth *Volume, fieldName string, s Sampler, opts Options) (*FCNN, error) {
 	return core.Pretrain(truth, fieldName, s, opts)
+}
+
+// Checkpointing types for crash-safe resumable training (see
+// internal/checkpoint and internal/core).
+type (
+	// CheckpointManager reads and writes atomic, versioned training
+	// checkpoints in one directory with keep-last-N retention and
+	// corrupted-file fallback on load.
+	CheckpointManager = checkpoint.Manager
+	// CheckpointConfig configures NewCheckpointManager.
+	CheckpointConfig = checkpoint.Config
+	// Checkpointing wires a CheckpointManager into a training run.
+	Checkpointing = core.Checkpointing
+)
+
+// ErrTrainingStopped is returned by the resumable training entry points
+// when their context is cancelled; the final checkpoint is on disk and
+// a later call with Checkpointing.Resume continues bit-identically.
+var ErrTrainingStopped = core.ErrStopped
+
+// NewCheckpointManager opens (creating if needed) a checkpoint
+// directory.
+func NewCheckpointManager(cfg CheckpointConfig) (*CheckpointManager, error) {
+	return checkpoint.NewManager(cfg)
+}
+
+// PretrainResumable is Pretrain with crash safety: periodic atomic
+// checkpoints, a final checkpoint on cancellation, and resumption from
+// the newest intact checkpoint that replays bit-identically (same data,
+// seed, and worker count).
+func PretrainResumable(ctx context.Context, truth *Volume, fieldName string, s Sampler, opts Options, ck Checkpointing) (*FCNN, error) {
+	return core.PretrainResumable(ctx, truth, fieldName, s, opts, ck)
 }
 
 // LoadModel reads a model saved with (*FCNN).Save.

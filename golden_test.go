@@ -1,0 +1,160 @@
+package fillvoid
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_snr.json from the current implementation")
+
+// goldenTolerance is the allowed per-method drift in dB. The baselines
+// are deterministic closed-form interpolators, so any drift at all
+// means an algorithm change; the bound is loose only against
+// float reassociation from compiler/runtime changes. The fcnn bound is
+// wider: training is deterministic for a fixed seed and worker count,
+// but is the quantity most likely to move legitimately when training
+// internals are tuned — the test should flag that, not forbid it.
+var goldenTolerance = map[string]float64{"fcnn": 1.0}
+
+const defaultGoldenTolerance = 0.05
+
+// goldenSetup pins every input to the run: one Isabel-analog frame and
+// a 5% importance-sampled cloud.
+func goldenSetup(t *testing.T) (*Volume, *Cloud) {
+	t.Helper()
+	gen, err := Dataset("isabel", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := GenerateVolume(gen, 32, 32, 10, 10)
+	cloud, _, err := NewImportanceSampler(3).Sample(truth, "pressure", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return truth, cloud
+}
+
+// goldenSNR runs every method end to end and returns name -> SNR (dB).
+func goldenSNR(t *testing.T) map[string]float64 {
+	t.Helper()
+	truth, cloud := goldenSetup(t)
+	spec := SpecOf(truth)
+
+	out := make(map[string]float64)
+	reg := NewRegistry(2)
+	for _, name := range reg.Names() {
+		m, err := reg.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol, err := m.Reconstruct(cloud, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := SNR(truth, vol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = s
+	}
+
+	// The neural method: a deliberately small but non-trivial training
+	// run. Workers is pinned because gradient reduction order (and so
+	// the exact trained weights) depends on the worker count.
+	model, err := Pretrain(truth, "pressure", NewImportanceSampler(3), Options{
+		Hidden:         []int{32, 16},
+		Epochs:         150,
+		TrainFractions: []float64{0.05},
+		MaxTrainRows:   4000,
+		BatchSize:      128,
+		Seed:           11,
+		Workers:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := model.Reconstruct(cloud, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SNR(truth, vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["fcnn"] = s
+	return out
+}
+
+// TestGoldenSNR is the cross-cutting regression gate: a fixed-seed
+// Isabel-analog run through every registered method plus fcnn must
+// reproduce the committed per-method SNR values. It catches silent
+// quality regressions that per-package unit tests (which assert
+// properties, not exact numbers) let through. Regenerate the file with
+//
+//	go test -run TestGoldenSNR -update-golden .
+//
+// and commit the diff when a change intentionally moves the numbers.
+func TestGoldenSNR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run trains a model; skipped in -short")
+	}
+	got := goldenSNR(t)
+	path := filepath.Join("testdata", "golden_snr.json")
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	var want map[string]float64
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	var names []string
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: in golden file but not produced by the run", name)
+			continue
+		}
+		tol, ok := goldenTolerance[name]
+		if !ok {
+			tol = defaultGoldenTolerance
+		}
+		if math.Abs(g-want[name]) > tol {
+			t.Errorf("%s: SNR %.4f dB, golden %.4f dB (tolerance %.2f)", name, g, want[name], tol)
+		} else {
+			t.Logf("%s: %.4f dB (golden %.4f ± %.2f)", name, g, want[name], tol)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: produced by the run but missing from the golden file (rerun -update-golden)", name)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package faultfs is the fault-injection filesystem behind the
+// checkpoint crash-recovery tests. It wraps any checkpoint.FS and, per
+// scripted rule, fails the K-th occurrence of an operation, tears a
+// write (half the bytes reach the base file, then the "process dies"),
+// or drops an operation silently — enough to reproduce every failure
+// mode the atomic-write protocol must survive: write errors, torn temp
+// files, crash-after-temp (rename never happens), sync failures, and
+// unreadable directories.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"fillvoid/internal/checkpoint"
+)
+
+// ErrInjected is the error every injected fault returns; tests assert
+// on it to distinguish injected failures from real ones.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op names an interceptable filesystem operation.
+type Op string
+
+// The interceptable operations.
+const (
+	OpMkdirAll   Op = "mkdirall"
+	OpCreateTemp Op = "createtemp"
+	OpWrite      Op = "write"
+	OpSync       Op = "sync"
+	OpClose      Op = "close"
+	OpRename     Op = "rename"
+	OpRemove     Op = "remove"
+	OpReadDir    Op = "readdir"
+	OpReadFile   Op = "readfile"
+	OpSyncDir    Op = "syncdir"
+)
+
+// Mode is what happens when an armed rule fires.
+type Mode int
+
+const (
+	// Fail returns ErrInjected without performing the operation.
+	Fail Mode = iota
+	// Torn (OpWrite only) writes the first half of the buffer to the
+	// base file and then returns ErrInjected — the on-disk state a crash
+	// mid-write leaves behind.
+	Torn
+	// Drop reports success without performing the operation — e.g. a
+	// rename the process never got to issue, observed from a restarted
+	// process's point of view.
+	Drop
+)
+
+// FS wraps a base filesystem with scripted faults. Arm rules, run the
+// code under test, then inspect Count to assert the op actually fired.
+// Safe for concurrent use.
+type FS struct {
+	base checkpoint.FS
+
+	mu     sync.Mutex
+	counts map[Op]int
+	rules  map[Op]map[int]Mode // op -> 1-based occurrence -> mode
+}
+
+// New wraps base (checkpoint.OS() when nil).
+func New(base checkpoint.FS) *FS {
+	if base == nil {
+		base = checkpoint.OS()
+	}
+	return &FS{base: base, counts: map[Op]int{}, rules: map[Op]map[int]Mode{}}
+}
+
+// Arm schedules mode for the n-th (1-based) future occurrence of op,
+// counted from now.
+func (f *FS) Arm(op Op, n int, mode Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rules[op] == nil {
+		f.rules[op] = map[int]Mode{}
+	}
+	f.rules[op][f.counts[op]+n] = mode
+}
+
+// Disarm clears every pending rule (counts are kept).
+func (f *FS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = map[Op]map[int]Mode{}
+}
+
+// Count returns how many times op has been attempted.
+func (f *FS) Count(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// check advances op's counter and returns the armed mode, if any.
+func (f *FS) check(op Op) (Mode, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	mode, ok := f.rules[op][f.counts[op]]
+	return mode, ok
+}
+
+// act runs perform under op's current rule. ok distinguishes a Drop
+// (return nil without performing) from the no-rule case.
+func (f *FS) act(op Op, perform func() error) error {
+	mode, armed := f.check(op)
+	if !armed {
+		return perform()
+	}
+	switch mode {
+	case Fail:
+		return fmt.Errorf("%s: %w", op, ErrInjected)
+	case Drop:
+		return nil
+	default:
+		return perform()
+	}
+}
+
+// MkdirAll implements checkpoint.FS.
+func (f *FS) MkdirAll(dir string, perm os.FileMode) error {
+	return f.act(OpMkdirAll, func() error { return f.base.MkdirAll(dir, perm) })
+}
+
+// CreateTemp implements checkpoint.FS.
+func (f *FS) CreateTemp(dir, pattern string) (checkpoint.File, error) {
+	if mode, armed := f.check(OpCreateTemp); armed && mode == Fail {
+		return nil, fmt.Errorf("createtemp: %w", ErrInjected)
+	}
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, base: file}, nil
+}
+
+// Rename implements checkpoint.FS.
+func (f *FS) Rename(oldPath, newPath string) error {
+	return f.act(OpRename, func() error { return f.base.Rename(oldPath, newPath) })
+}
+
+// Remove implements checkpoint.FS.
+func (f *FS) Remove(path string) error {
+	return f.act(OpRemove, func() error { return f.base.Remove(path) })
+}
+
+// ReadDir implements checkpoint.FS.
+func (f *FS) ReadDir(dir string) ([]os.DirEntry, error) {
+	if mode, armed := f.check(OpReadDir); armed && mode == Fail {
+		return nil, fmt.Errorf("readdir: %w", ErrInjected)
+	}
+	return f.base.ReadDir(dir)
+}
+
+// ReadFile implements checkpoint.FS.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	if mode, armed := f.check(OpReadFile); armed && mode == Fail {
+		return nil, fmt.Errorf("readfile: %w", ErrInjected)
+	}
+	return f.base.ReadFile(path)
+}
+
+// SyncDir implements checkpoint.FS.
+func (f *FS) SyncDir(dir string) error {
+	return f.act(OpSyncDir, func() error { return f.base.SyncDir(dir) })
+}
+
+// faultFile intercepts the write-side file operations.
+type faultFile struct {
+	fs   *FS
+	base checkpoint.File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	mode, armed := f.fs.check(OpWrite)
+	if !armed {
+		return f.base.Write(p)
+	}
+	switch mode {
+	case Fail:
+		return 0, fmt.Errorf("write: %w", ErrInjected)
+	case Torn:
+		n, err := f.base.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("write (torn at %d/%d bytes): %w", n, len(p), ErrInjected)
+	default:
+		return f.base.Write(p)
+	}
+}
+
+func (f *faultFile) Sync() error {
+	return f.fs.act(OpSync, f.base.Sync)
+}
+
+func (f *faultFile) Close() error {
+	return f.fs.act(OpClose, f.base.Close)
+}
+
+func (f *faultFile) Name() string { return f.base.Name() }

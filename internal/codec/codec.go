@@ -238,7 +238,24 @@ func Decode(r io.Reader) (*Decoded, error) {
 	if nx < 1 || ny < 1 || nz < 1 || sx <= 0 || sy <= 0 || sz <= 0 {
 		return nil, errors.New("codec: invalid grid geometry")
 	}
+	if math.IsNaN(ox) || math.IsNaN(oy) || math.IsNaN(oz) ||
+		math.IsNaN(sx) || math.IsNaN(sy) || math.IsNaN(sz) ||
+		math.IsInf(lo, 0) || math.IsInf(hi, 0) ||
+		!(lo <= hi) { // NaN bounds fail this comparison too
+		return nil, errors.New("codec: non-finite geometry or value range")
+	}
+	// The three uint32 dims multiply to at most 2^96, which overflows
+	// uint64 — an attacker-crafted header could wrap `total` small and
+	// slip indices past the range check below. Divide instead of
+	// multiplying.
+	if uint64(ny)*uint64(nz) > math.MaxUint64/uint64(nx) {
+		return nil, errors.New("codec: grid dimensions overflow")
+	}
 	total := uint64(nx) * uint64(ny) * uint64(nz)
+	if total > math.MaxInt64 {
+		// Keeps every later index computation inside int range.
+		return nil, errors.New("codec: grid too large")
+	}
 	if count > total {
 		return nil, errors.New("codec: more samples than grid points")
 	}
@@ -250,20 +267,31 @@ func Decode(r io.Reader) (*Decoded, error) {
 		FieldName: string(nameBuf),
 		MaxError:  MaxQuantizationError(lo, hi, bits),
 	}
-	g := d.Grid()
+	// A geometry-only shell for index→position mapping: Decode must not
+	// allocate the full nx*ny*nz data volume (d.Grid() does) just to
+	// decode a sample stream — with header-declared dims that would be an
+	// attacker-controlled allocation.
+	geom := &grid.Volume{NX: d.NX, NY: d.NY, NZ: d.NZ, Origin: d.Origin, Spacing: d.Spacing}
 
-	d.Indices = make([]int, count)
+	// Preallocate only what a well-formed stream could actually deliver:
+	// every index costs at least one input byte, so capping the initial
+	// capacity bounds memory by the real input size, not the header's
+	// claimed count.
+	d.Indices = make([]int, 0, minU64(count, 1<<16))
 	prev := -1
-	for i := range d.Indices {
+	for i := uint64(0); i < count; i++ {
 		delta, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
 		}
-		idx := prev + int(delta)
-		if idx < prev+1 || idx >= g.Len() {
+		// Deltas are strictly positive (indices strictly ascend) and
+		// bounded by the grid size; checking in uint64 space avoids the
+		// signed wrap of int(delta) for huge varints.
+		if delta == 0 || delta > total-uint64(prev+1) {
 			return nil, errors.New("codec: index stream out of range")
 		}
-		d.Indices[i] = idx
+		idx := prev + int(delta)
+		d.Indices = append(d.Indices, idx)
 		prev = idx
 	}
 
@@ -272,7 +300,7 @@ func Decode(r io.Reader) (*Decoded, error) {
 	if levels > 0 && hi > lo {
 		inv = (hi - lo) / float64(levels)
 	}
-	d.Cloud = pointcloud.New(d.FieldName, int(count))
+	d.Cloud = pointcloud.New(d.FieldName, int(minU64(count, 1<<16)))
 	var acc uint64
 	accBits := 0
 	for _, idx := range d.Indices {
@@ -287,9 +315,16 @@ func Decode(r io.Reader) (*Decoded, error) {
 		q := acc & levels
 		acc >>= uint(bits)
 		accBits -= bits
-		d.Cloud.Add(g.PointAt(idx), lo+float64(q)*inv)
+		d.Cloud.Add(geom.PointAt(idx), lo+float64(q)*inv)
 	}
 	return d, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // EncodedSize returns the exact number of bytes Encode would produce

@@ -1,0 +1,114 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"fillvoid/internal/grid"
+	"fillvoid/internal/mathutil"
+)
+
+// fuzzSeedStream builds a small valid encoded stream for the corpus.
+func fuzzSeedStream(tb testing.TB) []byte {
+	tb.Helper()
+	g := grid.NewWithGeometry(4, 3, 2, mathutil.Vec3{}, mathutil.Vec3{X: 1, Y: 1, Z: 1})
+	idxs := []int{0, 3, 7, 11, 23}
+	values := []float64{-1, 0.25, 0.5, 2, 8}
+	var buf bytes.Buffer
+	if err := Encode(&buf, g, "pressure", idxs, values, Options{ValueBits: 12}); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode feeds arbitrary bytes to Decode. The invariant under test:
+// malformed input of any shape returns an error — never a panic, hang,
+// or unbounded allocation — and an input that decodes successfully
+// satisfies the format's documented guarantees (strictly ascending
+// in-range indices, matching cloud size).
+func FuzzDecode(f *testing.F) {
+	valid := fuzzSeedStream(f)
+	f.Add(valid)
+	// Truncations at structurally interesting offsets.
+	for _, n := range []int{0, 3, 5, 6, 10, 20, 60, len(valid) - 1} {
+		if n >= 0 && n < len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// A corrupted header copy.
+	bad := append([]byte(nil), valid...)
+	bad[8] ^= 0xff
+	f.Add(bad)
+	f.Add([]byte("FVSC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if d.Cloud == nil {
+			t.Fatal("successful decode returned nil cloud")
+		}
+		if d.Cloud.Len() != len(d.Indices) {
+			t.Fatalf("cloud has %d points, %d indices", d.Cloud.Len(), len(d.Indices))
+		}
+		if d.NX < 1 || d.NY < 1 || d.NZ < 1 {
+			t.Fatalf("non-positive dims %dx%dx%d", d.NX, d.NY, d.NZ)
+		}
+		total := d.NX * d.NY * d.NZ
+		prev := -1
+		for _, idx := range d.Indices {
+			if idx <= prev || idx >= total {
+				t.Fatalf("index %d out of order or range (prev %d, total %d)", idx, prev, total)
+			}
+			prev = idx
+		}
+		for _, v := range d.Cloud.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("decoded non-finite value %v", v)
+			}
+		}
+	})
+}
+
+// TestDecodeRejectsHostileHeaders pins the specific attacks the decoder
+// hardening addresses, independent of whatever the fuzzer finds.
+func TestDecodeRejectsHostileHeaders(t *testing.T) {
+	valid := fuzzSeedStream(t)
+
+	mutate := func(name string, f func([]byte) []byte) []byte {
+		t.Helper()
+		return f(append([]byte(nil), valid...))
+	}
+	// Header layout: magic(4) version(1) bits(1) nameLen(1) name(8)
+	// then nx, ny, nz as uint32 LE at offsets 15, 19, 23.
+	cases := map[string][]byte{
+		// nx=ny=nz=2^31: the dim product overflows uint64 (2^93) and the
+		// pre-hardening decoder would allocate the "full grid".
+		"dims-overflow": mutate("dims-overflow", func(b []byte) []byte {
+			for _, off := range []int{15, 19, 23} {
+				b[off+0], b[off+1], b[off+2], b[off+3] = 0, 0, 0, 0x80
+			}
+			return b
+		}),
+		// Huge-but-not-overflowing grid with a huge sample count: must
+		// not preallocate count entries.
+		"huge-count": mutate("huge-count", func(b []byte) []byte {
+			for _, off := range []int{15, 19, 23} {
+				b[off+0], b[off+1], b[off+2], b[off+3] = 0xff, 0xff, 0x0f, 0 // ~1M per axis
+			}
+			// count is the uint64 at offset 15+12+48+16 = 91.
+			for i := 0; i < 8; i++ {
+				b[91+i] = 0xff
+			}
+			return b
+		}),
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: hostile header decoded without error", name)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fillvoid/internal/mathutil"
+)
+
+// bruteNeighbors is the reference implementation: compute every
+// distance, sort by (dist2, index). The tree computes distances with
+// the same mathutil.Vec3.Dist2, so distance comparisons below are
+// bit-exact, not tolerance-based.
+func bruteNeighbors(points []mathutil.Vec3, q mathutil.Vec3) []Neighbor {
+	out := make([]Neighbor, len(points))
+	for i, p := range points {
+		out[i] = Neighbor{Index: i, Dist2: p.Dist2(q)}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist2 != out[b].Dist2 {
+			return out[a].Dist2 < out[b].Dist2
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// checkKNN verifies one KNearest call against brute force. Tie order is
+// unspecified, so the contract checked is:
+//
+//  1. result length = min(k, n);
+//  2. distances ascend and match the brute-force distance sequence
+//     exactly (this pins boundary ties: any valid tie resolution
+//     yields the same distance multiset);
+//  3. indices are distinct, in range, and each reported Dist2 really
+//     is the distance to the reported point.
+func checkKNN(t *testing.T, points []mathutil.Vec3, q mathutil.Vec3, k int) {
+	t.Helper()
+	got := Build(points).KNearest(q, k)
+	want := bruteNeighbors(points, q)
+
+	wantLen := k
+	if len(points) < k {
+		wantLen = len(points)
+	}
+	if k <= 0 {
+		wantLen = 0
+	}
+	if len(got) != wantLen {
+		t.Fatalf("k=%d over %d points: got %d neighbors, want %d", k, len(points), len(got), wantLen)
+	}
+	seen := make(map[int]bool, len(got))
+	for i, nb := range got {
+		if nb.Index < 0 || nb.Index >= len(points) {
+			t.Fatalf("neighbor %d: index %d out of range", i, nb.Index)
+		}
+		if seen[nb.Index] {
+			t.Fatalf("neighbor %d: duplicate index %d", i, nb.Index)
+		}
+		seen[nb.Index] = true
+		if d := points[nb.Index].Dist2(q); d != nb.Dist2 {
+			t.Fatalf("neighbor %d: reported dist2 %v but point %d is at %v", i, nb.Dist2, nb.Index, d)
+		}
+		if i > 0 && got[i-1].Dist2 > nb.Dist2 {
+			t.Fatalf("neighbors out of order: %v then %v", got[i-1].Dist2, nb.Dist2)
+		}
+		if nb.Dist2 != want[i].Dist2 {
+			t.Fatalf("neighbor %d: dist2 %v, brute force says %v", i, nb.Dist2, want[i].Dist2)
+		}
+	}
+}
+
+// randomCloud draws n points from one of several degenerate-prone
+// shapes: uniform box, tight cluster with duplicates, axis-aligned
+// plane (every z equal — maximal split-axis ties), and integer lattice
+// (massive exact distance ties).
+func randomCloud(rng *rand.Rand, n int) []mathutil.Vec3 {
+	pts := make([]mathutil.Vec3, n)
+	switch rng.Intn(4) {
+	case 0: // uniform
+		for i := range pts {
+			pts[i] = mathutil.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		}
+	case 1: // duplicates: draw from a tiny pool
+		pool := make([]mathutil.Vec3, 1+rng.Intn(4))
+		for i := range pool {
+			pool[i] = mathutil.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		}
+		for i := range pts {
+			pts[i] = pool[rng.Intn(len(pool))]
+		}
+	case 2: // flat plane
+		for i := range pts {
+			pts[i] = mathutil.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: 0.5}
+		}
+	default: // small integer lattice
+		for i := range pts {
+			pts[i] = mathutil.Vec3{X: float64(rng.Intn(3)), Y: float64(rng.Intn(3)), Z: float64(rng.Intn(3))}
+		}
+	}
+	return pts
+}
+
+// TestKNearestDegenerateClouds is the randomized property test over
+// tie-heavy cloud shapes: across shapes, sizes, and k (including
+// k > n and k = n), tree results agree with exhaustive search. The
+// uniform-cloud sweep lives in TestKNearestMatchesBruteForce; this one
+// exists because ties (duplicates, lattices, flat planes) exercise the
+// heap's boundary behavior and the split-axis choice in ways uniform
+// random points essentially never do.
+func TestKNearestDegenerateClouds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		pts := randomCloud(rng, n)
+		k := 1 + rng.Intn(n+5) // deliberately allowed to exceed n
+		var q mathutil.Vec3
+		if rng.Intn(3) == 0 {
+			q = pts[rng.Intn(n)] // query coincident with an indexed point
+		} else {
+			q = mathutil.Vec3{X: rng.Float64()*2 - 0.5, Y: rng.Float64()*2 - 0.5, Z: rng.Float64()*2 - 0.5}
+		}
+		checkKNN(t, pts, q, k)
+	}
+}
+
+// TestKNearestDegenerateInputs pins the explicit edge cases separately
+// from the randomized sweep so a failure names the case directly.
+func TestKNearestDegenerateInputs(t *testing.T) {
+	q := mathutil.Vec3{X: 0.3, Y: 0.3, Z: 0.3}
+
+	t.Run("k negative", func(t *testing.T) {
+		pts := []mathutil.Vec3{{X: 1}}
+		if got := Build(pts).KNearest(q, -2); len(got) != 0 {
+			t.Fatalf("k<0 returned %d neighbors", len(got))
+		}
+	})
+	t.Run("single point", func(t *testing.T) {
+		checkKNN(t, []mathutil.Vec3{{X: 9, Y: 9, Z: 9}}, q, 4)
+	})
+	t.Run("all points identical", func(t *testing.T) {
+		pts := make([]mathutil.Vec3, 17)
+		for i := range pts {
+			pts[i] = mathutil.Vec3{X: 1, Y: 2, Z: 3}
+		}
+		checkKNN(t, pts, q, 5)
+		checkKNN(t, pts, mathutil.Vec3{X: 1, Y: 2, Z: 3}, 17)
+	})
+	t.Run("k far exceeds n", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(2))
+		checkKNN(t, randomCloud(rng, 7), q, 100)
+	})
+}
+
+// TestWithinRadiusDegenerateClouds checks the range query against
+// exhaustive search as an index-set equality (results are unordered)
+// over the same tie-heavy cloud shapes, plus the negative-radius edge.
+func TestWithinRadiusDegenerateClouds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		pts := randomCloud(rng, 1+rng.Intn(50))
+		tr := Build(pts)
+		q := mathutil.Vec3{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		r := rng.Float64() * 1.5
+
+		got := tr.WithinRadius(q, r, nil)
+		gotSet := make(map[int]bool, len(got))
+		for _, idx := range got {
+			if gotSet[idx] {
+				t.Fatalf("trial %d: duplicate index %d", trial, idx)
+			}
+			gotSet[idx] = true
+		}
+		for i, p := range pts {
+			in := p.Dist2(q) <= r*r
+			if in != gotSet[i] {
+				t.Fatalf("trial %d: point %d dist2=%v r2=%v: in=%v but reported=%v",
+					trial, i, p.Dist2(q), r*r, in, gotSet[i])
+			}
+		}
+		if neg := tr.WithinRadius(q, -1, nil); len(neg) != 0 {
+			t.Fatalf("negative radius returned %d points", len(neg))
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package mathutil
+
+// SplitMix is a deterministic SplitMix64 PRNG whose entire state is a
+// single uint64. Training components that must survive a crash/resume
+// cycle (minibatch shuffling, most importantly) use it instead of
+// math/rand so the generator position can be captured in a checkpoint
+// header and restored bit-exactly: resume(k epochs) + (N-k) epochs then
+// replays the same shuffle sequence as an uninterrupted N-epoch run.
+//
+// SplitMix64 (Steele, Lea & Flood 2014) passes BigCrush and is the
+// canonical seeding generator for the xoshiro family; its statistical
+// quality is far beyond what permutation shuffling needs.
+type SplitMix struct {
+	state uint64
+}
+
+// NewSplitMix returns a generator seeded from seed.
+func NewSplitMix(seed int64) *SplitMix {
+	return &SplitMix{state: uint64(seed)}
+}
+
+// Uint64 returns the next pseudo-random value and advances the state.
+func (s *SplitMix) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics when n <= 0,
+// matching math/rand. Rejection sampling removes modulo bias, so the
+// shuffle distribution is exactly uniform.
+func (s *SplitMix) Intn(n int) int {
+	if n <= 0 {
+		panic("mathutil: SplitMix.Intn n <= 0")
+	}
+	max := uint64(n)
+	// Largest multiple of max representable in a uint64; values at or
+	// above it would bias the low residues.
+	limit := ^uint64(0) - ^uint64(0)%max
+	for {
+		if v := s.Uint64(); v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Shuffle applies a Fisher–Yates shuffle over n elements via swap.
+func (s *SplitMix) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}
+
+// State returns the generator state for serialization.
+func (s *SplitMix) State() uint64 { return s.state }
+
+// SetState restores a state captured with State.
+func (s *SplitMix) SetState(state uint64) { s.state = state }

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -11,6 +12,45 @@ import (
 	"fillvoid/internal/parallel"
 	"fillvoid/internal/telemetry"
 )
+
+// ErrStopped is returned by the training entry points when the run's
+// context is cancelled: training halts cleanly on the next epoch
+// boundary (a final checkpoint is written first when a checkpoint sink
+// is configured). The network is left in a consistent, resumable state.
+var ErrStopped = errors.New("nn: training stopped")
+
+// RunOptions controls one training run (TrainEpochsOpts /
+// TrainWithValidationOpts). The zero value reproduces the plain
+// blocking entry points.
+type RunOptions struct {
+	// Ctx, when non-nil, is polled at every epoch boundary; once it is
+	// cancelled the run writes a final checkpoint (if Checkpoint is set)
+	// and returns ErrStopped.
+	Ctx context.Context
+	// Checkpoint, when non-nil, receives the complete resumable training
+	// state. It is called after every CheckpointEvery-th lifetime epoch
+	// and once more on cancellation. An error from it aborts the run.
+	Checkpoint func(*TrainState) error
+	// CheckpointEvery is the lifetime-epoch period between periodic
+	// checkpoints (<= 0 with a non-nil Checkpoint: only the final
+	// cancellation checkpoint is written).
+	CheckpointEvery int
+	// ResumeVal restores mid-run early-stopping state captured in a
+	// previous TrainWithValidationOpts checkpoint. Ignored by
+	// TrainEpochsOpts.
+	ResumeVal *ValState
+}
+
+// checkpointDue reports whether a checkpoint should follow the given
+// 0-based lifetime epoch.
+func (o RunOptions) checkpointDue(lifetimeEpoch int) bool {
+	return o.Checkpoint != nil && o.CheckpointEvery > 0 && (lifetimeEpoch+1)%o.CheckpointEvery == 0
+}
+
+// stopped reports whether the run's context has been cancelled.
+func (o RunOptions) stopped() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
+}
 
 // Config describes a fully connected regression network.
 type Config struct {
@@ -90,6 +130,13 @@ type Network struct {
 	// this network, in order — full training followed by any
 	// fine-tuning epochs (Fig 12 plots this).
 	Losses []float64
+	// shuffle drives minibatch permutation. Its entire state is one
+	// uint64 that advances epoch by epoch across every training call on
+	// this network, and it is captured/restored by TrainState — the key
+	// to bit-identical crash/resume replay. Each epoch's permutation is
+	// a fresh identity shuffled once, so the permutation is a pure
+	// function of the generator state at that epoch.
+	shuffle *mathutil.SplitMix
 }
 
 type adamPair struct {
@@ -110,7 +157,7 @@ func New(cfg Config) (*Network, error) {
 		cfg.BatchSize = 256
 	}
 	cfg.Adam = cfg.Adam.withDefaults()
-	n := &Network{cfg: cfg}
+	n := &Network{cfg: cfg, shuffle: mathutil.NewSplitMix(cfg.Seed ^ 0x7a21b3)}
 	widths := append(append([]int{cfg.In}, cfg.Hidden...), cfg.Out)
 	rng := mathutil.NewRNG(cfg.Seed)
 	for i := 0; i+1 < len(widths); i++ {
@@ -248,6 +295,17 @@ func Loss(pred, target *Matrix) (float64, error) {
 // returns the per-epoch mean losses (also appended to n.Losses).
 // Training is deterministic for a fixed config, seed, and worker count.
 func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
+	return n.TrainEpochsOpts(x, y, epochs, RunOptions{})
+}
+
+// TrainEpochsOpts is TrainEpochs with run controls: context cancellation
+// stops the run on the next epoch boundary (returning ErrStopped with
+// the losses so far), and a checkpoint sink receives the complete
+// resumable training state on the configured period. Training resumed
+// from such a state replays bit-identically: the minibatch permutation
+// generator's position is part of the state, and each epoch's
+// permutation depends only on that position.
+func (n *Network) TrainEpochsOpts(x, y *Matrix, epochs int, run RunOptions) ([]float64, error) {
 	if x.Rows != y.Rows {
 		return nil, errors.New("nn: x/y row mismatch")
 	}
@@ -266,11 +324,7 @@ func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
 		batch = x.Rows
 	}
 
-	rng := mathutil.NewRNG(n.cfg.Seed ^ 0x7a21b3)
 	perm := make([]int, x.Rows)
-	for i := range perm {
-		perm[i] = i
-	}
 
 	// Per-worker scratch: gradient buffers and activation caches sized
 	// for the largest shard.
@@ -301,8 +355,20 @@ func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
 		epochStart = time.Now()
 	}
 	for e := 0; e < epochs; e++ {
+		if run.stopped() {
+			if err := n.finalCheckpoint(run); err != nil {
+				return epochLosses, err
+			}
+			return epochLosses, ErrStopped
+		}
 		adamCfg.LearningRate = n.LearningRateAt(epochBase + e)
-		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		// A fresh identity permutation shuffled once: the epoch's batch
+		// order is a pure function of the generator state, which a
+		// checkpoint restores exactly.
+		for i := range perm {
+			perm[i] = i
+		}
+		n.shuffle.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		totalLoss := 0.0
 		for start := 0; start < x.Rows; start += batch {
 			end := start + batch
@@ -322,6 +388,12 @@ func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
 		}
 		meanLoss := totalLoss / float64(x.Rows)
 		epochLosses = append(epochLosses, meanLoss)
+		// Losses is appended per epoch (not once at the end) so a
+		// checkpoint taken after any epoch sees the loss history the
+		// resumed run will continue from.
+		n.mu.Lock()
+		n.Losses = append(n.Losses, meanLoss)
+		n.mu.Unlock()
 		if n.obs != nil {
 			now := time.Now()
 			d := now.Sub(epochStart)
@@ -340,11 +412,24 @@ func (n *Network) TrainEpochs(x, y *Matrix, epochs int) ([]float64, error) {
 				DurationNS:      int64(d),
 			})
 		}
+		if run.checkpointDue(epochBase + e) {
+			if err := run.Checkpoint(n.CaptureTrainState()); err != nil {
+				return epochLosses, fmt.Errorf("nn: checkpoint at epoch %d: %w", epochBase+e, err)
+			}
+		}
 	}
-	n.mu.Lock()
-	n.Losses = append(n.Losses, epochLosses...)
-	n.mu.Unlock()
 	return epochLosses, nil
+}
+
+// finalCheckpoint writes the cancellation checkpoint, if configured.
+func (n *Network) finalCheckpoint(run RunOptions) error {
+	if run.Checkpoint == nil {
+		return nil
+	}
+	if err := run.Checkpoint(n.CaptureTrainState()); err != nil {
+		return fmt.Errorf("nn: final checkpoint: %w", err)
+	}
+	return nil
 }
 
 // LearningRateAt returns the learning rate in effect during the given
@@ -369,12 +454,56 @@ func (n *Network) LearningRateAt(lifetimeEpoch int) float64 {
 	return lr
 }
 
+// ValState is the early-stopping state of an in-progress
+// TrainWithValidation run: everything beyond the network itself that a
+// checkpoint must carry for the resumed run to behave identically —
+// best-so-far validation loss and weights, the patience counter, and
+// the loss histories accumulated so far in the run.
+type ValState struct {
+	Best        float64
+	Bad         int
+	BestWeights [][]float64
+	BestBiases  [][]float64
+	TrainLosses []float64
+	ValLosses   []float64
+}
+
+// clone deep-copies the state so a checkpoint cannot alias live buffers.
+func (v *ValState) clone() *ValState {
+	if v == nil {
+		return nil
+	}
+	cp := &ValState{Best: v.Best, Bad: v.Bad}
+	for _, w := range v.BestWeights {
+		cp.BestWeights = append(cp.BestWeights, append([]float64(nil), w...))
+	}
+	for _, b := range v.BestBiases {
+		cp.BestBiases = append(cp.BestBiases, append([]float64(nil), b...))
+	}
+	cp.TrainLosses = append([]float64(nil), v.TrainLosses...)
+	cp.ValLosses = append([]float64(nil), v.ValLosses...)
+	return cp
+}
+
 // TrainWithValidation trains like TrainEpochs but holds out (vx, vy)
 // for per-epoch validation and stops early when the validation loss has
 // not improved for `patience` consecutive epochs, restoring the weights
 // of the best epoch. It returns the per-epoch training and validation
 // losses (equal length, ending at the stopping epoch).
 func (n *Network) TrainWithValidation(x, y, vx, vy *Matrix, epochs, patience int) (trainLosses, valLosses []float64, err error) {
+	return n.TrainWithValidationOpts(x, y, vx, vy, epochs, patience, RunOptions{})
+}
+
+// TrainWithValidationOpts is TrainWithValidation with run controls (see
+// RunOptions). Checkpoints taken here additionally carry the
+// early-stopping state; pass the loaded state back via run.ResumeVal —
+// along with a network restored by Resume — and the continued run
+// produces bit-identical weights and loss history to one that was never
+// interrupted. `epochs` is the number of epochs to run in this call
+// (on resume: the original budget minus the epochs already recorded).
+// The returned loss histories include the resumed-over prefix, so they
+// always span the whole logical run.
+func (n *Network) TrainWithValidationOpts(x, y, vx, vy *Matrix, epochs, patience int, run RunOptions) (trainLosses, valLosses []float64, err error) {
 	if vx.Rows != vy.Rows || vx.Rows == 0 {
 		return nil, nil, errors.New("nn: empty or mismatched validation set")
 	}
@@ -384,6 +513,18 @@ func (n *Network) TrainWithValidation(x, y, vx, vy *Matrix, epochs, patience int
 	best := math.Inf(1)
 	bad := 0
 	var bestW, bestB [][]float64
+	if rv := run.ResumeVal; rv != nil {
+		best = rv.Best
+		bad = rv.Bad
+		for _, w := range rv.BestWeights {
+			bestW = append(bestW, append([]float64(nil), w...))
+		}
+		for _, b := range rv.BestBiases {
+			bestB = append(bestB, append([]float64(nil), b...))
+		}
+		trainLosses = append(trainLosses, rv.TrainLosses...)
+		valLosses = append(valLosses, rv.ValLosses...)
+	}
 	snapshot := func() {
 		bestW = bestW[:0]
 		bestB = bestB[:0]
@@ -392,12 +533,29 @@ func (n *Network) TrainWithValidation(x, y, vx, vy *Matrix, epochs, patience int
 			bestB = append(bestB, append([]float64(nil), l.b...))
 		}
 	}
+	capture := func() *TrainState {
+		ts := n.CaptureTrainState()
+		ts.Val = (&ValState{
+			Best: best, Bad: bad,
+			BestWeights: bestW, BestBiases: bestB,
+			TrainLosses: trainLosses, ValLosses: valLosses,
+		}).clone()
+		return ts
+	}
 	// The observer is driven from this loop (not the inner TrainEpochs
 	// calls) so each stat carries the epoch's validation loss too.
 	obs := n.obs
 	n.obs = nil
 	defer func() { n.obs = obs }()
 	for e := 0; e < epochs; e++ {
+		if run.stopped() {
+			if run.Checkpoint != nil {
+				if cerr := run.Checkpoint(capture()); cerr != nil {
+					return trainLosses, valLosses, fmt.Errorf("nn: final checkpoint: %w", cerr)
+				}
+			}
+			return trainLosses, valLosses, ErrStopped
+		}
 		epochStart := time.Now()
 		tl, err := n.TrainEpochs(x, y, 1)
 		if err != nil {
@@ -439,6 +597,11 @@ func (n *Network) TrainWithValidation(x, y, vx, vy *Matrix, epochs, patience int
 			bad++
 			if bad >= patience {
 				break
+			}
+		}
+		if run.checkpointDue(len(n.Losses) - 1) {
+			if err := run.Checkpoint(capture()); err != nil {
+				return trainLosses, valLosses, fmt.Errorf("nn: checkpoint at epoch %d: %w", len(n.Losses)-1, err)
 			}
 		}
 	}

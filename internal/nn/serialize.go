@@ -2,6 +2,7 @@ package nn
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -102,6 +103,111 @@ func LoadFile(path string) (*Network, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// TrainState is the complete resumable training state of a network:
+// everything needed to continue an interrupted run bit-identically.
+// Beyond what Save persists (config, weights, biases, freeze flags,
+// loss history) it carries the Adam moment estimates and step counters
+// per layer, the minibatch-shuffle generator state, and — when captured
+// mid-TrainWithValidation — the early-stopping state. It is plain
+// exported data, gob-encodable; internal/checkpoint writes it to disk
+// atomically.
+type TrainState struct {
+	Version int
+	Config  Config
+	Weights [][]float64
+	Biases  [][]float64
+	Frozen  []bool
+	Losses  []float64
+	// Adam first/second moments and step counts, one entry per dense
+	// layer, for the weight and bias parameter groups respectively.
+	AdamWM, AdamWV [][]float64
+	AdamBM, AdamBV [][]float64
+	AdamWT, AdamBT []int
+	// Shuffle is the minibatch permutation generator state.
+	Shuffle uint64
+	// Val is the early-stopping state of an in-progress
+	// TrainWithValidation run (nil for plain TrainEpochs runs).
+	Val *ValState
+}
+
+const trainStateVersion = 1
+
+// Epoch returns the number of lifetime epochs completed at capture time.
+func (ts *TrainState) Epoch() int { return len(ts.Losses) }
+
+// CaptureTrainState snapshots the complete resumable training state
+// under the network's mutex (safe against a concurrent Save/Clone, and
+// called between epochs by the training loop itself).
+func (n *Network) CaptureTrainState() *TrainState {
+	ts := &TrainState{
+		Version: trainStateVersion,
+		Config:  n.cfg,
+		Shuffle: n.shuffle.State(),
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ts.Losses = append([]float64(nil), n.Losses...)
+	for i, l := range n.layers {
+		ts.Weights = append(ts.Weights, append([]float64(nil), l.w...))
+		ts.Biases = append(ts.Biases, append([]float64(nil), l.b...))
+		ts.Frozen = append(ts.Frozen, l.frozen)
+		o := n.opts[i]
+		ts.AdamWM = append(ts.AdamWM, append([]float64(nil), o.w.m...))
+		ts.AdamWV = append(ts.AdamWV, append([]float64(nil), o.w.v...))
+		ts.AdamBM = append(ts.AdamBM, append([]float64(nil), o.b.m...))
+		ts.AdamBV = append(ts.AdamBV, append([]float64(nil), o.b.v...))
+		ts.AdamWT = append(ts.AdamWT, o.w.t)
+		ts.AdamBT = append(ts.AdamBT, o.b.t)
+	}
+	return ts
+}
+
+// Resume reconstructs a network from a captured TrainState. The
+// returned network continues training exactly where the capture left
+// off: same weights, optimizer moments, loss history, learning-rate
+// schedule position, and shuffle-generator state, so
+// resume(k epochs) + (N−k) epochs replays an uninterrupted N-epoch run
+// bit for bit (given the same training data and worker count).
+func Resume(ts *TrainState) (*Network, error) {
+	if ts.Version != trainStateVersion {
+		return nil, fmt.Errorf("nn: unsupported train-state version %d", ts.Version)
+	}
+	n, err := New(ts.Config)
+	if err != nil {
+		return nil, err
+	}
+	if len(ts.Weights) != len(n.layers) || len(ts.Biases) != len(n.layers) {
+		return nil, fmt.Errorf("nn: train state has %d layers, config implies %d", len(ts.Weights), len(n.layers))
+	}
+	if len(ts.AdamWM) != len(n.layers) || len(ts.AdamWV) != len(n.layers) ||
+		len(ts.AdamBM) != len(n.layers) || len(ts.AdamBV) != len(n.layers) ||
+		len(ts.AdamWT) != len(n.layers) || len(ts.AdamBT) != len(n.layers) {
+		return nil, errors.New("nn: train state optimizer shape mismatch")
+	}
+	for i, l := range n.layers {
+		if len(ts.Weights[i]) != len(l.w) || len(ts.Biases[i]) != len(l.b) ||
+			len(ts.AdamWM[i]) != len(l.w) || len(ts.AdamWV[i]) != len(l.w) ||
+			len(ts.AdamBM[i]) != len(l.b) || len(ts.AdamBV[i]) != len(l.b) {
+			return nil, fmt.Errorf("nn: train state layer %d shape mismatch", i)
+		}
+		copy(l.w, ts.Weights[i])
+		copy(l.b, ts.Biases[i])
+		if i < len(ts.Frozen) {
+			l.frozen = ts.Frozen[i]
+		}
+		o := n.opts[i]
+		copy(o.w.m, ts.AdamWM[i])
+		copy(o.w.v, ts.AdamWV[i])
+		copy(o.b.m, ts.AdamBM[i])
+		copy(o.b.v, ts.AdamBV[i])
+		o.w.t = ts.AdamWT[i]
+		o.b.t = ts.AdamBT[i]
+	}
+	n.Losses = append([]float64(nil), ts.Losses...)
+	n.shuffle.SetState(ts.Shuffle)
+	return n, nil
 }
 
 // Clone deep-copies the network, including weights, freeze flags and

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestReconstructErrorPaths pins the HTTP contract for every rejection
+// the reconstruct endpoint can issue: the exact status class, a JSON
+// body with a non-empty "error" field, and (where the message is part
+// of the contract, e.g. the re-upload hint on a cache miss) a
+// distinguishing substring. The fuzz target proves "never 5xx" over
+// arbitrary bytes; this test proves each specific 4xx is the *right*
+// 4xx.
+func TestReconstructErrorPaths(t *testing.T) {
+	_, base := startServer(t, Config{
+		MaxBodyBytes:  2048,
+		MaxGridPoints: 1 << 12,
+	})
+	url := base + "/v1/reconstruct"
+
+	small := func() *ReconstructRequest {
+		return &ReconstructRequest{
+			Method: "nearest",
+			Cloud:  testCloud(20, 7),
+			Grid:   GridJSON{Dims: [3]int{4, 4, 2}},
+		}
+	}
+
+	cases := []struct {
+		name string
+		// Exactly one of body (raw bytes) or req (marshalled) is set.
+		body     string
+		req      *ReconstructRequest
+		mutate   func(*ReconstructRequest)
+		wantCode int
+		wantMsg  string
+	}{
+		{
+			name:     "malformed json",
+			body:     `{"method": "nearest",`,
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "decoding request",
+		},
+		{
+			name:     "non-object json",
+			body:     `[1,2,3]`,
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "decoding request",
+		},
+		{
+			name:     "unknown method",
+			mutate:   func(r *ReconstructRequest) { r.Method = "extrapolate" },
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "extrapolate",
+		},
+		{
+			name:     "no cloud at all",
+			mutate:   func(r *ReconstructRequest) { r.Cloud = nil },
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "needs cloud or cloud_id",
+		},
+		{
+			name: "cloud and cloud_id both",
+			mutate: func(r *ReconstructRequest) {
+				r.CloudID = "0123456789abcdef"
+			},
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "not both",
+		},
+		{
+			name: "malformed cloud_id",
+			mutate: func(r *ReconstructRequest) {
+				r.Cloud, r.CloudID = nil, "not-a-hash"
+			},
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "bad cloud hash",
+		},
+		{
+			name: "unknown cloud_id",
+			mutate: func(r *ReconstructRequest) {
+				r.Cloud, r.CloudID = nil, "0123456789abcdef"
+			},
+			wantCode: http.StatusNotFound,
+			wantMsg:  "re-upload",
+		},
+		{
+			name: "empty cloud",
+			mutate: func(r *ReconstructRequest) {
+				r.Cloud = &CloudJSON{}
+			},
+			wantCode: http.StatusBadRequest,
+		},
+		{
+			name: "points/values length mismatch",
+			mutate: func(r *ReconstructRequest) {
+				r.Cloud.Values = r.Cloud.Values[:len(r.Cloud.Values)-1]
+			},
+			wantCode: http.StatusBadRequest,
+		},
+		{
+			name:     "zero grid dim",
+			mutate:   func(r *ReconstructRequest) { r.Grid.Dims = [3]int{4, 0, 2} },
+			wantCode: http.StatusBadRequest,
+		},
+		{
+			name:     "negative grid dim",
+			mutate:   func(r *ReconstructRequest) { r.Grid.Dims = [3]int{4, -1, 2} },
+			wantCode: http.StatusBadRequest,
+		},
+		{
+			name: "zero spacing",
+			mutate: func(r *ReconstructRequest) {
+				r.Grid.Spacing = &[3]float64{0, 1, 1}
+			},
+			wantCode: http.StatusBadRequest,
+		},
+		{
+			name: "grid over the point ceiling",
+			mutate: func(r *ReconstructRequest) {
+				r.Grid.Dims = [3]int{17, 17, 17} // 4913 > 4096
+			},
+			wantCode: http.StatusRequestEntityTooLarge,
+			wantMsg:  "exceeds the server limit",
+		},
+		{
+			name: "grid dims overflow int64",
+			mutate: func(r *ReconstructRequest) {
+				r.Grid.Dims = [3]int{1 << 31, 1 << 31, 1 << 31}
+			},
+			wantCode: http.StatusRequestEntityTooLarge,
+		},
+		{
+			name: "region box outside grid",
+			mutate: func(r *ReconstructRequest) {
+				r.Region = RegionJSON{Box: &[6]int{0, 0, 0, 99, 99, 99}}
+			},
+			wantCode: http.StatusBadRequest,
+		},
+		{
+			name: "region box and points both",
+			mutate: func(r *ReconstructRequest) {
+				r.Region = RegionJSON{
+					Box:    &[6]int{0, 0, 0, 1, 1, 1},
+					Points: [][3]float64{{0, 0, 0}},
+				}
+			},
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "both box and points",
+		},
+		{
+			// Sent raw: omitempty on Points would drop the empty list
+			// during marshalling and the server would see no region.
+			name:     "region with empty points list",
+			body:     `{"method":"nearest","cloud":{"points":[[0,0,0]],"values":[1]},"grid":{"dims":[2,2,2]},"region":{"points":[]}}`,
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "empty",
+		},
+		{
+			name:     "body over MaxBodyBytes",
+			req:      &ReconstructRequest{Method: "nearest", Cloud: testCloud(200, 7), Grid: GridJSON{Dims: [3]int{4, 4, 2}}},
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "request body too large",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var code int
+			var body []byte
+			switch {
+			case tc.body != "":
+				resp, err := http.Post(url, "application/json", strings.NewReader(tc.body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				code = resp.StatusCode
+				body = make([]byte, 4096)
+				n, _ := resp.Body.Read(body)
+				body = body[:n]
+			default:
+				req := tc.req
+				if req == nil {
+					req = small()
+				}
+				if tc.mutate != nil {
+					tc.mutate(req)
+				}
+				code, body = postJSON(t, url, req)
+			}
+
+			if code != tc.wantCode {
+				t.Fatalf("status %d, want %d (body %s)", code, tc.wantCode, body)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body is not JSON: %v (%s)", err, body)
+			}
+			if er.Error == "" {
+				t.Fatalf("error body has empty message: %s", body)
+			}
+			if tc.wantMsg != "" && !strings.Contains(er.Error, tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", er.Error, tc.wantMsg)
+			}
+		})
+	}
+
+	// A valid request through the same server still succeeds — the table
+	// above must be rejecting the requests, not the server config.
+	code, body := postJSON(t, url, small())
+	if code != http.StatusOK {
+		t.Fatalf("control request failed: %d %s", code, body)
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"fillvoid/internal/interp"
+	"fillvoid/internal/telemetry"
+)
+
+// fuzzServer builds one in-process server shared by all fuzz execs (the
+// handler is concurrency-safe; building per exec would dominate the
+// fuzz loop).
+func fuzzServer(tb testing.TB) *Server {
+	tb.Helper()
+	s, err := New(Config{
+		Registry:      interp.StandardRegistry(1),
+		Telemetry:     telemetry.NewRegistry(),
+		MaxBodyBytes:  1 << 20,
+		MaxGridPoints: 1 << 16,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// FuzzReconstructRequest throws arbitrary bytes at POST /v1/reconstruct.
+// The contract: any malformed body yields a 4xx with a JSON error
+// payload — never a panic (the handler runs on the fuzzing goroutine,
+// so a panic fails the fuzz run, unlike production where net/http would
+// turn it into a connection reset) and never a 5xx.
+func FuzzReconstructRequest(f *testing.F) {
+	// Valid request.
+	valid, _ := json.Marshal(ReconstructRequest{
+		Method: "nearest",
+		Cloud:  testCloud(30, 1),
+		Grid:   GridJSON{Dims: [3]int{4, 4, 2}},
+	})
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"method":"nearest"}`))
+	f.Add([]byte(`{"method":"nope","cloud":{"points":[[0,0,0]],"values":[1]},"grid":{"dims":[2,2,2]}}`))
+	f.Add([]byte(`{"method":"nearest","cloud":{"points":[[0,0,0]],"values":[1,2]},"grid":{"dims":[2,2,2]}}`))
+	f.Add([]byte(`{"method":"nearest","cloud":{"points":[],"values":[]},"grid":{"dims":[2,2,2]}}`))
+	f.Add([]byte(`{"method":"nearest","cloud_id":"zzz","grid":{"dims":[2,2,2]}}`))
+	f.Add([]byte(`{"method":"nearest","cloud":{"points":[[0,0,0]],"values":[1]},"grid":{"dims":[1073741824,1073741824,1073741824]}}`))
+	f.Add([]byte(`{"method":"nearest","cloud":{"points":[[0,0,0]],"values":[1]},"grid":{"dims":[2,2,2],"spacing":[0,0,0]}}`))
+	f.Add([]byte(`{"method":"nearest","cloud":{"points":[[0,0,0]],"values":[1]},"grid":{"dims":[2,2,2]},"region":{"box":[0,0,0,9,9,9]}}`))
+	f.Add([]byte(`{"method":"nearest","cloud":{"points":[[0,0,0]],"values":[1]},"grid":{"dims":[2,2,2]},"region":{"box":[0,0,0,1,1,1],"points":[[0,0,0]]}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json at all`))
+
+	s := fuzzServer(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/reconstruct", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+
+		code := rec.Code
+		if code >= 500 {
+			t.Fatalf("malformed request produced %d: body %q -> %s", code, body, rec.Body.Bytes())
+		}
+		if code != 200 {
+			var er errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("status %d without JSON error body: %q", code, rec.Body.Bytes())
+			}
+		}
+	})
+}

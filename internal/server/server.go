@@ -62,6 +62,12 @@ type Config struct {
 	CloudCacheSize int
 	// MaxBodyBytes bounds request bodies (default 1 GiB).
 	MaxBodyBytes int64
+	// MaxGridPoints bounds the number of output points one request may
+	// ask for (region length: the full grid, a sub-box, or a point
+	// list). Beyond it the request is rejected with 413 instead of
+	// attempting an attacker-sized allocation (default 1<<26, i.e. a
+	// 512 MiB float64 volume).
+	MaxGridPoints int64
 	// Telemetry receives the server's metrics (default: the process
 	// global registry).
 	Telemetry *telemetry.Registry
@@ -88,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 30
+	}
+	if c.MaxGridPoints <= 0 {
+		c.MaxGridPoints = 1 << 26
 	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.Default()
@@ -216,6 +225,19 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// gridPoints returns spec's total point count, or -1 when the product
+// overflows int64 (dims come straight off the wire).
+func gridPoints(spec recon.GridSpec) int64 {
+	nx, ny, nz := int64(spec.NX), int64(spec.NY), int64(spec.NZ)
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return -1
+	}
+	if ny > (1<<62)/nx || nz > (1<<62)/(nx*ny) {
+		return -1
+	}
+	return nx * ny * nz
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -330,6 +352,15 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	spec, err := req.Grid.toSpec()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Bound the grid before Region math touches it: NX*NY*NZ from the
+	// wire can overflow int, and even in range it sizes the output
+	// allocation, so it must not exceed the configured ceiling.
+	if pts := gridPoints(spec); pts < 0 || pts > s.cfg.MaxGridPoints {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"grid %dx%dx%d exceeds the server limit of %d points",
+			spec.NX, spec.NY, spec.NZ, s.cfg.MaxGridPoints)
 		return
 	}
 	region, err := req.Region.toRegion(spec)

@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fillvoid/internal/datasets"
+)
+
+// TestPipelineCheckpointing: with CheckpointDir set, each timestep's
+// training run leaves checkpoints under its own subdirectory, and the
+// pipeline still produces a sane reconstruction.
+func TestPipelineCheckpointing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	cfg := tinyConfig()
+	cfg.Options.Hidden = []int{24, 12}
+	cfg.Options.Epochs = 8
+	cfg.Options.MaxTrainRows = 1500
+	cfg.Options.Workers = 2
+	cfg.FineTuneEpochs = 4
+	cfg.CheckpointDir = t.TempDir()
+	cfg.CheckpointEvery = 2
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := datasets.NewIsabel(7)
+	for _, ts := range []int{4, 8} {
+		truth := datasets.Volume(gen, 16, 16, 8, ts)
+		if _, err := p.Step(truth, ts); err != nil {
+			t.Fatalf("t=%d: %v", ts, err)
+		}
+	}
+	for _, sub := range []string{"t0004", "t0008"} {
+		entries, err := os.ReadDir(filepath.Join(cfg.CheckpointDir, sub))
+		if err != nil {
+			t.Fatalf("reading %s: %v", sub, err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("no checkpoints under %s", sub)
+		}
+	}
+}

@@ -18,8 +18,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
+	"fillvoid/internal/checkpoint"
 	"fillvoid/internal/codec"
 	"fillvoid/internal/core"
 	"fillvoid/internal/grid"
@@ -64,6 +66,16 @@ type Config struct {
 	// Telemetry receives the pipeline's spans and counters (nil: the
 	// process-global telemetry.Default registry).
 	Telemetry *telemetry.Registry
+	// CheckpointDir, when set, makes every training phase crash-safe:
+	// each timestep's pretrain/fine-tune writes atomic checkpoints under
+	// CheckpointDir/tNNNN and resumes from them when the pipeline is
+	// restarted on the same directory (see internal/checkpoint).
+	CheckpointDir string
+	// CheckpointEvery is the epoch period between checkpoints (default
+	// 25) when CheckpointDir is set.
+	CheckpointEvery int
+	// CheckpointKeep is the per-timestep retention depth (default 3).
+	CheckpointKeep int
 }
 
 // StepReport summarizes one pipeline step.
@@ -169,14 +181,33 @@ func (p *Pipeline) StepCtx(ctx context.Context, truth *grid.Volume, t int) (Step
 	// clock around the call, so report and telemetry cannot drift.
 	trainSp := stepSp.Child("train")
 	first := p.model == nil
-	if first {
+	if p.cfg.CheckpointDir != "" {
+		ck, err := p.stepCheckpointing(t)
+		if err != nil {
+			trainSp.End()
+			return rep, err
+		}
+		if first {
+			model, err := core.PretrainResumable(ctx, truth, p.cfg.FieldName, sampler, p.cfg.Options, ck)
+			if err != nil {
+				trainSp.End()
+				return rep, err
+			}
+			p.model = model
+		} else if err := p.model.FineTuneResumable(ctx, truth, sampler, p.cfg.Mode, p.cfg.FineTuneEpochs, ck); err != nil {
+			trainSp.End()
+			return rep, err
+		}
+	} else if first {
 		model, err := core.Pretrain(truth, p.cfg.FieldName, sampler, p.cfg.Options)
 		if err != nil {
+			trainSp.End()
 			return rep, err
 		}
 		p.model = model
 	} else {
 		if err := p.model.FineTune(truth, sampler, p.cfg.Mode, p.cfg.FineTuneEpochs); err != nil {
+			trainSp.End()
 			return rep, err
 		}
 	}
@@ -244,6 +275,21 @@ func (p *Pipeline) StepCtx(ctx context.Context, truth *grid.Volume, t int) (Step
 
 	p.reports = append(p.reports, rep)
 	return rep, nil
+}
+
+// stepCheckpointing builds the per-timestep checkpoint configuration:
+// one subdirectory per timestep (each training run owns its directory),
+// always resuming — a fresh directory is a normal cold start.
+func (p *Pipeline) stepCheckpointing(t int) (core.Checkpointing, error) {
+	m, err := checkpoint.NewManager(checkpoint.Config{
+		Dir:       filepath.Join(p.cfg.CheckpointDir, fmt.Sprintf("t%04d", t)),
+		Keep:      p.cfg.CheckpointKeep,
+		Telemetry: p.telemetry(),
+	})
+	if err != nil {
+		return core.Checkpointing{}, err
+	}
+	return core.Checkpointing{Manager: m, Every: p.cfg.CheckpointEvery, Resume: true}, nil
 }
 
 // telemetry returns the registry pipeline instrumentation records into.
