@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench experiments-smoke serve-smoke cover fuzz clean
+.PHONY: all build vet test test-short race check lint bench experiments-smoke serve-smoke cover fuzz clean
 
 all: build vet test
 
@@ -24,8 +24,14 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
-# The full pre-commit gate: compile, lint, race-check, test.
-check: build vet race test-short
+# The full pre-commit gate: compile, vet, project lint, race-check, test.
+check: build vet lint race test-short
+
+# The project's own static-analysis suite (cmd/fillvoid-lint): six
+# typed checks over every package, gated on the committed baseline of
+# grandfathered findings. Exit 1 on any new finding.
+lint:
+	$(GO) run ./cmd/fillvoid-lint -baseline lint.baseline.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt

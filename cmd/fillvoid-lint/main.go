@@ -1,0 +1,149 @@
+// Command fillvoid-lint runs the repo's typed static-analysis suite
+// (internal/analysis): project-specific checks that enforce the
+// determinism, concurrency and observability invariants the training
+// and serving paths depend on. See README "Static analysis".
+//
+// Exit status: 0 when clean (modulo annotations and baseline), 1 when
+// there are findings, 2 when the module cannot be loaded or
+// type-checked.
+//
+// Usage:
+//
+//	fillvoid-lint [-dir .] [-checks a,b,...] [-json] [-baseline file]
+//	              [-write-baseline] [-list]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fillvoid/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// report is the JSON output document.
+type report struct {
+	Module        string             `json:"module"`
+	Checks        []string           `json:"checks"`
+	Findings      []analysis.Finding `json:"findings"`
+	Grandfathered int                `json:"grandfathered"`
+	Stale         []string           `json:"stale_baseline_entries,omitempty"`
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("fillvoid-lint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	dir := fs.String("dir", ".", "directory inside the module to lint (the whole module is analyzed)")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all; see -list)")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report on stdout instead of text lines")
+	baselinePath := fs.String("baseline", "", "baseline file of grandfathered findings (missing file = empty baseline)")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to -baseline and exit 0 (adopting the gate)")
+	list := fs.Bool("list", false, "list the registered checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: typed static analysis for the fillvoid repo\n\n")
+		fmt.Fprintf(os.Stderr, "usage: fillvoid-lint [flags]\n\nflags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nFindings print as file:line:col: [check] message. Suppress one finding\nwith an audited annotation on (or directly above) the offending line:\n\n\t//lint:allow <check>: <reason>\n\nexit status: 0 clean, 1 findings, 2 load/type-check failure\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analysis.DefaultSuite()
+	if *list {
+		for _, a := range suite.Analyzers {
+			fmt.Fprintf(os.Stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		sub, err := suite.Select(strings.Split(*checks, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
+			return 2
+		}
+		suite = sub
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: -write-baseline requires -baseline\n")
+		return 2
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
+		return 2
+	}
+
+	findings := suite.Run(loader.Fset, pkgs, root)
+
+	if *writeBaseline {
+		if err := analysis.WriteBaseline(*baselinePath, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
+		return 0
+	}
+
+	grandfathered := 0
+	var stale []analysis.BaselineEntry
+	if *baselinePath != "" {
+		bl, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
+			return 2
+		}
+		findings, grandfathered, stale = bl.Filter(findings)
+	}
+
+	if *jsonOut {
+		rep := report{
+			Module:        loader.ModulePath,
+			Checks:        suite.Names(),
+			Findings:      findings,
+			Grandfathered: grandfathered,
+		}
+		if rep.Findings == nil {
+			rep.Findings = []analysis.Finding{}
+		}
+		for _, e := range stale {
+			rep.Stale = append(rep.Stale, fmt.Sprintf("%s [%s] %s (count %d)", e.File, e.Check, e.Message, e.Count))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stdout, f.String())
+		}
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "fillvoid-lint: stale baseline entry (finding fixed — delete it): %s [%s] %s\n", e.File, e.Check, e.Message)
+		}
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: %d package(s), %d check(s), %d finding(s), %d grandfathered\n",
+			len(pkgs), len(suite.Analyzers), len(findings), grandfathered)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

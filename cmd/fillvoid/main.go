@@ -118,7 +118,9 @@ func cmdGenerate(args []string) (err error) {
 	seed := fs.Int64("seed", 42, "generator seed")
 	out := fs.String("o", "volume.vti", "output .vti path")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err
@@ -147,7 +149,9 @@ func cmdSample(args []string) (err error) {
 	seed := fs.Int64("seed", 42, "sampler seed")
 	out := fs.String("o", "points.vtp", "output .vtp path")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err
@@ -190,7 +194,9 @@ func cmdTrain(args []string) (err error) {
 	ckKeep := fs.Int("checkpoint-keep", 3, "checkpoints retained (newest first)")
 	resume := fs.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err
@@ -262,7 +268,9 @@ func cmdFinetune(args []string) (err error) {
 	caseMode := fs.Int("case", 1, "1 = all layers (fast), 2 = last two layers (small storage)")
 	seed := fs.Int64("seed", 42, "sampler seed")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err
@@ -305,7 +313,9 @@ func cmdReconstruct(args []string) (err error) {
 	model := fs.String("model", "", "trained model path (required for -method fcnn)")
 	out := fs.String("o", "recon.vti", "output .vti path")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err
@@ -355,7 +365,9 @@ func cmdEvaluate(args []string) (err error) {
 	truthPath := fs.String("truth", "", "ground-truth .vti")
 	reconPath := fs.String("recon", "", "reconstructed .vti")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err
@@ -399,7 +411,9 @@ func cmdRender(args []string) (err error) {
 	slice := fs.Int("slice", -1, "z-slice index (-1 = middle)")
 	out := fs.String("o", "slice.ppm", "output .ppm path")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err
@@ -452,7 +466,9 @@ func cmdPack(args []string) (err error) {
 	seed := fs.Int64("seed", 42, "sampler seed")
 	out := fs.String("o", "samples.fvs", "output .fvs path")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err
@@ -483,6 +499,7 @@ func cmdPack(args []string) (err error) {
 		return err
 	}
 	if err := codec.Encode(f, v, name, idxs, values, codec.Options{ValueBits: *bits}); err != nil {
+		//lint:allow errdrop: the encode error is being returned; Close here only releases the fd on a file we will not keep
 		f.Close()
 		return err
 	}
@@ -504,7 +521,9 @@ func cmdUnpack(args []string) (err error) {
 	in := fs.String("in", "", "input .fvs file")
 	out := fs.String("o", "points.vtp", "output .vtp path")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err

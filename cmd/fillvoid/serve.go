@@ -32,7 +32,9 @@ func cmdServe(args []string) (err error) {
 	cloudCache := fs.Int("cloud-cache", 0, "uploaded-cloud LRU capacity (0 = 32)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max graceful-shutdown drain before aborting in-flight work")
 	tf := telemetry.RegisterFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	finish, err := startTelemetry(tf, &err)
 	if err != nil {
 		return err

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// allowPrefix is the audited-suppression directive. Full form:
+//
+//	//lint:allow <check>: <reason>
+//
+// The directive suppresses findings of <check> reported on the same
+// line or on the line directly below the comment, so both trailing
+// comments and own-line comments above the offending statement work.
+// The reason is mandatory: an annotation without one is itself a
+// finding (check "lint"), because the whole point is an audit trail.
+const allowPrefix = "//lint:allow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	check  string
+	reason string
+	file   string // absolute filename
+	line   int
+	used   bool
+}
+
+// allowIndex maps absolute filename -> line -> directives on that line.
+type allowIndex map[string]map[int][]*allowDirective
+
+// collectAllows parses every //lint:allow directive in the packages'
+// comments. Malformed directives (missing check, missing reason, or a
+// check name the suite does not know) are returned as findings under
+// the reserved "lint" check; their File field holds the absolute path
+// and is relocated by the caller.
+func collectAllows(fset *token.FileSet, pkgs []*Package, known []string) (allowIndex, []Finding) {
+	knownSet := make(map[string]bool, len(known))
+	for _, k := range known {
+		knownSet[k] = true
+	}
+	idx := make(allowIndex)
+	var bad []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					if !strings.HasPrefix(text, allowPrefix) {
+						continue
+					}
+					pos := fset.Position(c.Slash)
+					d, problem := parseAllow(text)
+					if problem == "" && !knownSet[d.check] {
+						problem = "unknown check " + d.check
+					}
+					if problem != "" {
+						bad = append(bad, Finding{
+							Check:   "lint",
+							File:    pos.Filename,
+							Line:    pos.Line,
+							Col:     pos.Column,
+							Message: "malformed " + allowPrefix + " annotation (" + problem + "); format: " + allowPrefix + " <check>: <reason>",
+						})
+						continue
+					}
+					d.file = pos.Filename
+					d.line = pos.Line
+					if idx[d.file] == nil {
+						idx[d.file] = make(map[int][]*allowDirective)
+					}
+					idx[d.file][d.line] = append(idx[d.file][d.line], d)
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// parseAllow splits "//lint:allow check: reason" into its parts,
+// returning a problem description when the directive is malformed.
+func parseAllow(text string) (*allowDirective, string) {
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "missing space after " + allowPrefix
+	}
+	rest = strings.TrimSpace(rest)
+	check, reason, ok := strings.Cut(rest, ":")
+	check = strings.TrimSpace(check)
+	reason = strings.TrimSpace(reason)
+	if check == "" {
+		return nil, "missing check name"
+	}
+	if strings.ContainsAny(check, " \t") {
+		return nil, "check name contains spaces"
+	}
+	if !ok || reason == "" {
+		return nil, "missing reason"
+	}
+	return &allowDirective{check: check, reason: reason}, ""
+}
+
+// suppress filters out findings covered by an allow directive on the
+// finding's line or the line above it. Findings arrive with File
+// already relative to relRoot; directives carry absolute paths, so the
+// lookup translates through relRoot.
+func suppress(findings []Finding, idx allowIndex, fset *token.FileSet, relRoot string) []Finding {
+	if len(idx) == 0 {
+		return findings
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		abs := f.File
+		if relRoot != "" && !filepath.IsAbs(abs) {
+			abs = filepath.Join(relRoot, filepath.FromSlash(f.File))
+		}
+		if allowedAt(idx, abs, f.Line, f.Check) || allowedAt(idx, abs, f.Line-1, f.Check) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func allowedAt(idx allowIndex, file string, line int, check string) bool {
+	for _, d := range idx[file][line] {
+		if d.check == check {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,202 @@
+// Package analysis is fillvoid's project-specific static-analysis
+// suite: a small analyzer driver built on the standard library's
+// go/parser and go/types (no external dependencies) plus a set of
+// typed checks that turn the repo's code-review conventions into
+// machine-checked gates.
+//
+// The invariants it guards are the ones resumable training (PR 4), the
+// reconstruction engine, and the serving path silently depend on:
+//
+//   - all randomness in the checkpoint-hashed packages flows through
+//     internal/mathutil's serializable generators (nondeterminism)
+//   - goroutine fan-out goes through internal/parallel so engine
+//     cancellation and worker accounting apply (rawgoroutine)
+//   - every telemetry span that is started is ended (spanpair)
+//   - context.Context parameters come first and are threaded through
+//     rather than replaced with context.Background (ctxfirst)
+//   - float64 values are never compared with ==/!= in numeric
+//     packages outside declared bit-exactness sites (floateq)
+//   - error returns are never silently dropped, in particular Close on
+//     writable files — checkpoint atomicity depends on checked
+//     fsync/Close (errdrop)
+//
+// Findings can be suppressed at the site with an audited annotation:
+//
+//	//lint:allow <check>: <reason>
+//
+// placed on the offending line or the line directly above it. The
+// reason is mandatory; a bare //lint:allow is itself reported. Legacy
+// findings can be grandfathered in a committed baseline file (see
+// Baseline) so the gate can be adopted without a flag day.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Check is the analyzer name ("rawgoroutine", "errdrop", ...).
+	Check string `json:"check"`
+	// File is the path of the offending file, relative to the module
+	// root when the file lives under it (stable across machines, and
+	// what the baseline keys on).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message describes the violated invariant and the fix.
+	Message string `json:"message"`
+}
+
+// String formats the finding in the canonical file:line:col: [check]
+// message form used by the text reporter.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Pass carries one (analyzer, package) run: the type-checked package
+// under inspection and the sink findings are reported into.
+type Pass struct {
+	Check string
+	Fset  *token.FileSet
+	Pkg   *Package
+
+	findings *[]Finding
+	relRoot  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	file := position.Filename
+	if p.relRoot != "" {
+		if rel, err := filepath.Rel(p.relRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	*p.findings = append(*p.findings, Finding{
+		Check:   p.Check,
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr in the pass's package (nil when the
+// expression was not type-checked, e.g. dead code).
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(expr)
+}
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	// Name identifies the check in output, -checks filters, baselines
+	// and //lint:allow annotations. Lower-case, no spaces.
+	Name string
+	// Doc is a one-line description of the invariant the check guards.
+	Doc string
+	// Run inspects pass.Pkg and calls pass.Reportf for each violation.
+	Run func(*Pass)
+}
+
+// Suite is an ordered set of analyzers run together over a set of
+// packages.
+type Suite struct {
+	Analyzers []*Analyzer
+}
+
+// Names returns the analyzer names in registration order.
+func (s *Suite) Names() []string {
+	names := make([]string, len(s.Analyzers))
+	for i, a := range s.Analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Select returns a sub-suite containing exactly the named analyzers,
+// or an error naming the first unknown check.
+func (s *Suite) Select(names []string) (*Suite, error) {
+	byName := make(map[string]*Analyzer, len(s.Analyzers))
+	for _, a := range s.Analyzers {
+		byName[a.Name] = a
+	}
+	out := &Suite{}
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (known: %s)", n, strings.Join(s.Names(), ", "))
+		}
+		out.Analyzers = append(out.Analyzers, a)
+	}
+	if len(out.Analyzers) == 0 {
+		return nil, fmt.Errorf("no checks selected")
+	}
+	return out, nil
+}
+
+// Run executes every analyzer over every package, applies
+// //lint:allow suppression, and returns the surviving findings sorted
+// by file, line, column, and check. relRoot, when non-empty, is the
+// directory finding paths are reported relative to (the module root).
+// Malformed allow annotations are reported under the reserved check
+// name "lint".
+func (s *Suite) Run(fset *token.FileSet, pkgs []*Package, relRoot string) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range s.Analyzers {
+			pass := &Pass{
+				Check:    a.Name,
+				Fset:     fset,
+				Pkg:      pkg,
+				findings: &findings,
+				relRoot:  relRoot,
+			}
+			a.Run(pass)
+		}
+	}
+
+	allows, bad := collectAllows(fset, pkgs, s.Names())
+	findings = append(findings, relocate(bad, relRoot)...)
+	findings = suppress(findings, allows, fset, relRoot)
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return findings
+}
+
+// relocate rewrites absolute finding paths relative to root.
+func relocate(fs []Finding, root string) []Finding {
+	if root == "" {
+		return fs
+	}
+	for i := range fs {
+		if rel, err := filepath.Rel(root, fs[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			fs[i].File = filepath.ToSlash(rel)
+		}
+	}
+	return fs
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry grandfathers Count findings matching (Check, File,
+// Message). Line numbers are deliberately not part of the key so that
+// unrelated edits shifting a file do not invalidate the baseline;
+// moving a grandfathered violation to a new file or changing what it
+// does resurfaces it.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// Baseline is the committed set of grandfathered findings.
+type Baseline struct {
+	// Comment documents the file's purpose for people opening it.
+	Comment string          `json:"comment,omitempty"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error:
+// it returns an empty baseline, so a repo without grandfathered
+// findings needs no file at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bl Baseline
+	if err := json.Unmarshal(b, &bl); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	return &bl, nil
+}
+
+// WriteBaseline writes the findings as a baseline file, merging
+// duplicates into counts and sorting for a stable diff.
+func WriteBaseline(path string, findings []Finding) error {
+	counts := make(map[[3]string]int)
+	for _, f := range findings {
+		counts[[3]string{f.Check, f.File, f.Message}]++
+	}
+	bl := Baseline{
+		Comment: "grandfathered fillvoid-lint findings; fix and shrink, never grow (see README \"Static analysis\")",
+	}
+	for k, n := range counts {
+		bl.Entries = append(bl.Entries, BaselineEntry{Check: k[0], File: k[1], Message: k[2], Count: n})
+	}
+	sort.Slice(bl.Entries, func(i, j int) bool {
+		a, b := bl.Entries[i], bl.Entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	out, err := json.MarshalIndent(&bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// Filter splits findings into new ones and grandfathered ones, and
+// also returns baseline entries that matched nothing (stale — the
+// grandfathered finding was fixed and the entry should be deleted).
+func (bl *Baseline) Filter(findings []Finding) (fresh []Finding, grandfathered int, stale []BaselineEntry) {
+	remaining := make(map[[3]string]int, len(bl.Entries))
+	for _, e := range bl.Entries {
+		remaining[[3]string{e.Check, e.File, e.Message}] += e.Count
+	}
+	for _, f := range findings {
+		k := [3]string{f.Check, f.File, f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			grandfathered++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range bl.Entries {
+		k := [3]string{e.Check, e.File, e.Message}
+		if remaining[k] > 0 {
+			e.Count = remaining[k]
+			remaining[k] = 0
+			stale = append(stale, e)
+		}
+	}
+	return fresh, grandfathered, stale
+}

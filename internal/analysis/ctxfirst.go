@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFirst returns the analyzer enforcing the repo's context
+// conventions: a function that takes a context.Context takes it as its
+// first parameter, and code lexically inside a function that already
+// has a context in scope does not mint a fresh context.Background /
+// context.TODO — that silently detaches the work from engine
+// cancellation (the exact bug class the recon engine's per-request
+// contexts exist to prevent).
+func CtxFirst() *Analyzer {
+	return &Analyzer{
+		Name: "ctxfirst",
+		Doc:  "context.Context parameters come first and are threaded through, not replaced with context.Background",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Pkg.Files {
+				checkCtxPosition(pass, f)
+				checkCtxDropped(pass, f)
+			}
+		},
+	}
+}
+
+// checkCtxPosition flags context parameters that are not first.
+func checkCtxPosition(pass *Pass, f *ast.File) {
+	check := func(ft *ast.FuncType, where string) {
+		if ft.Params == nil {
+			return
+		}
+		pos := 0 // flattened parameter index
+		for _, field := range ft.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if isContextType(pass.TypeOf(field.Type)) && pos > 0 {
+				pass.Reportf(field.Pos(), "context.Context is parameter %d of %s; it must come first", pos+1, where)
+			}
+			pos += n
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncDecl:
+			check(node.Type, node.Name.Name)
+		case *ast.FuncLit:
+			check(node.Type, "func literal")
+		}
+		return true
+	})
+}
+
+// checkCtxDropped flags context.Background()/context.TODO() calls made
+// lexically inside a function (or closure) that already has a
+// context.Context parameter in scope.
+func checkCtxDropped(pass *Pass, f *ast.File) {
+	// ctxDepth > 0 while the walk is inside at least one function
+	// whose parameters include a context.
+	var stack []bool
+	hasCtxParam := func(ft *ast.FuncType) bool {
+		if ft.Params == nil {
+			return false
+		}
+		for _, field := range ft.Params.List {
+			if isContextType(pass.TypeOf(field.Type)) {
+				return true
+			}
+		}
+		return false
+	}
+	inCtx := func() bool {
+		for _, b := range stack {
+			if b {
+				return true
+			}
+		}
+		return false
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncDecl:
+			if node.Body == nil {
+				return false
+			}
+			stack = append(stack, hasCtxParam(node.Type))
+			ast.Inspect(node.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.FuncLit:
+			stack = append(stack, hasCtxParam(node.Type))
+			ast.Inspect(node.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Pkg.Info, node)
+			if inCtx() && (isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO")) {
+				pass.Reportf(node.Pos(), "context.%s() inside a function that already receives a context; pass the caller's ctx down so cancellation propagates", fn.Name())
+			}
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+}

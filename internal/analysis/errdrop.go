@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop returns the analyzer forbidding silently discarded error
+// returns outside tests. Three shapes are flagged:
+//
+//  1. a call used as a bare statement whose results include an error
+//     ("f.Close()", "enc.Encode(v)") — the author may not even know
+//     the call can fail;
+//  2. an error result assigned to _ ("_ = f()", "n, _ := w.Write(p)")
+//     — visible but unaudited; the annotation records the why;
+//  3. "defer f.Close()" on a file opened for writing in the same
+//     function — the kernel reports write-back failures at Close, and
+//     checkpoint atomicity depends on that error being checked. Use a
+//     named-return close (defer func(){ if cerr := f.Close(); err ==
+//     nil { err = cerr } }()) instead.
+//
+// Writers whose errors are sticky or impossible are exempt so the
+// check stays high-signal: *bufio.Writer (Flush returns the sticky
+// error and must itself be checked), *bytes.Buffer, *strings.Builder
+// and hash.Hash never fail, and fmt printing to os.Stdout/os.Stderr
+// is the conventional best-effort CLI output path.
+//
+// exclude lists package-path prefixes (use a trailing slash for
+// subtrees) skipped entirely — the runnable examples prioritize
+// readability over error plumbing.
+func ErrDrop(exclude []string) *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "no silently discarded error returns; checked Close on writable files",
+		Run: func(pass *Pass) {
+			if inScope(exclude, pass.Pkg.Path) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				funcBodies(f, func(name string, body *ast.BlockStmt) {
+					checkErrDropInBody(pass, name, body)
+				})
+			}
+		},
+	}
+}
+
+func checkErrDropInBody(pass *Pass, funcName string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Files opened for writing in this body (os.Create / os.OpenFile).
+	writable := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if !isPkgFunc(fn, "os", "Create") && !isPkgFunc(fn, "os", "OpenFile") {
+			return true
+		}
+		if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				writable[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				writable[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(node.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if discardsError(pass, call) && !exemptSink(pass, call) {
+				pass.Reportf(call.Pos(), "error result of %s discarded in %s; handle it, or annotate: //lint:allow errdrop: <why ignoring is safe>", calleeLabel(info, call), funcName)
+			}
+		case *ast.AssignStmt:
+			checkBlankError(pass, funcName, node)
+		case *ast.DeferStmt:
+			sel, ok := ast.Unparen(node.Call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj != nil && writable[obj] && isNamedType(obj.Type(), "os", "File") {
+				pass.Reportf(node.Pos(), "defer %s.Close() drops the close error on a file opened for writing in %s; write-back failures surface at Close — use a named-return close check", id.Name, funcName)
+			}
+		}
+		return true
+	})
+}
+
+// checkBlankError flags blank-identifier assignment of an error result
+// produced by a call.
+func checkBlankError(pass *Pass, funcName string, assign *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		// Multi-value call: v, _ := f().
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		results := callResults(pass, call)
+		if results == nil {
+			return
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if ok && id.Name == "_" && i < results.Len() && isErrorType(results.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error from %s assigned to _ in %s; handle it, or annotate: //lint:allow errdrop: <why ignoring is safe>", calleeLabel(info, call), funcName)
+			}
+		}
+		return
+	}
+	// Parallel form: _ = f() (only the call-RHS case matters).
+	for i, lhs := range assign.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "_" || i >= len(assign.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isErrorType(pass.TypeOf(call)) && !exemptSink(pass, call) {
+			pass.Reportf(lhs.Pos(), "error from %s assigned to _ in %s; handle it, or annotate: //lint:allow errdrop: <why ignoring is safe>", calleeLabel(info, call), funcName)
+		}
+	}
+}
+
+// discardsError reports whether the bare call statement produces at
+// least one error among its results.
+func discardsError(pass *Pass, call *ast.CallExpr) bool {
+	results := callResults(pass, call)
+	if results == nil {
+		return false
+	}
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// callResults returns the result tuple of a call, or nil when the
+// callee is a builtin, a conversion, or single-result non-tuple call
+// whose type is reconstructed below.
+func callResults(pass *Pass, call *ast.CallExpr) *types.Tuple {
+	t := pass.TypeOf(call)
+	switch rt := t.(type) {
+	case *types.Tuple:
+		return rt
+	case nil:
+		return nil
+	default:
+		// Single result: synthesize a one-element tuple.
+		return types.NewTuple(types.NewVar(call.Pos(), nil, "", rt))
+	}
+}
+
+// exemptSink reports whether the discarded error comes from a writer
+// that cannot meaningfully fail here: in-memory buffers, hash state,
+// sticky bufio writers (their Flush is checked separately), and fmt
+// printing to the standard streams.
+func exemptSink(pass *Pass, call *ast.CallExpr) bool {
+	info := pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	// fmt.Print/Printf/Println go to stdout by definition.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				return exemptWriterExpr(pass, call.Args[0])
+			}
+		}
+		return false
+	}
+	// Methods on never-fail or sticky-error receivers.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if recvSel, ok := info.Selections[sel]; ok {
+			return exemptWriterType(recvSel.Recv())
+		}
+	}
+	// Fprint-shaped stdlib helpers (writer first): exempt with an
+	// exempt writer, like fmt.Fprint*.
+	if (isPkgFunc(fn, "io", "WriteString") || isPkgFunc(fn, "encoding/xml", "EscapeText")) && len(call.Args) > 0 {
+		return exemptWriterExpr(pass, call.Args[0])
+	}
+	return false
+}
+
+// exemptWriterExpr reports whether expr denotes an exempt write sink:
+// os.Stdout / os.Stderr, or a value of an exempt writer type.
+func exemptWriterExpr(pass *Pass, expr ast.Expr) bool {
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		if obj, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	return exemptWriterType(pass.TypeOf(expr))
+}
+
+// exemptWriterType reports whether t is one of the never-fail /
+// sticky-error writer types.
+func exemptWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return isNamedType(t, "strings", "Builder") ||
+		isNamedType(t, "bytes", "Buffer") ||
+		isNamedType(t, "bufio", "Writer") ||
+		isNamedType(t, "hash", "Hash") ||
+		isNamedType(t, "hash", "Hash32") ||
+		isNamedType(t, "hash", "Hash64")
+}
+
+// calleeLabel renders a short human name for the called function.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if _, name := namedOf(recv.Type()); name != "" {
+				return name + "." + fn.Name()
+			}
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

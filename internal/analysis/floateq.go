@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatEq returns the analyzer forbidding ==/!= between floating-point
+// values in the scoped numeric packages. Accumulated rounding makes
+// float equality order- and optimization-dependent, which is exactly
+// what the engine's fixed reduction order exists to control; quality
+// comparisons belong behind a tolerance.
+//
+// Two comparisons stay legal without annotation because they are
+// bit-exact by construction:
+//
+//   - comparison against a constant zero (the pervasive "was this
+//     distance/weight ever set" sentinel — ±0 is exactly
+//     representable and never the result of rounding drift in the
+//     guarded uses)
+//   - x != x / x == x on a single identifier (the portable NaN test)
+//
+// Everything else needs a tolerance or an audited
+// //lint:allow floateq annotation naming the bit-exactness invariant.
+func FloatEq(scope []string) *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "no ==/!= on floats in numeric packages, except zero sentinels and x!=x NaN tests",
+		Run: func(pass *Pass) {
+			if !inScope(scope, pass.Pkg.Path) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					bin, ok := n.(*ast.BinaryExpr)
+					if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+						return true
+					}
+					if !isFloat(pass.TypeOf(bin.X)) && !isFloat(pass.TypeOf(bin.Y)) {
+						return true
+					}
+					if isConstZero(pass, bin.X) || isConstZero(pass, bin.Y) {
+						return true
+					}
+					if isSameIdent(bin.X, bin.Y) {
+						return true // NaN test
+					}
+					pass.Reportf(bin.OpPos, "%s on floating point compares bit patterns, not values; use a tolerance (math.Abs(a-b) <= eps) or annotate the bit-exactness invariant", bin.Op)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isConstZero reports whether expr is a compile-time constant equal to
+// zero.
+func isConstZero(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isSameIdent reports whether both expressions are the same single
+// identifier (the x != x NaN idiom).
+func isSameIdent(a, b ast.Expr) bool {
+	ia, ok1 := ast.Unparen(a).(*ast.Ident)
+	ib, ok2 := ast.Unparen(b).(*ast.Ident)
+	return ok1 && ok2 && ia.Name == ib.Name
+}

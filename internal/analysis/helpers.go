@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inScope reports whether pkgPath is one of the listed paths. An entry
+// ending in "/" matches the whole subtree under it.
+func inScope(scope []string, pkgPath string) bool {
+	for _, s := range scope {
+		if s == pkgPath {
+			return true
+		}
+		if n := len(s); n > 0 && s[n-1] == '/' && len(pkgPath) > n && pkgPath[:n] == s {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, for
+// both package-level functions and methods. It returns nil for calls
+// through function-typed variables, builtins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function or method
+// pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// namedOf unwraps pointers and aliases down to a named type, returning
+// its package path and name ("", "" for unnamed types and types from
+// the universe scope).
+func namedOf(t types.Type) (pkgPath, name string) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Alias:
+			t = types.Unalias(u)
+			continue
+		case *types.Named:
+			obj := u.Obj()
+			if obj.Pkg() == nil {
+				return "", obj.Name()
+			}
+			return obj.Pkg().Path(), obj.Name()
+		default:
+			return "", ""
+		}
+	}
+}
+
+// isNamedType reports whether t (possibly behind a pointer or alias)
+// is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	p, n := namedOf(t)
+	return p == pkgPath && n == name
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isFloat reports whether t's underlying or default type is a
+// floating-point basic kind (covering typed floats, named float types
+// and untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Default(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// isSliceOrArray reports whether t's underlying type is a slice or
+// array.
+func isSliceOrArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}
+
+// funcBodies visits every function body in the file exactly once,
+// calling visit with the enclosing declaration's name (for messages).
+// Function literals are visited as part of their enclosing declaration
+// body, not separately.
+func funcBodies(f *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd.Body)
+	}
+	// Function literals outside any FuncDecl (package-level var
+	// initializers) still need coverage.
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		ast.Inspect(gd, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+				visit("package-level func literal", fl.Body)
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Nondeterminism returns the analyzer guarding bit-identical resume:
+// inside the scoped packages (the ones the checkpoint config hash
+// covers) all randomness must flow through internal/mathutil's
+// serializable generators, seeds must not come from the wall clock,
+// and ordered output must not be built while ranging over a map.
+//
+// Scoped packages may not import math/rand at all: *rand.Rand carries
+// hidden state a checkpoint cannot capture, so even a locally seeded
+// generator breaks resume(k)+(N−k) == N replay; mathutil.SplitMix is
+// the serializable substitute.
+func Nondeterminism(scope []string) *Analyzer {
+	return &Analyzer{
+		Name: "nondeterminism",
+		Doc:  "checkpoint-hashed packages must use serializable mathutil randomness, no wall-clock seeds, no map-order-dependent slice construction",
+		Run: func(pass *Pass) {
+			if !inScope(scope, pass.Pkg.Path) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if path == "math/rand" || path == "math/rand/v2" {
+						pass.Reportf(imp.Pos(), "package %s imports %s; resumable training requires serializable randomness — use mathutil.SplitMix (or mathutil.NewRNG outside the checkpointed state)", pass.Pkg.Path, path)
+					}
+				}
+				checkClockSeeds(pass, f)
+				checkMapRangeOrderedWrites(pass, f)
+			}
+		},
+	}
+}
+
+// checkClockSeeds flags RNG constructors seeded from time.Now: the
+// seed becomes part of the checkpoint config hash, so it must be a
+// reproducible input, never the wall clock.
+func checkClockSeeds(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		seeding := isPkgFunc(fn, "fillvoid/internal/mathutil", "NewRNG") ||
+			isPkgFunc(fn, "fillvoid/internal/mathutil", "NewSplitMix") ||
+			isPkgFunc(fn, "math/rand", "New") ||
+			isPkgFunc(fn, "math/rand", "NewSource") ||
+			isPkgFunc(fn, "math/rand", "Seed") ||
+			strings.Contains(fn.Name(), "Seed")
+		if !seeding {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				inner, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgFunc(calleeFunc(pass.Pkg.Info, inner), "time", "Now") {
+					pass.Reportf(inner.Pos(), "%s seeded from time.Now: wall-clock seeds make training non-replayable; derive the seed from config", fn.Name())
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// checkMapRangeOrderedWrites flags building ordered output (slice
+// append or slice index assignment) inside a range over a map: Go's
+// map iteration order is randomized per run, so the produced slice
+// ordering — and anything hashed or trained from it — differs between
+// runs. Collect the keys, sort, then build.
+func checkMapRangeOrderedWrites(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(rng.X); t == nil || !isMap(t) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch stmt := m.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+					if ok && isSliceOrArray(pass.TypeOf(ix.X)) {
+						pass.Reportf(stmt.Pos(), "slice written in map-iteration order; map range order is randomized — collect and sort keys first")
+					}
+				}
+				for _, rhs := range stmt.Rhs {
+					if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(call) {
+						pass.Reportf(stmt.Pos(), "append inside range over map builds a randomly ordered slice; collect and sort keys first")
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}

@@ -1,0 +1,31 @@
+package analysis
+
+import "go/ast"
+
+// RawGoroutine returns the analyzer that forbids bare `go` statements
+// outside the allowed packages (internal/parallel, which implements
+// the sanctioned fan-out primitives, and internal/server, whose
+// listener lifecycle is inherently goroutine-shaped). A raw goroutine
+// bypasses engine cancellation, worker-utilization accounting and the
+// deterministic reduction order internal/parallel fixes; fan-out
+// elsewhere must go through parallel.For/ForCtx/ForChunkedCtx/Fork or
+// carry an audited //lint:allow rawgoroutine annotation.
+func RawGoroutine(allowed []string) *Analyzer {
+	return &Analyzer{
+		Name: "rawgoroutine",
+		Doc:  "bare `go` statements only inside internal/parallel and internal/server; everything else uses parallel.* or an audited annotation",
+		Run: func(pass *Pass) {
+			if inScope(allowed, pass.Pkg.Path) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						pass.Reportf(g.Pos(), "bare goroutine bypasses engine cancellation and worker accounting; use parallel.For/ForCtx/Fork, or annotate: //lint:allow rawgoroutine: <why this fan-out is exempt>")
+					}
+					return true
+				})
+			}
+		},
+	}
+}

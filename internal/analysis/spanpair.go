@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanPair returns the analyzer that pairs telemetry span begins with
+// ends: every call producing a *telemetry.Span (StartSpan, Child, and
+// anything added later with that result type) must either have its
+// End called — directly or deferred — somewhere in the enclosing
+// declaration, or visibly escape (returned, passed to another
+// function, stored in a struct), in which case the receiver owns the
+// End. A span whose result is discarded on the spot can never be
+// ended and always leaks an open stage timer.
+//
+// spanPkg is the package path defining the Span type
+// (fillvoid/internal/telemetry for the real suite; fixtures substitute
+// their own).
+func SpanPair(spanPkg string) *Analyzer {
+	return &Analyzer{
+		Name: "spanpair",
+		Doc:  "every telemetry span begin has a matching End (or visibly escapes to an owner)",
+		Run: func(pass *Pass) {
+			// The defining package itself constructs spans internally.
+			if pass.Pkg.Path == spanPkg {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				funcBodies(f, func(name string, body *ast.BlockStmt) {
+					checkSpansInBody(pass, spanPkg, name, body)
+				})
+			}
+		},
+	}
+}
+
+// checkSpansInBody inspects one declaration body (closures included)
+// for span-producing calls and verifies each is ended or escapes.
+func checkSpansInBody(pass *Pass, spanPkg, funcName string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	isSpanCall := func(call *ast.CallExpr) bool {
+		t := pass.TypeOf(call)
+		return t != nil && isNamedType(t, spanPkg, "Span")
+	}
+
+	// First pass: collect objects that have End called on them and
+	// objects that escape (used outside a start/End/Child position).
+	ended := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(node.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !isNamedType(obj.Type(), spanPkg, "Span") {
+				return true
+			}
+			switch node.Sel.Name {
+			case "End":
+				ended[obj] = true
+			case "Child", "Path":
+				// Reading from the span keeps it open; neither ends
+				// nor transfers ownership.
+			default:
+				escaped[obj] = true
+			}
+		case *ast.Ident:
+			// A bare (non-selector) use of a span variable — argument,
+			// return value, composite literal, assignment RHS — hands
+			// it to someone else; that owner is responsible for End.
+			obj := info.Uses[node]
+			if obj != nil && isNamedType(obj.Type(), spanPkg, "Span") {
+				if !partOfSelector(body, node) {
+					escaped[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Second pass: every span-producing call must land in an ended or
+	// escaped variable, or be ended/consumed directly.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(node.X).(*ast.CallExpr); ok && isSpanCall(call) {
+				pass.Reportf(call.Pos(), "span result discarded in %s; it can never be ended — assign it and call End (or defer it)", funcName)
+				return false // the call itself needs no further inspection
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isSpanCall(call) {
+					continue
+				}
+				if len(node.Lhs) != len(node.Rhs) {
+					continue // multi-value form cannot produce a span
+				}
+				id, ok := ast.Unparen(node.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue // stored into a field/index: escapes
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "span assigned to _ in %s; it can never be ended", funcName)
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if !ended[obj] && !escaped[obj] {
+					pass.Reportf(call.Pos(), "span %s started in %s but never ended; call %s.End() on every path (defer works)", id.Name, funcName, id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// partOfSelector reports whether id occurs as the X of a selector
+// expression somewhere in body (sp.End, sp.Child, ...), in which case
+// the selector case above already classified the use.
+func partOfSelector(body *ast.BlockStmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if inner, ok := ast.Unparen(sel.X).(*ast.Ident); ok && inner == id {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,21 @@
+// Package fixture exercises //lint:allow suppression: two audited
+// annotations (trailing and own-line) that must silence their
+// findings, one malformed directive that must itself be reported, and
+// the unsuppressed finding left behind by it.
+package fixture
+
+import "os"
+
+func trailing() {
+	os.Remove("x") //lint:allow errdrop: best-effort cleanup of a scratch file
+}
+
+func ownLine() {
+	//lint:allow errdrop: best-effort cleanup of a scratch file
+	os.Remove("x")
+}
+
+func malformed() {
+	//lint:allow errdrop
+	os.Remove("x")
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises the ctxfirst check.
+package fixture
+
+import "context"
+
+func ctxSecond(name string, ctx context.Context) error { // want "must come first"
+	_ = name
+	return ctx.Err()
+}
+
+func detached(ctx context.Context) error {
+	return work(context.Background()) // want "pass the caller's ctx down"
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// ctx first and threaded through: fine.
+func proper(ctx context.Context, name string) error {
+	_ = name
+	return work(ctx)
+}
+
+// A root entry point with no inherited context may mint one.
+func root() error {
+	return work(context.Background())
+}

@@ -1,0 +1,47 @@
+// Package fixture exercises the errdrop check.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+func bareStatement(path string) {
+	f, _ := os.Open(path) // want "assigned to _"
+	f.Close()             // want "discarded"
+}
+
+func deferOnWritable(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "drops the close error on a file opened for writing"
+	_, err = f.Write(data)
+	return err
+}
+
+// Read-only handles may defer Close: nothing is lost at close time.
+func deferOnReadOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	_, err = f.Read(b[:])
+	return err
+}
+
+func blankParallel() {
+	_ = os.Remove("x") // want "assigned to _"
+}
+
+// Never-fail sinks and best-effort stdout printing are exempt.
+func exemptSinks() string {
+	var b bytes.Buffer
+	b.WriteString("hello")
+	fmt.Println("done")
+	return b.String()
+}

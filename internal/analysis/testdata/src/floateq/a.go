@@ -1,0 +1,32 @@
+// Package fixture exercises the floateq check.
+package fixture
+
+import "math"
+
+func exactEqual(a, b float64) bool {
+	return a == b // want "compares bit patterns"
+}
+
+func exactDiff(xs []float64, v float64) int {
+	for i, x := range xs {
+		if x != v { // want "compares bit patterns"
+			return i
+		}
+	}
+	return -1
+}
+
+// Zero sentinels are bit-exact by construction.
+func zeroSentinel(w float64) bool {
+	return w == 0
+}
+
+// The portable NaN test.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// Tolerance comparisons are the sanctioned form.
+func tolerant(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12
+}

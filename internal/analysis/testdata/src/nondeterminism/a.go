@@ -1,0 +1,34 @@
+// Package fixture exercises the nondeterminism check.
+package fixture
+
+import (
+	"math/rand" // want "imports math/rand"
+	"time"
+)
+
+// Seeding an RNG from the wall clock breaks replay.
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from time.Now"
+}
+
+// Ordered output built in map-iteration order differs between runs.
+func mapOrdered(m map[string]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	idx := make([]float64, len(m))
+	i := 0
+	for _, v := range m {
+		out = append(out, v) // want "append inside range over map"
+		idx[i] = v           // want "map-iteration order"
+		i++
+	}
+	return append(out, idx...)
+}
+
+// Writing into another map inside a map range is order-independent.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+// Package fixture exercises the rawgoroutine check.
+package fixture
+
+func fanOut(work []func()) {
+	done := make(chan struct{})
+	for _, w := range work {
+		w := w
+		go func() { // want "bare goroutine"
+			defer func() { done <- struct{}{} }()
+			w()
+		}()
+	}
+	for range work {
+		<-done
+	}
+}
+
+// Plain sequential code is fine.
+func sequential(work []func()) {
+	for _, w := range work {
+		w()
+	}
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises the spanpair check against the real
+// telemetry Span type.
+package fixture
+
+import "fillvoid/internal/telemetry"
+
+func discarded(reg *telemetry.Registry) {
+	reg.StartSpan("stage") // want "span result discarded"
+}
+
+func blank(reg *telemetry.Registry) {
+	_ = reg.StartSpan("stage") // want "span assigned to _"
+}
+
+func leaked(reg *telemetry.Registry) string {
+	sp := reg.StartSpan("stage") // want "never ended"
+	return sp.Path()
+}
+
+// Ended spans are fine, deferred or direct.
+func ended(reg *telemetry.Registry) {
+	sp := reg.StartSpan("stage")
+	defer sp.End()
+}
+
+// A span that escapes is the receiver's responsibility.
+func escapes(reg *telemetry.Registry) *telemetry.Span {
+	return reg.StartSpan("stage")
+}

@@ -210,7 +210,8 @@ func (m *Manager) Save(meta Meta, payload any) (path string, err error) {
 		return "", fmt.Errorf("checkpoint: creating temp file: %w", err)
 	}
 	tmp := f.Name()
-	cleanup := func() { m.fs.Remove(tmp) } // best effort on any failure
+	//lint:allow errdrop: cleanup is best-effort; the save error already being returned is the one that matters
+	cleanup := func() { m.fs.Remove(tmp) }
 
 	var hdr [13]byte
 	copy(hdr[:4], magic[:])
@@ -222,12 +223,14 @@ func (m *Manager) Save(meta Meta, payload any) (path string, err error) {
 
 	for _, chunk := range [][]byte{hdr[:], body.Bytes(), crc[:]} {
 		if _, err := f.Write(chunk); err != nil {
+			//lint:allow errdrop: the write error is being returned and the temp file removed; Close only releases the fd
 			f.Close()
 			cleanup()
 			return "", fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
 		}
 	}
 	if err := f.Sync(); err != nil {
+		//lint:allow errdrop: the sync error is being returned and the temp file removed; Close only releases the fd
 		f.Close()
 		cleanup()
 		return "", fmt.Errorf("checkpoint: syncing %s: %w", tmp, err)

@@ -604,16 +604,17 @@ func Load(rd io.Reader) (*FCNN, error) {
 }
 
 // SaveFile writes the reconstructor to path.
-func (r *FCNN) SaveFile(path string) error {
+func (r *FCNN) SaveFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := r.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return r.Save(f)
 }
 
 // LoadFile reads a reconstructor from path.

@@ -72,6 +72,7 @@ func configHash(kind, fieldName string, truth *grid.Volume, opts Options) uint64
 	// Encode errors cannot happen for this all-concrete struct; and if
 	// one ever did, two differing configs hashing equal is caught by the
 	// shape checks in nn.Resume anyway.
+	//lint:allow errdrop: gob-encoding this all-concrete struct cannot fail (see comment above)
 	_ = gob.NewEncoder(&buf).Encode(struct {
 		Kind  string
 		Field string

@@ -17,11 +17,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"fillvoid/internal/core"
 	"fillvoid/internal/grid"
 	"fillvoid/internal/interp"
+	"fillvoid/internal/parallel"
 	"fillvoid/internal/pointcloud"
 	"fillvoid/internal/recon"
 	"fillvoid/internal/sampling"
@@ -83,12 +83,20 @@ func (e *Ensemble) FineTune(truth *grid.Volume, baseSampler int64, mode core.Fin
 }
 
 // Reconstruct returns the ensemble-mean reconstruction and the
-// per-point predictive standard deviation on the same grid. All members
-// share one query plan — the k-d tree and nearest-sample table are built
-// once, not per member — and run concurrently against it (each member's
-// internal parallelism is bounded by its own Workers setting, so on a
-// single-core box this degrades gracefully).
+// per-point predictive standard deviation on the same grid. It is
+// ReconstructCtx with a background context.
 func (e *Ensemble) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (mean, stddev *grid.Volume, err error) {
+	return e.ReconstructCtx(context.Background(), c, spec)
+}
+
+// ReconstructCtx is Reconstruct under a caller context. All members
+// share one query plan — the k-d tree and nearest-sample table are built
+// once, not per member — and run concurrently against it through
+// parallel.ForCtx, so cancelling ctx (or the first member error) stops
+// the whole ensemble like any other engine query. Each member's
+// internal parallelism is bounded by its own Workers setting, so on a
+// single-core box this degrades gracefully.
+func (e *Ensemble) ReconstructCtx(ctx context.Context, c *pointcloud.Cloud, spec interp.GridSpec) (mean, stddev *grid.Volume, err error) {
 	if len(e.members) == 0 {
 		return nil, nil, errors.New("ensemble: empty")
 	}
@@ -98,22 +106,16 @@ func (e *Ensemble) Reconstruct(c *pointcloud.Cloud, spec interp.GridSpec) (mean,
 	}
 	region := recon.Full(spec)
 	recons := make([][]float64, len(e.members))
-	errs := make([]error, len(e.members))
-	var wg sync.WaitGroup
-	wg.Add(len(e.members))
-	for m, member := range e.members {
-		go func(m int, member *core.FCNN) {
-			defer wg.Done()
-			dst := make([]float64, region.Len())
-			errs[m] = member.ReconstructRegion(context.Background(), plan, region, dst)
-			recons[m] = dst
-		}(m, member)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+	err = parallel.ForCtx(ctx, len(e.members), len(e.members), func(m int) error {
+		dst := make([]float64, region.Len())
+		if err := e.members[m].ReconstructRegion(ctx, plan, region, dst); err != nil {
+			return fmt.Errorf("ensemble: member %d: %w", m, err)
 		}
+		recons[m] = dst
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	mean = spec.NewVolume()

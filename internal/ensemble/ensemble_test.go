@@ -1,6 +1,8 @@
 package ensemble
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -141,5 +143,24 @@ func TestCalibrateSizeMismatch(t *testing.T) {
 	b := grid.New(3, 2, 2)
 	if _, err := Calibrate(a, a, b); err == nil {
 		t.Fatal("accepted size mismatch")
+	}
+}
+
+func TestReconstructCtxCancelled(t *testing.T) {
+	truth := testVolume()
+	cloud, _, err := (&sampling.Importance{Seed: 9}).Sample(truth, "pressure", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Members are never invoked: the member fan-out must observe the
+	// already-cancelled context before dispatching any work.
+	e, err := FromModels([]*core.FCNN{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.ReconstructCtx(ctx, cloud, interp.SpecOf(truth)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

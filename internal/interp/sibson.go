@@ -50,6 +50,7 @@ func (r *NaturalNeighbor) Reconstruct(c *pointcloud.Cloud, spec GridSpec) (*grid
 // its voxels — the source-plane culling bound. Memoized on the plan so
 // repeated region queries share it.
 func (r *NaturalNeighbor) planeMaxD(p *recon.Plan, nearestD2 []float64) []float64 {
+	//lint:allow errdrop: the memo builder below always returns a nil error
 	v, _ := p.Memo("natural/plane-max-d", func() (any, error) {
 		spec := p.Spec()
 		nxy := spec.NX * spec.NY

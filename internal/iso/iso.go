@@ -96,6 +96,7 @@ func Extract(v *grid.Volume, isovalue float64) (*Mesh, error) {
 		va := v.Data[a]
 		vb := v.Data[b]
 		t := 0.5
+		//lint:allow floateq: exact-equality guard against 0/0 in the edge weight; any nonzero difference is a valid divisor
 		if vb != va {
 			t = (isovalue - va) / (vb - va)
 		}

@@ -87,13 +87,10 @@ func (t *Tree) build(lo, hi int, bounds mathutil.AABB, depth int) {
 	rb := bounds
 	rb.Min = rb.Min.WithComponent(ax, split)
 	if n > parallelBuildThreshold && depth < 4 {
-		done := make(chan struct{})
-		go func() {
-			t.build(lo, mid, lb, depth+1)
-			close(done)
-		}()
-		t.build(mid+1, hi, rb, depth+1)
-		<-done
+		parallel.Fork(
+			func() { t.build(lo, mid, lb, depth+1) },
+			func() { t.build(mid+1, hi, rb, depth+1) },
+		)
 	} else {
 		t.build(lo, mid, lb, depth+1)
 		t.build(mid+1, hi, rb, depth+1)

@@ -109,6 +109,7 @@ func HistogramDistance(original, reconstructed *grid.Volume, bins int) (float64,
 	}
 	s := original.Stats()
 	lo, hi := s.Min(), s.Max()
+	//lint:allow floateq: degenerate-range guard; only a bit-identical min==max field needs widening
 	if hi == lo {
 		hi = lo + 1
 	}

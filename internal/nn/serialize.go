@@ -83,16 +83,17 @@ func Load(r io.Reader) (*Network, error) {
 }
 
 // SaveFile writes the model to path.
-func (n *Network) SaveFile(path string) error {
+func (n *Network) SaveFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := n.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return n.Save(f)
 }
 
 // LoadFile reads a model from path.

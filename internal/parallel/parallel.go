@@ -273,6 +273,26 @@ func ForChunkedCtx(ctx context.Context, n, workers int, fn func(start, end int) 
 	return ctx.Err()
 }
 
+// Fork runs a and b concurrently and returns when both have finished:
+// structured fork-join for recursive divide-and-conquer (the k-d tree
+// build) where an index-range loop does not fit. The goroutine is
+// accounted like any other parallel-loop worker.
+func Fork(a, b func()) {
+	rec := startLoop("parallel.fork", 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ws := rec.workerStart()
+		defer rec.workerDone(ws)
+		a()
+	}()
+	ws := rec.workerStart()
+	b()
+	rec.workerDone(ws)
+	<-done
+	rec.done(2)
+}
+
 // MapReduce applies fn(i) for every i in [0, n), each worker folding its
 // results into a worker-local accumulator created by newAcc; the
 // per-worker accumulators are then merged sequentially with merge.

@@ -252,3 +252,39 @@ func TestMapReduceUnevenChunks(t *testing.T) {
 		t.Fatalf("MapReduce sum = %d, want %d", sum, want)
 	}
 }
+
+func TestForkRunsBothAndJoins(t *testing.T) {
+	var a, b atomic.Int32
+	Fork(
+		func() { a.Store(1) },
+		func() { b.Store(1) },
+	)
+	if a.Load() != 1 || b.Load() != 1 {
+		t.Fatalf("a=%d b=%d after Fork", a.Load(), b.Load())
+	}
+}
+
+func TestForkNested(t *testing.T) {
+	// Recursive fan-out like the k-d tree build: sum 1..n by halving.
+	var sum func(lo, hi int) int64
+	sum = func(lo, hi int) int64 {
+		if hi-lo <= 4 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i)
+			}
+			return s
+		}
+		mid := (lo + hi) / 2
+		var left, right int64
+		Fork(
+			func() { left = sum(lo, mid) },
+			func() { right = sum(mid, hi) },
+		)
+		return left + right
+	}
+	n := 1000
+	if got, want := sum(0, n), int64(n*(n-1)/2); got != want {
+		t.Fatalf("sum=%d want %d", got, want)
+	}
+}

@@ -118,9 +118,11 @@ func Render(v *grid.Volume, opts Options) (*Image, error) {
 		opts.Transfer = DefaultTransfer()
 	}
 	lo, hi := opts.Lo, opts.Hi
+	//lint:allow floateq: unset-range sentinel; callers leave Lo==Hi (bit-identical zeros) to request auto-ranging
 	if lo == hi {
 		st := v.Stats()
 		lo, hi = st.Min(), st.Max()
+		//lint:allow floateq: degenerate-range guard; only a bit-identical min==max field needs widening
 		if lo == hi {
 			hi = lo + 1
 		}
@@ -207,16 +209,17 @@ func (img *Image) WritePPM(w io.Writer) error {
 }
 
 // WritePPMFile writes the image to path.
-func (img *Image) WritePPMFile(path string) error {
+func (img *Image) WritePPMFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := img.WritePPM(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return img.WritePPM(f)
 }
 
 // RMSE returns the root-mean-square pixel difference between two

@@ -232,6 +232,7 @@ func (s *Importance) Weights(v *grid.Volume) []float64 {
 	n := v.Len()
 	st := v.Stats()
 	lo, hi := st.Min(), st.Max()
+	//lint:allow floateq: degenerate-range guard; only a bit-identical min==max field needs widening
 	if hi == lo {
 		hi = lo + 1
 	}

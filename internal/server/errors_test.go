@@ -2,9 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"fillvoid/internal/telemetry"
 )
 
 // TestReconstructErrorPaths pins the HTTP contract for every rejection
@@ -213,5 +217,25 @@ func TestReconstructErrorPaths(t *testing.T) {
 	code, body := postJSON(t, url, small())
 	if code != http.StatusOK {
 		t.Fatalf("control request failed: %d %s", code, body)
+	}
+}
+
+// TestWriteJSONCountsEncodeFailures pins the behavior change that
+// replaced a silently dropped Encode error: response-path encode
+// failures are observable as a counter in the default registry.
+func TestWriteJSONCountsEncodeFailures(t *testing.T) {
+	prev := telemetry.SetDefault(telemetry.NewRegistry())
+	defer telemetry.SetDefault(prev)
+
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": math.NaN()})
+	if got := telemetry.Default().Counter("server.response_encode_errors").Value(); got != 1 {
+		t.Fatalf("response_encode_errors = %d, want 1", got)
+	}
+
+	rec = httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]string{"ok": "fine"})
+	if got := telemetry.Default().Counter("server.response_encode_errors").Value(); got != 1 {
+		t.Fatalf("response_encode_errors after clean encode = %d, want 1", got)
 	}
 }

@@ -241,7 +241,11 @@ func gridPoints(spec recon.GridSpec) int64 {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is gone; all we can do is count the failure
+		// so operators see response-path trouble in /metrics.
+		telemetry.Default().Counter("server.response_encode_errors").Inc()
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {

@@ -36,6 +36,7 @@ func MetricsHandler(reg *Registry) http.Handler {
 			r = Default()
 		}
 		w.Header().Set("Content-Type", "application/json")
+		//lint:allow errdrop: best-effort metrics response; there is no recovery for a failed client write
 		r.Snapshot().WriteJSON(w)
 	})
 }
@@ -73,6 +74,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.Handle("/metrics", MetricsHandler(reg))
 	RegisterDebug(mux)
 	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: mux}}
+	//lint:allow rawgoroutine: telemetry cannot import parallel (cycle); the acceptor exits when Close closes ln
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -67,10 +67,16 @@ func ParseLevel(s string) (Level, error) {
 //
 // Safe for concurrent use.
 type Logger struct {
-	level atomic.Int32
-	mu    sync.Mutex
-	w     io.Writer
+	level   atomic.Int32
+	mu      sync.Mutex
+	w       io.Writer
+	dropped atomic.Int64
 }
+
+// Dropped reports how many records failed to reach the underlying
+// writer. Logging is best-effort by design, but a nonzero count tells
+// operators the sink (disk, pipe) is rejecting writes.
+func (l *Logger) Dropped() int64 { return l.dropped.Load() }
 
 // NewLogger returns a logger writing records at or above level to w.
 func NewLogger(w io.Writer, level Level) *Logger {
@@ -116,7 +122,9 @@ func (l *Logger) Log(level Level, msg string, kv ...any) {
 	b.WriteByte('\n')
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	io.WriteString(l.w, b.String())
+	if _, err := io.WriteString(l.w, b.String()); err != nil {
+		l.dropped.Add(1)
+	}
 }
 
 // Debugf, Infof, Warnf, Errorf log a message with key=value pairs at

@@ -120,16 +120,17 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 
 // WriteSnapshotFile takes a snapshot of the registry and writes it to
 // path as indented JSON.
-func (r *Registry) WriteSnapshotFile(path string) error {
+func (r *Registry) WriteSnapshotFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := r.Snapshot().WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return r.Snapshot().WriteJSON(f)
 }
 
 // ReadSnapshot parses a snapshot previously written with WriteJSON.

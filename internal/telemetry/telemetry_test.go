@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -544,4 +545,25 @@ func BenchmarkSpanEnabled(b *testing.B) {
 func TestMain(m *testing.M) {
 	SetLogOutput(io.Discard)
 	os.Exit(m.Run())
+}
+
+type failWriter struct{ fails int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.fails > 0 {
+		w.fails--
+		return 0, errors.New("sink full")
+	}
+	return len(p), nil
+}
+
+func TestLoggerCountsDroppedWrites(t *testing.T) {
+	w := &failWriter{fails: 2}
+	l := NewLogger(w, LevelInfo)
+	l.Infof("one")
+	l.Infof("two")
+	l.Infof("three")
+	if got := l.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
 }

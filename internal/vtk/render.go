@@ -67,16 +67,17 @@ func RenderSlicePPM(w io.Writer, v *grid.Volume, k int, lo, hi float64) error {
 }
 
 // RenderSlicePPMFile writes the colored slice to path.
-func RenderSlicePPMFile(path string, v *grid.Volume, k int, lo, hi float64) error {
+func RenderSlicePPMFile(path string, v *grid.Volume, k int, lo, hi float64) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := RenderSlicePPM(f, v, k, lo, hi); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return RenderSlicePPM(f, v, k, lo, hi)
 }
 
 func sliceRange(slice [][]float64) (lo, hi float64) {

@@ -129,16 +129,17 @@ func ReadVTI(r io.Reader) (*grid.Volume, string, error) {
 }
 
 // WriteVTIFile writes the volume to path.
-func WriteVTIFile(path string, v *grid.Volume, name string) error {
+func WriteVTIFile(path string, v *grid.Volume, name string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteVTI(f, v, name); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteVTI(f, v, name)
 }
 
 // ReadVTIFile reads a volume from path.

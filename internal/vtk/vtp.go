@@ -90,16 +90,17 @@ func ReadVTP(r io.Reader) (*pointcloud.Cloud, error) {
 }
 
 // WriteVTPFile writes the cloud to path.
-func WriteVTPFile(path string, c *pointcloud.Cloud) error {
+func WriteVTPFile(path string, c *pointcloud.Cloud) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteVTP(f, c); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteVTP(f, c)
 }
 
 // ReadVTPFile reads a cloud from path.

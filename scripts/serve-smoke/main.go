@@ -48,6 +48,7 @@ func run(bin string) error {
 	if err != nil {
 		return err
 	}
+	//lint:allow rawgoroutine: child-stdout drain; exits when the pipe closes with the process
 	go io.Copy(io.Discard, stdout)
 
 	if err := waitHealthy(base, 5*time.Second); err != nil {
@@ -82,6 +83,7 @@ func run(bin string) error {
 		return err
 	}
 	done := make(chan error, 1)
+	//lint:allow rawgoroutine: process waiter feeding the SIGTERM-timeout select; exits with the child
 	go func() { done <- cmd.Wait() }()
 	select {
 	case err := <-done:
@@ -100,6 +102,7 @@ func scanAddr(r io.Reader) (string, error) {
 	sc := bufio.NewScanner(r)
 	deadline := time.After(10 * time.Second)
 	lines := make(chan string)
+	//lint:allow rawgoroutine: banner scanner bounded by the deadline select; exits when the pipe closes
 	go func() {
 		for sc.Scan() {
 			lines <- sc.Text()
@@ -130,6 +133,7 @@ func waitHealthy(base string, timeout time.Duration) error {
 	for {
 		resp, err := http.Get(base + "/healthz")
 		if err == nil {
+			//lint:allow errdrop: best-effort close of a health-poll response body
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
 				return nil
