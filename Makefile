@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check lint bench experiments-smoke serve-smoke cover fuzz clean
+.PHONY: all build vet test test-short race check lint bench bench-baseline bench-gate bench-gate-advisory experiments-smoke serve-smoke cover fuzz clean
 
 all: build vet test
 
@@ -24,8 +24,10 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
-# The full pre-commit gate: compile, vet, project lint, race-check, test.
-check: build vet lint race test-short
+# The full pre-commit gate: compile, vet, project lint, race-check,
+# test, plus an advisory benchmark-regression comparison (advisory
+# because wall time is machine-dependent; promote with bench-gate).
+check: build vet lint race test-short bench-gate-advisory
 
 # The project's own static-analysis suite (cmd/fillvoid-lint): six
 # typed checks over every package, gated on the committed baseline of
@@ -35,6 +37,25 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+
+# The benchmark-regression gate compares a fresh fixed-seed experiment
+# run against the committed BENCH_experiments.json baseline
+# (cmd/fillvoid-bench). bench-baseline regenerates the baseline —
+# commit the result deliberately, it moves the goalposts.
+BENCH_FLAGS = -exp fig9 -scale tiny -seed 42 -workers 4 -quiet
+
+bench-baseline:
+	$(GO) run ./cmd/experiments $(BENCH_FLAGS) -bench-out BENCH_experiments.json
+
+bench-gate:
+	$(GO) run ./cmd/experiments $(BENCH_FLAGS) -bench-out bench_current.json
+	$(GO) run ./cmd/fillvoid-bench -baseline BENCH_experiments.json -current bench_current.json
+	rm -f bench_current.json
+
+bench-gate-advisory:
+	$(GO) run ./cmd/experiments $(BENCH_FLAGS) -bench-out bench_current.json
+	$(GO) run ./cmd/fillvoid-bench -baseline BENCH_experiments.json -current bench_current.json -advisory
+	rm -f bench_current.json
 
 # Fast end-to-end sanity pass over every experiment.
 experiments-smoke:
@@ -70,4 +91,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReconstructRequest -fuzztime=$(FUZZTIME) ./internal/server
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt fillvoid.smoke
+	rm -f cover.out test_output.txt bench_output.txt bench_current.json fillvoid.smoke

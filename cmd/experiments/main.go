@@ -15,7 +15,7 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,33 +24,11 @@ import (
 	"strings"
 	"time"
 
+	"fillvoid/internal/bench"
 	"fillvoid/internal/experiments"
 	"fillvoid/internal/telemetry"
+	"fillvoid/internal/trace"
 )
-
-// benchExperiment is one experiment's entry in the -bench-out summary.
-type benchExperiment struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	WallMS  float64    `json:"wall_ms"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	// SNRdB collects the parsed values of the first SNR column, when the
-	// experiment reports one, so downstream tooling does not have to
-	// re-locate it in Rows.
-	SNRdB []float64 `json:"snr_db,omitempty"`
-	Notes []string  `json:"notes,omitempty"`
-}
-
-// benchSummary is the -bench-out JSON document.
-type benchSummary struct {
-	GeneratedUnixNS int64               `json:"generated_unix_ns"`
-	Scale           string              `json:"scale"`
-	Dataset         string              `json:"dataset,omitempty"`
-	Seed            int64               `json:"seed"`
-	Experiments     []benchExperiment   `json:"experiments"`
-	Telemetry       *telemetry.Snapshot `json:"telemetry"`
-}
 
 func main() {
 	var (
@@ -66,6 +44,7 @@ func main() {
 		benchOut = flag.String("bench-out", "", "write a machine-readable run summary (e.g. BENCH_experiments.json)")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
+	trf := trace.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -107,6 +86,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
+	traceStop, err := trf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	cfg := &experiments.Config{
 		Scale:   sc,
@@ -130,7 +114,7 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
-	summary := benchSummary{
+	summary := bench.Summary{
 		GeneratedUnixNS: time.Now().UnixNano(),
 		Scale:           *scale,
 		Dataset:         *dataset,
@@ -138,9 +122,13 @@ func main() {
 	}
 	for _, r := range runners {
 		start := time.Now()
+		// The trace root is named run/<id> so the bridged telemetry span
+		// experiment/<id> nests under it instead of duplicating it.
+		_, rootSp := trace.Start(context.Background(), "run/"+r.ID)
 		sp := telemetry.Default().StartSpan("experiment/" + r.ID)
 		res, err := r.Run(cfg)
 		sp.End()
+		rootSp.End()
 		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
@@ -157,7 +145,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		summary.Experiments = append(summary.Experiments, benchExperiment{
+		summary.Experiments = append(summary.Experiments, bench.Experiment{
 			ID:      res.ID,
 			Title:   res.Title,
 			WallMS:  float64(wall) / float64(time.Millisecond),
@@ -173,13 +161,17 @@ func main() {
 
 	if *benchOut != "" {
 		summary.Telemetry = telemetry.Default().Snapshot()
-		if err := writeBench(*benchOut, &summary); err != nil {
+		if err := summary.WriteFile(*benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote run summary to %s\n", *benchOut)
 		}
+	}
+	if err := traceStop(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 	if err := stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -215,13 +207,4 @@ func snrColumn(res *experiments.Result) []float64 {
 		vals = append(vals, v)
 	}
 	return vals
-}
-
-func writeBench(path string, s *benchSummary) error {
-	b, err := json.MarshalIndent(s, "", "  ")
-	if err != nil {
-		return err
-	}
-	b = append(b, '\n')
-	return os.WriteFile(path, b, 0o644)
 }

@@ -1,0 +1,92 @@
+// Command fillvoid-bench is the benchmark regression gate: it compares
+// a fresh experiments run summary (-current, produced by
+// `experiments -bench-out`) against the committed baseline (-baseline,
+// BENCH_experiments.json at the repo root) and exits non-zero when any
+// metric regressed past its threshold.
+//
+//	fillvoid-bench -current /tmp/bench.json
+//	fillvoid-bench -baseline BENCH_experiments.json -current b.json -json
+//	fillvoid-bench -current b.json -advisory        # report, exit 0
+//
+// Wall time gates on a ratio (machine-dependent; default limit 1.5x),
+// SNR on an absolute drop in dB (deterministic for a fixed seed and
+// worker count; default limit 1.0 dB). Exit status: 0 clean (or
+// -advisory), 1 regressions found, 2 usage or I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fillvoid/internal/bench"
+)
+
+// report is the -json output document.
+type report struct {
+	Baseline    string             `json:"baseline"`
+	Current     string             `json:"current"`
+	Thresholds  bench.Thresholds   `json:"-"`
+	Regressions []bench.Regression `json:"regressions"`
+	OK          bool               `json:"ok"`
+}
+
+func main() {
+	var (
+		baseline     = flag.String("baseline", "BENCH_experiments.json", "committed baseline run summary")
+		current      = flag.String("current", "", "fresh run summary to check (required)")
+		maxWallRatio = flag.Float64("max-wall-ratio", 0, "max current/baseline wall-time ratio per experiment (0 = default 1.5)")
+		maxSNRDrop   = flag.Float64("max-snr-drop", 0, "max per-entry SNR drop in dB (0 = default 1.0)")
+		advisory     = flag.Bool("advisory", false, "report regressions but exit 0 (for machines the baseline was not made on)")
+		jsonOut      = flag.Bool("json", false, "emit the comparison as JSON instead of text lines")
+	)
+	flag.Parse()
+
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "usage: fillvoid-bench -current <run.json> [-baseline BENCH_experiments.json]")
+		os.Exit(2)
+	}
+	base, err := bench.Load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fillvoid-bench:", err)
+		os.Exit(2)
+	}
+	cur, err := bench.Load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fillvoid-bench:", err)
+		os.Exit(2)
+	}
+
+	th := bench.Thresholds{MaxWallRatio: *maxWallRatio, MaxSNRDrop: *maxSNRDrop}
+	regs := bench.Compare(base, cur, th)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{
+			Baseline:    *baseline,
+			Current:     *current,
+			Regressions: regs,
+			OK:          len(regs) == 0,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "fillvoid-bench:", err)
+			os.Exit(2)
+		}
+	} else if len(regs) == 0 {
+		fmt.Printf("fillvoid-bench: ok — %d experiment(s) within thresholds of %s\n",
+			len(base.Experiments), *baseline)
+	} else {
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %s\n", r)
+		}
+		fmt.Printf("fillvoid-bench: %d regression(s) against %s\n", len(regs), *baseline)
+	}
+
+	if len(regs) > 0 && !*advisory {
+		os.Exit(1)
+	}
+	if len(regs) > 0 {
+		fmt.Println("fillvoid-bench: advisory mode, not failing")
+	}
+}

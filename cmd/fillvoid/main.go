@@ -33,18 +33,38 @@ import (
 	"fillvoid/internal/metrics"
 	"fillvoid/internal/sampling"
 	"fillvoid/internal/telemetry"
+	"fillvoid/internal/trace"
 	"fillvoid/internal/vtk"
 )
 
-// startTelemetry applies the shared observability flags after fs.Parse
-// and returns a finish func that merges snapshot-write/server-shutdown
-// errors into the command's named return error.
-func startTelemetry(tf *telemetry.Flags, cmdErr *error) (finish func(), err error) {
+// startTelemetry applies the shared observability flags (telemetry and
+// tracing) after fs.Parse and returns a finish func that merges
+// snapshot-write/trace-write/server-shutdown errors into the command's
+// named return error.
+func startTelemetry(name string, tf *telemetry.Flags, trf *trace.Flags, cmdErr *error) (finish func(), err error) {
 	stop, err := tf.Start()
 	if err != nil {
 		return nil, err
 	}
+	traceStop, err := trf.Start()
+	if err != nil {
+		if serr := stop(); serr != nil {
+			telemetry.Warnf("stopping telemetry after trace start failure", "err", serr)
+		}
+		return nil, err
+	}
+	// Root span for the whole invocation: bridged telemetry spans and
+	// parallel workers parent under it, so -trace-out captures one tree
+	// per subcommand instead of dropping every span as an orphan.
+	_, root := trace.Start(context.Background(), "cmd/"+name)
 	return func() {
+		if *cmdErr != nil {
+			root.SetError((*cmdErr).Error())
+		}
+		root.End()
+		if serr := traceStop(); serr != nil && *cmdErr == nil {
+			*cmdErr = serr
+		}
 		if serr := stop(); serr != nil && *cmdErr == nil {
 			*cmdErr = serr
 		}
@@ -118,10 +138,11 @@ func cmdGenerate(args []string) (err error) {
 	seed := fs.Int64("seed", 42, "generator seed")
 	out := fs.String("o", "volume.vti", "output .vti path")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}
@@ -149,10 +170,11 @@ func cmdSample(args []string) (err error) {
 	seed := fs.Int64("seed", 42, "sampler seed")
 	out := fs.String("o", "points.vtp", "output .vtp path")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}
@@ -194,10 +216,11 @@ func cmdTrain(args []string) (err error) {
 	ckKeep := fs.Int("checkpoint-keep", 3, "checkpoints retained (newest first)")
 	resume := fs.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}
@@ -268,10 +291,11 @@ func cmdFinetune(args []string) (err error) {
 	caseMode := fs.Int("case", 1, "1 = all layers (fast), 2 = last two layers (small storage)")
 	seed := fs.Int64("seed", 42, "sampler seed")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}
@@ -313,10 +337,11 @@ func cmdReconstruct(args []string) (err error) {
 	model := fs.String("model", "", "trained model path (required for -method fcnn)")
 	out := fs.String("o", "recon.vti", "output .vti path")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}
@@ -365,10 +390,11 @@ func cmdEvaluate(args []string) (err error) {
 	truthPath := fs.String("truth", "", "ground-truth .vti")
 	reconPath := fs.String("recon", "", "reconstructed .vti")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}
@@ -411,10 +437,11 @@ func cmdRender(args []string) (err error) {
 	slice := fs.Int("slice", -1, "z-slice index (-1 = middle)")
 	out := fs.String("o", "slice.ppm", "output .ppm path")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}
@@ -466,10 +493,11 @@ func cmdPack(args []string) (err error) {
 	seed := fs.Int64("seed", 42, "sampler seed")
 	out := fs.String("o", "samples.fvs", "output .fvs path")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}
@@ -521,10 +549,11 @@ func cmdUnpack(args []string) (err error) {
 	in := fs.String("in", "", "input .fvs file")
 	out := fs.String("o", "points.vtp", "output .vtp path")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}

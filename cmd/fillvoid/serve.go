@@ -14,6 +14,7 @@ import (
 	"fillvoid/internal/recon"
 	"fillvoid/internal/server"
 	"fillvoid/internal/telemetry"
+	"fillvoid/internal/trace"
 )
 
 // cmdServe runs the HTTP reconstruction service: the model (if any) is
@@ -32,10 +33,11 @@ func cmdServe(args []string) (err error) {
 	cloudCache := fs.Int("cloud-cache", 0, "uploaded-cloud LRU capacity (0 = 32)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max graceful-shutdown drain before aborting in-flight work")
 	tf := telemetry.RegisterFlags(fs)
+	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(tf, &err)
+	finish, err := startTelemetry(fs.Name(), tf, trf, &err)
 	if err != nil {
 		return err
 	}

@@ -5,30 +5,38 @@ import (
 	"go/types"
 )
 
-// SpanPair returns the analyzer that pairs telemetry span begins with
-// ends: every call producing a *telemetry.Span (StartSpan, Child, and
-// anything added later with that result type) must either have its
-// End called — directly or deferred — somewhere in the enclosing
-// declaration, or visibly escape (returned, passed to another
-// function, stored in a struct), in which case the receiver owns the
-// End. A span whose result is discarded on the spot can never be
-// ended and always leaks an open stage timer.
+// SpanPair returns the analyzer that pairs span begins with ends:
+// every call producing a Span from one of the given packages
+// (telemetry.StartSpan/Child, trace.Start/StartChild, and anything
+// added later with that result type) must either have its End called —
+// directly or deferred — somewhere in the enclosing declaration, or
+// visibly escape (returned, passed to another function, stored in a
+// struct), in which case the receiver owns the End. A span whose
+// result is discarded on the spot can never be ended and always leaks
+// an open stage timer. Calls returning a span inside a tuple, like
+// trace.Start's (ctx, span), are checked on the span element.
 //
-// spanPkg is the package path defining the Span type
-// (fillvoid/internal/telemetry for the real suite; fixtures substitute
-// their own).
-func SpanPair(spanPkg string) *Analyzer {
+// Accessors that borrow an already-open span rather than starting one
+// (trace.FromContext, trace.Ambient) are exempt: their caller observes
+// a span someone else owns and must NOT end it.
+//
+// spanPkgs are the package paths defining a Span type
+// (fillvoid/internal/telemetry and fillvoid/internal/trace for the
+// real suite; fixtures substitute their own).
+func SpanPair(spanPkgs ...string) *Analyzer {
 	return &Analyzer{
 		Name: "spanpair",
-		Doc:  "every telemetry span begin has a matching End (or visibly escapes to an owner)",
+		Doc:  "every span begin has a matching End (or visibly escapes to an owner)",
 		Run: func(pass *Pass) {
-			// The defining package itself constructs spans internally.
-			if pass.Pkg.Path == spanPkg {
-				return
+			// The defining packages themselves construct spans internally.
+			for _, p := range spanPkgs {
+				if pass.Pkg.Path == p {
+					return
+				}
 			}
 			for _, f := range pass.Pkg.Files {
 				funcBodies(f, func(name string, body *ast.BlockStmt) {
-					checkSpansInBody(pass, spanPkg, name, body)
+					checkSpansInBody(pass, spanPkgs, name, body)
 				})
 			}
 		},
@@ -37,12 +45,53 @@ func SpanPair(spanPkg string) *Analyzer {
 
 // checkSpansInBody inspects one declaration body (closures included)
 // for span-producing calls and verifies each is ended or escapes.
-func checkSpansInBody(pass *Pass, spanPkg, funcName string, body *ast.BlockStmt) {
+func checkSpansInBody(pass *Pass, spanPkgs []string, funcName string, body *ast.BlockStmt) {
 	info := pass.Pkg.Info
 
-	isSpanCall := func(call *ast.CallExpr) bool {
+	isSpanType := func(t types.Type) bool {
+		for _, p := range spanPkgs {
+			if isNamedType(t, p, "Span") {
+				return true
+			}
+		}
+		return false
+	}
+
+	// borrowsSpan reports whether the call merely retrieves an existing
+	// span (owned and ended elsewhere) instead of starting a new one.
+	borrowsSpan := func(call *ast.CallExpr) bool {
+		var name string
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+		}
+		return name == "FromContext" || name == "Ambient"
+	}
+
+	// spanResultIndex locates the span element in a call's results:
+	// (index, result count), index -1 when the call produces no span.
+	spanResultIndex := func(call *ast.CallExpr) (idx, nres int) {
+		if borrowsSpan(call) {
+			return -1, 0
+		}
 		t := pass.TypeOf(call)
-		return t != nil && isNamedType(t, spanPkg, "Span")
+		if t == nil {
+			return -1, 0
+		}
+		if tup, ok := t.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				if isSpanType(tup.At(i).Type()) {
+					return i, tup.Len()
+				}
+			}
+			return -1, tup.Len()
+		}
+		if isSpanType(t) {
+			return 0, 1
+		}
+		return -1, 1
 	}
 
 	// First pass: collect objects that have End called on them and
@@ -57,15 +106,16 @@ func checkSpansInBody(pass *Pass, spanPkg, funcName string, body *ast.BlockStmt)
 				return true
 			}
 			obj := info.Uses[id]
-			if obj == nil || !isNamedType(obj.Type(), spanPkg, "Span") {
+			if obj == nil || !isSpanType(obj.Type()) {
 				return true
 			}
 			switch node.Sel.Name {
 			case "End":
 				ended[obj] = true
-			case "Child", "Path":
-				// Reading from the span keeps it open; neither ends
-				// nor transfers ownership.
+			case "Child", "Path", "StartChild", "SetAttr", "SetError", "TraceID", "ID", "Name":
+				// Reading from or annotating the span keeps it open;
+				// neither ends nor transfers ownership. (StartChild's
+				// result is itself a span the second pass checks.)
 			default:
 				escaped[obj] = true
 			}
@@ -74,7 +124,7 @@ func checkSpansInBody(pass *Pass, spanPkg, funcName string, body *ast.BlockStmt)
 			// return value, composite literal, assignment RHS — hands
 			// it to someone else; that owner is responsible for End.
 			obj := info.Uses[node]
-			if obj != nil && isNamedType(obj.Type(), spanPkg, "Span") {
+			if obj != nil && isSpanType(obj.Type()) {
 				if !partOfSelector(body, node) {
 					escaped[obj] = true
 				}
@@ -88,20 +138,38 @@ func checkSpansInBody(pass *Pass, spanPkg, funcName string, body *ast.BlockStmt)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.ExprStmt:
-			if call, ok := ast.Unparen(node.X).(*ast.CallExpr); ok && isSpanCall(call) {
-				pass.Reportf(call.Pos(), "span result discarded in %s; it can never be ended — assign it and call End (or defer it)", funcName)
-				return false // the call itself needs no further inspection
+			if call, ok := ast.Unparen(node.X).(*ast.CallExpr); ok {
+				if idx, _ := spanResultIndex(call); idx >= 0 {
+					pass.Reportf(call.Pos(), "span result discarded in %s; it can never be ended — assign it and call End (or defer it)", funcName)
+					return false // the call itself needs no further inspection
+				}
 			}
 		case *ast.AssignStmt:
 			for i, rhs := range node.Rhs {
 				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-				if !ok || !isSpanCall(call) {
+				if !ok {
 					continue
 				}
-				if len(node.Lhs) != len(node.Rhs) {
-					continue // multi-value form cannot produce a span
+				idx, nres := spanResultIndex(call)
+				if idx < 0 {
+					continue
 				}
-				id, ok := ast.Unparen(node.Lhs[i]).(*ast.Ident)
+				// Resolve which LHS expression receives the span: 1:1
+				// assignment, or the span element of a tuple-returning
+				// call like trace.Start's (ctx, span).
+				var lhs ast.Expr
+				switch {
+				case len(node.Lhs) == len(node.Rhs):
+					if nres != 1 {
+						continue
+					}
+					lhs = node.Lhs[i]
+				case len(node.Rhs) == 1 && len(node.Lhs) == nres:
+					lhs = node.Lhs[idx]
+				default:
+					continue
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
 				if !ok {
 					continue // stored into a field/index: escapes
 				}

@@ -52,6 +52,7 @@ var (
 	}
 
 	telemetryPkg = "fillvoid/internal/telemetry"
+	tracePkg     = "fillvoid/internal/trace"
 )
 
 // DefaultSuite returns the full fillvoid-lint suite configured with
@@ -60,7 +61,7 @@ func DefaultSuite() *Suite {
 	return &Suite{Analyzers: []*Analyzer{
 		Nondeterminism(deterministicPkgs),
 		RawGoroutine(goroutinePkgs),
-		SpanPair(telemetryPkg),
+		SpanPair(telemetryPkg, tracePkg),
 		CtxFirst(),
 		FloatEq(numericPkgs),
 		ErrDrop(errDropExclude),

@@ -1,8 +1,13 @@
 // Package fixture exercises the spanpair check against the real
-// telemetry Span type.
+// telemetry and trace Span types.
 package fixture
 
-import "fillvoid/internal/telemetry"
+import (
+	"context"
+
+	"fillvoid/internal/telemetry"
+	"fillvoid/internal/trace"
+)
 
 func discarded(reg *telemetry.Registry) {
 	reg.StartSpan("stage") // want "span result discarded"
@@ -26,4 +31,42 @@ func ended(reg *telemetry.Registry) {
 // A span that escapes is the receiver's responsibility.
 func escapes(reg *telemetry.Registry) *telemetry.Span {
 	return reg.StartSpan("stage")
+}
+
+// trace.Start returns (ctx, span): the span element of the tuple must
+// be ended even though the call's direct result is not a span.
+func traceLeaked(ctx context.Context) {
+	_, sp := trace.Start(ctx, "stage") // want "never ended"
+	sp.SetAttr("k", "v")
+}
+
+func traceBlank(ctx context.Context) {
+	_, _ = trace.Start(ctx, "stage") // want "span assigned to _"
+}
+
+func traceEnded(ctx context.Context) context.Context {
+	ctx, sp := trace.Start(ctx, "stage")
+	defer sp.End()
+	return ctx
+}
+
+func traceChildLeaked(parent *trace.Span) {
+	child := parent.StartChild("stage") // want "never ended"
+	child.SetError("boom")
+}
+
+func traceChildEnded(parent *trace.Span) {
+	child := parent.StartChild("stage")
+	child.End()
+}
+
+func traceDiscarded(parent *trace.Span) {
+	parent.StartChild("stage") // want "span result discarded"
+}
+
+// Borrow accessors return a span someone else owns; no End required.
+func traceBorrowed(ctx context.Context) string {
+	sp := trace.FromContext(ctx)
+	amb := trace.Ambient(ctx)
+	return sp.Name() + amb.Name()
 }

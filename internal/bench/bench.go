@@ -1,0 +1,177 @@
+// Package bench defines the machine-readable run summary the
+// experiments command emits with -bench-out, and the baseline
+// comparison behind cmd/fillvoid-bench: load a committed baseline
+// summary (BENCH_*.json), load a fresh run, and report per-metric
+// regressions against configurable thresholds.
+//
+// Two metric families are compared. Wall time is machine-dependent, so
+// it is gated on a ratio (current may be at most MaxWallRatio × the
+// baseline). Reconstruction quality (the SNR column each experiment
+// reports) is deterministic for a fixed seed and worker count, so it is
+// gated on an absolute drop in dB.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"fillvoid/internal/telemetry"
+)
+
+// Experiment is one experiment's entry in a run summary.
+type Experiment struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	WallMS  float64    `json:"wall_ms"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// SNRdB collects the parsed values of the first SNR column, when the
+	// experiment reports one, so downstream tooling does not have to
+	// re-locate it in Rows.
+	SNRdB []float64 `json:"snr_db,omitempty"`
+	Notes []string  `json:"notes,omitempty"`
+}
+
+// Summary is the -bench-out JSON document: one run of the experiments
+// command, with per-experiment wall time, result tables, and the full
+// telemetry snapshot with per-stage span timings.
+type Summary struct {
+	GeneratedUnixNS int64               `json:"generated_unix_ns"`
+	Scale           string              `json:"scale"`
+	Dataset         string              `json:"dataset,omitempty"`
+	Seed            int64               `json:"seed"`
+	Experiments     []Experiment        `json:"experiments"`
+	Telemetry       *telemetry.Snapshot `json:"telemetry"`
+}
+
+// Load reads a run summary from path.
+func Load(path string) (*Summary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading %s: %w", path, err)
+	}
+	var s Summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// WriteFile writes the summary as indented JSON to path.
+func (s *Summary) WriteFile(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding summary: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Thresholds configures how much a run may degrade before Compare
+// flags it. The zero value of every field picks a sensible default.
+type Thresholds struct {
+	// MaxWallRatio is the worst allowed current/baseline wall-time ratio
+	// per experiment (default 1.5 — wall time is machine-dependent, so
+	// the gate is generous; tighten it on pinned CI hardware).
+	MaxWallRatio float64
+	// MaxSNRDrop is the worst allowed per-entry SNR drop in dB (default
+	// 1.0, matching the repo's golden-test tolerance for a fixed seed
+	// and worker count).
+	MaxSNRDrop float64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.MaxWallRatio <= 0 {
+		t.MaxWallRatio = 1.5
+	}
+	if t.MaxSNRDrop <= 0 {
+		t.MaxSNRDrop = 1.0
+	}
+	return t
+}
+
+// Regression is one metric that degraded past its threshold.
+type Regression struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Baseline   float64 `json:"baseline"`
+	Current    float64 `json:"current"`
+	Limit      float64 `json:"limit"`
+	Detail     string  `json:"detail"`
+}
+
+// String renders the regression as one report line.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %s", r.Experiment, r.Metric, r.Detail)
+}
+
+// Compare checks current against baseline and returns every regression:
+// experiments missing from the current run, wall time beyond
+// MaxWallRatio, SNR entries more than MaxSNRDrop dB below baseline, and
+// SNR series whose lengths no longer match (a silent change in what the
+// experiment measures). Experiments present only in current are new
+// coverage, not regressions. A nil slice means the run is clean.
+func Compare(baseline, current *Summary, th Thresholds) []Regression {
+	th = th.withDefaults()
+	cur := make(map[string]*Experiment, len(current.Experiments))
+	for i := range current.Experiments {
+		cur[current.Experiments[i].ID] = &current.Experiments[i]
+	}
+	var regs []Regression
+	for i := range baseline.Experiments {
+		base := &baseline.Experiments[i]
+		c, ok := cur[base.ID]
+		if !ok {
+			regs = append(regs, Regression{
+				Experiment: base.ID,
+				Metric:     "presence",
+				Detail:     "experiment in baseline but missing from current run",
+			})
+			continue
+		}
+		if base.WallMS > 0 {
+			ratio := c.WallMS / base.WallMS
+			if ratio > th.MaxWallRatio {
+				regs = append(regs, Regression{
+					Experiment: base.ID,
+					Metric:     "wall_ms",
+					Baseline:   base.WallMS,
+					Current:    c.WallMS,
+					Limit:      th.MaxWallRatio,
+					Detail: fmt.Sprintf("wall time %.1fms is %.2fx baseline %.1fms (limit %.2fx)",
+						c.WallMS, ratio, base.WallMS, th.MaxWallRatio),
+				})
+			}
+		}
+		if len(base.SNRdB) != len(c.SNRdB) {
+			regs = append(regs, Regression{
+				Experiment: base.ID,
+				Metric:     "snr_count",
+				Baseline:   float64(len(base.SNRdB)),
+				Current:    float64(len(c.SNRdB)),
+				Detail: fmt.Sprintf("baseline reports %d SNR entries, current reports %d",
+					len(base.SNRdB), len(c.SNRdB)),
+			})
+			continue
+		}
+		for j := range base.SNRdB {
+			drop := base.SNRdB[j] - c.SNRdB[j]
+			if drop > th.MaxSNRDrop {
+				regs = append(regs, Regression{
+					Experiment: base.ID,
+					Metric:     fmt.Sprintf("snr_db[%d]", j),
+					Baseline:   base.SNRdB[j],
+					Current:    c.SNRdB[j],
+					Limit:      th.MaxSNRDrop,
+					Detail: fmt.Sprintf("SNR %.2f dB dropped %.2f dB below baseline %.2f dB (limit %.2f dB)",
+						c.SNRdB[j], drop, base.SNRdB[j], th.MaxSNRDrop),
+				})
+			}
+		}
+	}
+	return regs
+}

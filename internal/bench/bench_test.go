@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func summary(exps ...Experiment) *Summary {
+	return &Summary{Scale: "tiny", Seed: 42, Experiments: exps}
+}
+
+func exp(id string, wallMS float64, snr ...float64) Experiment {
+	return Experiment{ID: id, Title: id, WallMS: wallMS, SNRdB: snr}
+}
+
+func metrics(regs []Regression) []string {
+	var out []string
+	for _, r := range regs {
+		out = append(out, r.Experiment+"/"+r.Metric)
+	}
+	return out
+}
+
+func TestCompareClean(t *testing.T) {
+	base := summary(exp("fig9", 1000, 10.0, 12.0))
+	// Faster, slightly better quality, and a new experiment: all fine.
+	cur := summary(exp("fig9", 800, 10.5, 12.0), exp("fig10", 50, 3.0))
+	if regs := Compare(base, cur, Thresholds{}); regs != nil {
+		t.Fatalf("clean run flagged: %v", metrics(regs))
+	}
+}
+
+func TestCompareWallRatio(t *testing.T) {
+	base := summary(exp("fig9", 1000, 10.0))
+	within := summary(exp("fig9", 1400, 10.0))
+	if regs := Compare(base, within, Thresholds{}); regs != nil {
+		t.Fatalf("1.4x wall flagged under default 1.5x: %v", metrics(regs))
+	}
+	over := summary(exp("fig9", 1600, 10.0))
+	regs := Compare(base, over, Thresholds{})
+	if len(regs) != 1 || regs[0].Metric != "wall_ms" {
+		t.Fatalf("1.6x wall not flagged: %v", metrics(regs))
+	}
+	if !strings.Contains(regs[0].String(), "1.60x") {
+		t.Fatalf("report line lacks the ratio: %q", regs[0].String())
+	}
+	// Custom threshold admits it.
+	if regs := Compare(base, over, Thresholds{MaxWallRatio: 2}); regs != nil {
+		t.Fatalf("custom 2x threshold still flagged: %v", metrics(regs))
+	}
+}
+
+func TestCompareSNRDrop(t *testing.T) {
+	base := summary(exp("fig9", 100, 10.0, 12.0, 14.0))
+	// Second entry drops 0.9 dB (within 1.0), third drops 1.5 dB (out).
+	cur := summary(exp("fig9", 100, 10.0, 11.1, 12.5))
+	regs := Compare(base, cur, Thresholds{})
+	if len(regs) != 1 || regs[0].Metric != "snr_db[2]" {
+		t.Fatalf("regressions = %v, want only snr_db[2]", metrics(regs))
+	}
+}
+
+func TestCompareSNRCountMismatch(t *testing.T) {
+	base := summary(exp("fig9", 100, 10.0, 12.0))
+	cur := summary(exp("fig9", 100, 10.0))
+	regs := Compare(base, cur, Thresholds{})
+	// A length change reports once and skips per-entry comparison.
+	if len(regs) != 1 || regs[0].Metric != "snr_count" {
+		t.Fatalf("regressions = %v, want only snr_count", metrics(regs))
+	}
+}
+
+func TestCompareMissingExperiment(t *testing.T) {
+	base := summary(exp("fig9", 100, 10.0), exp("fig10", 100))
+	cur := summary(exp("fig9", 100, 10.0))
+	regs := Compare(base, cur, Thresholds{})
+	if len(regs) != 1 || regs[0].Experiment != "fig10" || regs[0].Metric != "presence" {
+		t.Fatalf("regressions = %v, want fig10/presence", metrics(regs))
+	}
+}
+
+func TestCompareZeroWallBaselineIgnored(t *testing.T) {
+	// A baseline without timing (wall 0) cannot gate a ratio.
+	base := summary(exp("fig9", 0, 10.0))
+	cur := summary(exp("fig9", 5000, 10.0))
+	if regs := Compare(base, cur, Thresholds{}); regs != nil {
+		t.Fatalf("zero-wall baseline produced %v", metrics(regs))
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	s := summary(Experiment{
+		ID: "fig9", Title: "SNR vs sampling", WallMS: 123.4,
+		Columns: []string{"pct", "snr"},
+		Rows:    [][]string{{"1", "4.6"}},
+		SNRdB:   []float64{4.6},
+		Notes:   []string{"tiny scale"},
+	})
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != "tiny" || got.Seed != 42 || len(got.Experiments) != 1 {
+		t.Fatalf("round trip lost header: %+v", got)
+	}
+	e := got.Experiments[0]
+	if e.ID != "fig9" || e.WallMS != 123.4 || len(e.SNRdB) != 1 || e.SNRdB[0] != 4.6 {
+		t.Fatalf("round trip lost experiment: %+v", e)
+	}
+	if Compare(s, got, Thresholds{}) != nil {
+		t.Fatal("summary regressed against itself")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := (&Summary{}).WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it.
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("corrupt file loaded")
+	}
+}

@@ -12,11 +12,13 @@ package parallel
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fillvoid/internal/telemetry"
+	"fillvoid/internal/trace"
 )
 
 // loopRecord accumulates one parallel loop invocation's utilization
@@ -224,6 +226,11 @@ func ForChunkedCtx(ctx context.Context, n, workers int, fn func(start, end int) 
 		tile = 1
 	}
 	rec := startLoop("parallel.for_ctx", workers)
+	// Capture the caller's ambient span before fanning out: worker
+	// goroutines have their own (empty) ambient stacks, so each worker
+	// parents an explicit child here and per-tile spans nest under it.
+	// All of this is nil no-ops when tracing is off.
+	tparent := trace.Ambient(ctx)
 	loopCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -235,6 +242,8 @@ func ForChunkedCtx(ctx context.Context, n, workers int, fn func(start, end int) 
 	body := func() {
 		ws := rec.workerStart()
 		defer rec.workerDone(ws)
+		wsp := tparent.StartChild("parallel/worker")
+		defer wsp.End()
 		for {
 			if loopCtx.Err() != nil {
 				return
@@ -247,7 +256,15 @@ func ForChunkedCtx(ctx context.Context, n, workers int, fn func(start, end int) 
 			if end > n {
 				end = n
 			}
-			if err := fn(start, end); err != nil {
+			csp := wsp.StartChild("parallel/chunk")
+			csp.SetAttr("start", strconv.Itoa(start))
+			csp.SetAttr("end", strconv.Itoa(end))
+			err := fn(start, end)
+			if err != nil {
+				csp.SetError(err.Error())
+			}
+			csp.End()
+			if err != nil {
 				errOnce.Do(func() { fnErr = err })
 				cancel()
 				return

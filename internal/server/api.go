@@ -149,6 +149,9 @@ type HealthResponse struct {
 }
 
 // errorResponse is the JSON error envelope for every non-2xx status.
+// RequestID echoes the X-Request-ID header so a client error report
+// can be joined against the server's access log and traces.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }

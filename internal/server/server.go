@@ -12,7 +12,16 @@
 //	GET  /v1/methods      list registered reconstructors
 //	GET  /healthz         liveness + in-flight/queue/cache counts
 //	GET  /metrics         telemetry JSON snapshot
+//	GET  /debug/traces    kept request traces (Chrome trace-event JSON)
 //	     /debug/pprof/*   net/http/pprof, /debug/vars expvar
+//
+// Every request is traced: the handler opens a root span (continuing
+// the caller's W3C traceparent when one is sent, and echoing the trace
+// ID back in the response's traceparent header), the telemetry bridge
+// attaches plan-build / execute / cache events underneath it, and the
+// completed tree lands in the tracer's tail-sampled ring. Each request
+// also gets an X-Request-ID (stamped into error bodies and the access
+// log) and one structured access-log line.
 //
 // Admission is a bounded-concurrency semaphore with a bounded wait
 // queue: when every slot is busy a request waits up to QueueTimeout for
@@ -29,12 +38,14 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"fillvoid/internal/pointcloud"
 	"fillvoid/internal/recon"
 	"fillvoid/internal/telemetry"
+	"fillvoid/internal/trace"
 )
 
 // Config configures the reconstruction service. The zero value of every
@@ -71,6 +82,10 @@ type Config struct {
 	// Telemetry receives the server's metrics (default: the process
 	// global registry).
 	Telemetry *telemetry.Registry
+	// Tracer receives per-request trace trees (default: the process
+	// global tracer). New enables it and bridges Telemetry's spans into
+	// it, so serving always collects traces.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +116,9 @@ func (c Config) withDefaults() Config {
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.Default()
 	}
+	if c.Tracer == nil {
+		c.Tracer = trace.Default()
+	}
 	return c
 }
 
@@ -110,6 +128,7 @@ type Server struct {
 	cfg    Config
 	reg    *recon.Registry
 	tel    *telemetry.Registry
+	tracer *trace.Tracer
 	plans  *planCache
 	clouds *cloudStore
 	mux    *http.ServeMux
@@ -122,6 +141,7 @@ type Server struct {
 
 	ln      net.Listener
 	httpSrv *http.Server
+	sampler *telemetry.RuntimeSampler
 }
 
 // New builds the service (no listener yet; see Start and Handler).
@@ -134,10 +154,24 @@ func New(cfg Config) (*Server, error) {
 		cfg:    cfg,
 		reg:    cfg.Registry,
 		tel:    cfg.Telemetry,
+		tracer: cfg.Tracer,
 		plans:  newPlanCache(cfg.PlanCacheSize, cfg.Telemetry),
 		clouds: newCloudStore(cfg.CloudCacheSize, cfg.Telemetry),
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 		queue:  make(chan struct{}, cfg.MaxQueue),
+	}
+	// Serving without traces is flying blind: turn the tracer on and
+	// bridge the engine's telemetry spans into it so every request tree
+	// includes plan build, cache, and execute stages.
+	s.tracer.SetEnabled(true)
+	trace.Install(s.tracer, s.tel)
+	// The engine (recon, parallel, nn) records into the process-global
+	// registry, not the injected one. Bridge and enable it as well, or
+	// a server handed its own registry would serve traces with no
+	// plan-build or execute stages in them.
+	if def := telemetry.Default(); def != s.tel {
+		def.SetEnabled(true)
+		trace.Install(s.tracer, def)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/reconstruct", s.instrument("reconstruct", s.handleReconstruct))
@@ -146,6 +180,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", telemetry.MetricsHandler(s.tel))
 	telemetry.RegisterDebug(mux)
+	// RegisterDebug mounted /debug/traces for the process-global tracer;
+	// this method-specific pattern takes precedence and serves the
+	// server's own ring instead.
+	mux.Handle("GET /debug/traces", trace.Handler(s.tracer))
 	s.mux = mux
 	return s, nil
 }
@@ -166,10 +204,20 @@ func (s *Server) Start(addr string) error {
 	}
 	s.ln = ln
 	s.httpSrv = &http.Server{Handler: s.mux}
+	s.sampler = telemetry.StartRuntimeSampler(s.tel, time.Second)
 	go s.httpSrv.Serve(ln)
 	telemetry.Infof("fillvoid server listening", "addr", ln.Addr().String(),
 		"max_concurrent", s.cfg.MaxConcurrent, "max_queue", s.cfg.MaxQueue)
 	return nil
+}
+
+// stopSampler halts the runtime sampler once, from whichever of
+// Shutdown/Close runs first.
+func (s *Server) stopSampler() {
+	if s.sampler != nil {
+		s.sampler.Stop()
+		s.sampler = nil
+	}
 }
 
 // Addr returns the bound listen address (host:port).
@@ -187,6 +235,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.httpSrv == nil {
 		return nil
 	}
+	s.stopSampler()
 	telemetry.Infof("fillvoid server draining", "in_flight", s.inFlight.Load())
 	return s.httpSrv.Shutdown(ctx)
 }
@@ -196,13 +245,20 @@ func (s *Server) Close() error {
 	if s.httpSrv == nil {
 		return nil
 	}
+	s.stopSampler()
 	return s.httpSrv.Close()
 }
 
-// statusWriter captures the response code for per-endpoint metrics.
+// statusWriter captures the response code and body size for
+// per-endpoint metrics and the access log, and carries the per-request
+// identifiers that writeError and setCacheNote stamp into responses.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code   int
+	bytes  int64
+	reqID  string
+	errMsg string
+	cache  string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -210,17 +266,90 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the per-endpoint latency histogram
-// and request/error counters.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// setCacheNote records a cache outcome ("hit"/"miss") on the request,
+// for its access-log line and trace span. No-op outside instrument.
+func setCacheNote(w http.ResponseWriter, note string) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.cache = note
+	}
+}
+
+// instrument wraps a handler with per-request observability: a trace
+// root span (continuing an incoming W3C traceparent and echoing the
+// trace ID back), an X-Request-ID header stamped into error bodies,
+// the per-endpoint latency histogram and request/error counters, and
+// one structured access-log line.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
-		s.tel.Histogram("server."+name+".seconds", nil).Observe(time.Since(start).Seconds())
+		reqID := trace.NewSpanID().String()
+		ctx := r.Context()
+		var sp *trace.Span
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if tid, sid, _, err := trace.ParseTraceparent(tp); err == nil {
+				ctx, sp = s.tracer.StartRemote(ctx, "server/"+name, tid, sid)
+			}
+		}
+		if sp == nil {
+			ctx, sp = s.tracer.Start(ctx, "server/"+name)
+		}
+		route := r.Method + " " + r.URL.Path
+		sp.SetAttr("request_id", reqID)
+		sp.SetAttr("route", route)
+		w.Header().Set("X-Request-ID", reqID)
+		traceID := ""
+		if tid := sp.TraceID(); !tid.IsZero() {
+			traceID = tid.String()
+			w.Header().Set("traceparent", trace.FormatTraceparent(tid, sp.ID(), true))
+		}
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK, reqID: reqID}
+		h(sw, r.WithContext(ctx))
+
+		d := time.Since(start)
+		sp.SetAttr("status", strconv.Itoa(sw.code))
+		if sw.cache != "" {
+			sp.SetAttr("plan_cache", sw.cache)
+		}
+		if sw.code >= 400 {
+			msg := sw.errMsg
+			if msg == "" {
+				msg = http.StatusText(sw.code)
+			}
+			sp.SetError(msg)
+		}
+		sp.End()
+
+		s.tel.Histogram("server."+name+".seconds", nil).Observe(d.Seconds())
 		s.tel.Counter("server." + name + ".requests").Inc()
 		if sw.code >= 400 {
 			s.tel.Counter(fmt.Sprintf("server.%s.errors.%dxx", name, sw.code/100)).Inc()
+		}
+
+		kv := []any{
+			"request_id", reqID,
+			"route", route,
+			"status", sw.code,
+			"bytes", sw.bytes,
+			"duration_ms", float64(d) / float64(time.Millisecond),
+		}
+		if traceID != "" {
+			kv = append(kv, "trace_id", traceID)
+		}
+		if sw.cache != "" {
+			kv = append(kv, "plan_cache", sw.cache)
+		}
+		if sw.code >= 400 {
+			kv = append(kv, "error", sw.errMsg)
+			telemetry.Warnf("request", kv...)
+		} else {
+			telemetry.Infof("request", kv...)
 		}
 	}
 }
@@ -249,7 +378,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	msg := fmt.Sprintf(format, args...)
+	resp := errorResponse{Error: msg}
+	if sw, ok := w.(*statusWriter); ok {
+		sw.errMsg = msg
+		resp.RequestID = sw.reqID
+	}
+	writeJSON(w, code, resp)
 }
 
 // acquire implements admission: fast path straight into an execution
@@ -373,11 +508,21 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	_, psp := trace.Start(ctx, "server/plan-cache")
 	plan, cached, err := s.plans.getOrBuild(recon.PlanKey{Cloud: hash, Spec: spec}, cloud, spec)
 	if err != nil {
+		psp.SetError(err.Error())
+		psp.End()
 		writeError(w, http.StatusBadRequest, "building plan: %v", err)
 		return
 	}
+	cacheNote := "miss"
+	if cached {
+		cacheNote = "hit"
+	}
+	psp.SetAttr("cached", cacheNote)
+	psp.End()
+	setCacheNote(w, cacheNote)
 
 	start := time.Now()
 	vol, err := recon.Reconstruct(ctx, m, plan, region)

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"fillvoid/internal/telemetry"
+	"fillvoid/internal/trace"
+)
+
+// postTraced posts a reconstruct request with an optional traceparent
+// header and returns the full response for header inspection.
+func postTraced(t *testing.T, url string, body any, traceparent string) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestTraceparentRoundTripAndDebugTraces(t *testing.T) {
+	tr := trace.New(trace.Config{})
+	_, base := startServer(t, Config{Tracer: tr})
+
+	upstream := trace.NewTraceID()
+	parentSpan := trace.NewSpanID()
+	reqBody := &ReconstructRequest{
+		Method: "linear",
+		Cloud:  testCloud(200, 7),
+		Grid:   testGrid(),
+	}
+	resp := postTraced(t, base+"/v1/reconstruct", reqBody,
+		trace.FormatTraceparent(upstream, parentSpan, true))
+	io.Copy(io.Discard, resp.Body) //lint:allow errdrop: draining a test response body
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	// The response must continue OUR trace, not invent a new one.
+	tp := resp.Header.Get("traceparent")
+	gotTID, _, _, err := trace.ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", tp, err)
+	}
+	if gotTID != upstream {
+		t.Fatalf("response trace id %s, want %s", gotTID, upstream)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("response missing X-Request-ID")
+	}
+
+	// The completed trace is in the ring, marked remote, with the
+	// handler root parented under the upstream span.
+	td := tr.TraceByID(upstream)
+	if td == nil {
+		t.Fatal("trace not kept in ring")
+	}
+	if !td.Remote {
+		t.Fatal("continued trace must be marked remote")
+	}
+	names := map[string]trace.SpanRecord{}
+	for _, sp := range td.Spans {
+		names[sp.Name] = sp
+	}
+	root, ok := names["server/reconstruct"]
+	if !ok {
+		t.Fatalf("no server root span; spans: %v", spanNames(td))
+	}
+	if root.ParentID != parentSpan {
+		t.Fatal("server root must parent under the upstream span id")
+	}
+	// The bridge + parallel fan-out must give at least 4 nesting
+	// levels: server root -> recon/execute -> parallel/worker ->
+	// parallel/chunk.
+	depth := maxDepth(td)
+	if depth < 4 {
+		t.Fatalf("trace depth %d, want >= 4; spans: %v", depth, spanNames(td))
+	}
+	if _, ok := names["server/plan-cache"]; !ok {
+		t.Fatalf("no plan-cache span; spans: %v", spanNames(td))
+	}
+	if _, ok := names["recon/execute"]; !ok {
+		t.Fatalf("bridged execute span missing; spans: %v", spanNames(td))
+	}
+
+	// /debug/traces serves the ring: the index lists the trace, and the
+	// id= form returns loadable Chrome trace-event JSON.
+	var idx struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"traces"`
+	}
+	resp2, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range idx.Traces {
+		if row.TraceID == upstream.String() {
+			found = true
+		}
+	}
+	if !idx.Enabled || !found {
+		t.Fatalf("/debug/traces index enabled=%v missing trace %s", idx.Enabled, upstream)
+	}
+	resp3, err := http.Get(base + "/debug/traces?id=" + upstream.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	ct, err := trace.ParseChrome(resp3.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.TraceEvents) != len(td.Spans) {
+		t.Fatalf("chrome export has %d events, trace has %d spans", len(ct.TraceEvents), len(td.Spans))
+	}
+}
+
+// spanNames lists a trace's span names for failure messages.
+func spanNames(td *trace.TraceData) []string {
+	var out []string
+	for _, sp := range td.Spans {
+		out = append(out, sp.Name)
+	}
+	return out
+}
+
+// maxDepth computes the deepest parent chain in a trace.
+func maxDepth(td *trace.TraceData) int {
+	depthOf := map[trace.SpanID]int{}
+	byID := map[trace.SpanID]trace.SpanRecord{}
+	for _, sp := range td.Spans {
+		byID[sp.SpanID] = sp
+	}
+	var walk func(id trace.SpanID) int
+	walk = func(id trace.SpanID) int {
+		if d, ok := depthOf[id]; ok {
+			return d
+		}
+		sp, ok := byID[id]
+		if !ok {
+			return 0 // parent outside this process (remote) or dropped
+		}
+		depthOf[id] = 1 // break cycles defensively
+		d := 1 + walk(sp.ParentID)
+		depthOf[id] = d
+		return d
+	}
+	max := 0
+	for id := range byID {
+		if d := walk(id); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func TestFreshTraceWithoutTraceparent(t *testing.T) {
+	tr := trace.New(trace.Config{})
+	_, base := startServer(t, Config{Tracer: tr})
+	resp := postTraced(t, base+"/v1/reconstruct", &ReconstructRequest{
+		Method: "nearest",
+		Cloud:  testCloud(50, 3),
+		Grid:   testGrid(),
+	}, "")
+	io.Copy(io.Discard, resp.Body) //lint:allow errdrop: draining a test response body
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	tp := resp.Header.Get("traceparent")
+	tid, _, _, err := trace.ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("no valid traceparent on response: %q %v", tp, err)
+	}
+	td := tr.TraceByID(tid)
+	if td == nil {
+		t.Fatal("fresh trace not kept")
+	}
+	if td.Remote {
+		t.Fatal("locally rooted trace must not be marked remote")
+	}
+}
+
+func TestErrorResponseCarriesRequestID(t *testing.T) {
+	tr := trace.New(trace.Config{})
+	_, base := startServer(t, Config{Tracer: tr})
+	resp := postTraced(t, base+"/v1/reconstruct", map[string]any{"method": "no-such"}, "")
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var er struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RequestID == "" {
+		t.Fatalf("error body missing request_id: %s", body)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != er.RequestID {
+		t.Fatalf("request id mismatch: header %q body %q", got, er.RequestID)
+	}
+	// Error traces are always kept by the tail sampler, with the
+	// failure recorded on the root span.
+	var errTrace *trace.TraceData
+	for _, td := range tr.Traces() {
+		if td.Error != "" {
+			errTrace = td
+		}
+	}
+	if errTrace == nil {
+		t.Fatal("failed request left no error trace")
+	}
+	if errTrace.KeepReason != "error" {
+		t.Fatalf("error trace kept as %q", errTrace.KeepReason)
+	}
+}
+
+func TestAccessLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	telemetry.SetLogOutput(&buf)
+	defer telemetry.SetLogOutput(os.Stderr)
+	telemetry.SetLogLevel(telemetry.LevelInfo)
+	defer telemetry.SetLogLevel(telemetry.LevelWarn)
+
+	tr := trace.New(trace.Config{})
+	_, base := startServer(t, Config{Tracer: tr})
+	resp := postTraced(t, base+"/v1/reconstruct", &ReconstructRequest{
+		Method: "nearest",
+		Cloud:  testCloud(50, 11),
+		Grid:   testGrid(),
+	}, "")
+	io.Copy(io.Discard, resp.Body) //lint:allow errdrop: draining a test response body
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	log := buf.String()
+	var line string
+	for _, l := range strings.Split(log, "\n") {
+		if strings.Contains(l, "route=\"POST /v1/reconstruct\"") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no access log line for reconstruct in:\n%s", log)
+	}
+	reqID := resp.Header.Get("X-Request-ID")
+	for _, want := range []string{
+		"request_id=" + reqID,
+		"status=200",
+		"bytes=",
+		"duration_ms=",
+		"trace_id=",
+		"plan_cache=",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("access log line missing %q:\n%s", want, line)
+		}
+	}
+
+	// Error requests log at warn with the error message.
+	buf.Reset()
+	resp2 := postTraced(t, base+"/v1/reconstruct", map[string]any{"method": "no-such"}, "")
+	io.Copy(io.Discard, resp2.Body) //lint:allow errdrop: draining a test response body
+	warnLog := buf.String()
+	if !strings.Contains(warnLog, "status=400") || !strings.Contains(warnLog, "error=") {
+		t.Fatalf("no warn access log for failed request:\n%s", warnLog)
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"flag"
 	"fmt"
+	"time"
 )
 
 // Flags bundles the standard observability CLI flags shared by the
@@ -31,10 +32,12 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 }
 
 // Start applies the parsed flags: sets the log level, enables the
-// default registry when any output is requested, and starts the HTTP
-// server when -pprof is given. The returned stop function writes the
-// -metrics-out snapshot (if any) and closes the server; call it once,
-// after the command's work is done.
+// default registry when any output is requested (plus a 1s runtime
+// sampler feeding heap/GC/goroutine/sched-latency metrics into it),
+// and starts the HTTP server when -pprof is given. The returned stop
+// function writes the -metrics-out snapshot (if any), stops the
+// sampler and closes the server; call it once, after the command's
+// work is done.
 func (f *Flags) Start() (stop func() error, err error) {
 	level, err := ParseLevel(f.LogLevel)
 	if err != nil {
@@ -42,8 +45,10 @@ func (f *Flags) Start() (stop func() error, err error) {
 	}
 	SetLogLevel(level)
 	var srv *Server
+	var sampler *RuntimeSampler
 	if f.MetricsOut != "" || f.PprofAddr != "" {
 		Enable()
+		sampler = StartRuntimeSampler(Default(), time.Second)
 	}
 	if f.PprofAddr != "" {
 		srv, err = Serve(f.PprofAddr, Default())
@@ -54,6 +59,9 @@ func (f *Flags) Start() (stop func() error, err error) {
 	}
 	return func() error {
 		var firstErr error
+		if sampler != nil {
+			sampler.Stop()
+		}
 		if f.MetricsOut != "" {
 			if err := Default().WriteSnapshotFile(f.MetricsOut); err != nil {
 				firstErr = err

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanQuantiles(t *testing.T) {
+	r := NewRegistry()
+	// 100 spans with known durations 1ms..100ms, recorded directly.
+	for i := 1; i <= 100; i++ {
+		r.spanStat("stage").record(time.Duration(i) * time.Millisecond)
+	}
+	st := r.spanStat("stage")
+	p50 := st.Quantile(0.50)
+	p95 := st.Quantile(0.95)
+	p99 := st.Quantile(0.99)
+	if p50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", p50)
+	}
+	if p95 != 95*time.Millisecond {
+		t.Fatalf("p95 = %v, want 95ms", p95)
+	}
+	if p99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", p99)
+	}
+
+	snap := r.Snapshot()
+	ss, ok := snap.Spans["stage"]
+	if !ok {
+		t.Fatal("span missing from snapshot")
+	}
+	if ss.P50NS != int64(50*time.Millisecond) || ss.P95NS != int64(95*time.Millisecond) || ss.P99NS != int64(99*time.Millisecond) {
+		t.Fatalf("snapshot percentiles p50=%d p95=%d p99=%d", ss.P50NS, ss.P95NS, ss.P99NS)
+	}
+}
+
+func TestSpanQuantileReservoirBounded(t *testing.T) {
+	r := NewRegistry()
+	// Far more observations than the reservoir holds: quantiles stay
+	// plausible (within the observed range) and memory stays bounded.
+	for i := 0; i < 10*spanReservoirSize; i++ {
+		r.spanStat("hot").record(time.Millisecond)
+	}
+	st := r.spanStat("hot")
+	st.mu.Lock()
+	n := len(st.samples)
+	st.mu.Unlock()
+	if n > spanReservoirSize {
+		t.Fatalf("reservoir grew to %d, cap %d", n, spanReservoirSize)
+	}
+	if q := st.Quantile(0.99); q != time.Millisecond {
+		t.Fatalf("uniform input p99 = %v, want 1ms", q)
+	}
+	if q := st.Quantile(0.5); q != time.Millisecond {
+		t.Fatalf("uniform input p50 = %v, want 1ms", q)
+	}
+}
+
+// recordingObserver captures SpanStarted/SpanEnded callbacks.
+type recordingObserver struct {
+	mu      sync.Mutex
+	started []string
+	ended   []string
+	durs    []time.Duration
+}
+
+func (o *recordingObserver) SpanStarted(path string) any {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.started = append(o.started, path)
+	return path + "-token"
+}
+
+func (o *recordingObserver) SpanEnded(token any, path string, start time.Time, d time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if token != path+"-token" {
+		o.ended = append(o.ended, "BAD TOKEN "+path)
+		return
+	}
+	o.ended = append(o.ended, path)
+	o.durs = append(o.durs, d)
+}
+
+func TestSpanObserverHook(t *testing.T) {
+	r := NewRegistry()
+	obs := &recordingObserver{}
+	r.SetSpanObserver(obs)
+
+	sp := r.StartSpan("outer")
+	child := sp.Child("inner")
+	child.End()
+	sp.End()
+
+	obs.mu.Lock()
+	started, ended := append([]string(nil), obs.started...), append([]string(nil), obs.ended...)
+	obs.mu.Unlock()
+	if len(started) != 2 || started[0] != "outer" || started[1] != "outer/inner" {
+		t.Fatalf("started = %v", started)
+	}
+	if len(ended) != 2 || ended[0] != "outer/inner" || ended[1] != "outer" {
+		t.Fatalf("ended = %v (tokens must round-trip)", ended)
+	}
+
+	// Clearing the observer stops callbacks; spans still record.
+	r.SetSpanObserver(nil)
+	sp2 := r.StartSpan("quiet")
+	sp2.End()
+	obs.mu.Lock()
+	n := len(obs.started)
+	obs.mu.Unlock()
+	if n != 2 {
+		t.Fatal("cleared observer still invoked")
+	}
+	if r.Snapshot().Spans["quiet"].Count != 1 {
+		t.Fatal("span not recorded after observer cleared")
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(3)
+	rec := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["requests"] != 3 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+}
+
+func TestRegisterDebugHandler(t *testing.T) {
+	called := false
+	RegisterDebugHandler("/debug/test-extra", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		called = true
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	mux := http.NewServeMux()
+	RegisterDebug(mux)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/test-extra", nil))
+	if !called || rec.Code != http.StatusTeapot {
+		t.Fatalf("extra debug handler not mounted: called=%v code=%d", called, rec.Code)
+	}
+	// pprof stays mounted alongside.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof route lost: %d", rec.Code)
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	s := StartRuntimeSampler(r, 10*time.Millisecond)
+	// The constructor samples synchronously, so gauges exist before any
+	// tick; then let at least one tick land for sched latency coverage.
+	time.Sleep(30 * time.Millisecond)
+	s.Stop()
+
+	snap := r.Snapshot()
+	for _, g := range []string{
+		"runtime.goroutines", "runtime.heap_alloc_bytes", "runtime.heap_sys_bytes",
+		"runtime.heap_objects", "runtime.stack_inuse_bytes", "runtime.next_gc_bytes",
+		"runtime.gc_cpu_fraction", "runtime.num_gc",
+	} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Fatalf("gauge %s missing after sampling", g)
+		}
+	}
+	if snap.Gauges["runtime.goroutines"] < 1 {
+		t.Fatalf("goroutines gauge = %v", snap.Gauges["runtime.goroutines"])
+	}
+	if snap.Gauges["runtime.heap_alloc_bytes"] <= 0 {
+		t.Fatalf("heap gauge = %v", snap.Gauges["runtime.heap_alloc_bytes"])
+	}
+	// Stop is idempotent in effect: the goroutine exited, values remain.
+	after := r.Snapshot().Gauges["runtime.goroutines"]
+	if after != snap.Gauges["runtime.goroutines"] {
+		t.Fatal("sampler kept running after Stop")
+	}
+}
+
+func TestRuntimeSamplerDefaults(t *testing.T) {
+	// nil registry falls back to Default, <=0 interval to 1s; the
+	// sampler must still start and stop cleanly.
+	s := StartRuntimeSampler(nil, 0)
+	if s.reg != Default() {
+		t.Fatal("nil registry did not fall back to Default")
+	}
+	if s.every != time.Second {
+		t.Fatalf("interval = %v, want 1s", s.every)
+	}
+	s.Stop()
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler periodically folds Go runtime health into a registry:
+//
+//	gauges      runtime.goroutines, runtime.heap_alloc_bytes,
+//	            runtime.heap_sys_bytes, runtime.heap_objects,
+//	            runtime.stack_inuse_bytes, runtime.next_gc_bytes,
+//	            runtime.gc_cpu_fraction, runtime.num_gc
+//	histograms  runtime.gc_pause_seconds (every individual GC pause
+//	            since the previous sample, from MemStats.PauseNs)
+//	            runtime.sched_latency_seconds (how late the sampler's
+//	            own timer fired — a cheap proxy for scheduler delay
+//	            under load)
+//
+// A reconstruction server saturating every core shows up here before
+// it shows up as user-visible tail latency: climbing sched latency and
+// GC pause tails explain slow traces that no per-stage span accounts
+// for. Construct with StartRuntimeSampler; Stop halts the goroutine.
+type RuntimeSampler struct {
+	reg   *Registry
+	every time.Duration
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// runtimeBuckets resolve microsecond-scale pauses and delays (1µs ..
+// 1s), much finer than the second-denominated request buckets.
+func runtimeBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1}
+}
+
+// StartRuntimeSampler begins sampling reg (nil: the process default)
+// every interval (<=0: 1s). It takes one sample synchronously before
+// returning so short-lived commands still export a reading.
+func StartRuntimeSampler(reg *Registry, every time.Duration) *RuntimeSampler {
+	if reg == nil {
+		reg = Default()
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	s := &RuntimeSampler{
+		reg:   reg,
+		every: every,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	var ms runtime.MemStats
+	lastGC := s.sample(&ms, 0, true)
+	//lint:allow rawgoroutine: telemetry cannot import parallel (cycle); the loop exits when Stop closes s.stop
+	go s.loop(&ms, lastGC)
+	return s
+}
+
+// Stop halts the sampler and waits for its goroutine to exit. Safe to
+// call once; the registry keeps the last sampled values.
+func (s *RuntimeSampler) Stop() {
+	close(s.stop)
+	<-s.done
+}
+
+func (s *RuntimeSampler) loop(ms *runtime.MemStats, lastGC uint32) {
+	defer close(s.done)
+	timer := time.NewTimer(s.every)
+	defer timer.Stop()
+	target := time.Now().Add(s.every)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-timer.C:
+			// The timer's overshoot is scheduler-induced delay: the
+			// runtime had a ready timer and took this long to run us.
+			if late := time.Since(target); late > 0 {
+				s.reg.Histogram("runtime.sched_latency_seconds", runtimeBuckets()).Observe(late.Seconds())
+			}
+			lastGC = s.sample(ms, lastGC, false)
+			timer.Reset(s.every)
+			target = time.Now().Add(s.every)
+		}
+	}
+}
+
+// sample reads the runtime stats into the registry and returns the GC
+// count high-water mark. When first is set, pauses that predate the
+// sampler are skipped so startup GCs are not misattributed.
+func (s *RuntimeSampler) sample(ms *runtime.MemStats, lastGC uint32, first bool) uint32 {
+	runtime.ReadMemStats(ms)
+	s.reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	s.reg.Gauge("runtime.heap_sys_bytes").Set(float64(ms.HeapSys))
+	s.reg.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	s.reg.Gauge("runtime.stack_inuse_bytes").Set(float64(ms.StackInuse))
+	s.reg.Gauge("runtime.next_gc_bytes").Set(float64(ms.NextGC))
+	s.reg.Gauge("runtime.gc_cpu_fraction").Set(ms.GCCPUFraction)
+	s.reg.Gauge("runtime.num_gc").Set(float64(ms.NumGC))
+	if !first {
+		// MemStats.PauseNs is a 256-entry circular buffer indexed by
+		// (NumGC+255)%256; replay only the pauses new since last sample.
+		n := ms.NumGC
+		if n > lastGC {
+			newGCs := n - lastGC
+			if newGCs > 256 {
+				newGCs = 256
+			}
+			h := s.reg.Histogram("runtime.gc_pause_seconds", runtimeBuckets())
+			for i := n - newGCs + 1; i <= n; i++ {
+				h.Observe(float64(ms.PauseNs[(i+255)%256]) / 1e9)
+			}
+		}
+	}
+	return ms.NumGC
+}

@@ -16,13 +16,20 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
-// SpanSnapshot is the exported aggregate of one span label path.
+// SpanSnapshot is the exported aggregate of one span label path. The
+// percentiles come from a per-path fixed reservoir (exact until the
+// count exceeds the reservoir size, a uniform-subsample estimate
+// after), so /metrics and bench summaries report tail latency per
+// stage, not just means.
 type SpanSnapshot struct {
 	Count   int64 `json:"count"`
 	TotalNS int64 `json:"total_ns"`
 	MinNS   int64 `json:"min_ns"`
 	MaxNS   int64 `json:"max_ns"`
 	LastNS  int64 `json:"last_ns"`
+	P50NS   int64 `json:"p50_ns"`
+	P95NS   int64 `json:"p95_ns"`
+	P99NS   int64 `json:"p99_ns"`
 }
 
 // Snapshot is a point-in-time JSON-serializable export of a registry.
@@ -87,6 +94,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for k, st := range spans {
 		st.mu.Lock()
+		samples := append([]int64(nil), st.samples...)
 		s.Spans[k] = SpanSnapshot{
 			Count:   st.count,
 			TotalNS: int64(st.total),
@@ -95,6 +103,11 @@ func (r *Registry) Snapshot() *Snapshot {
 			LastNS:  int64(st.last),
 		}
 		st.mu.Unlock()
+		sn := s.Spans[k]
+		sn.P50NS = int64(quantileNS(samples, 0.50))
+		sn.P95NS = int64(quantileNS(samples, 0.95))
+		sn.P99NS = int64(quantileNS(samples, 0.99))
+		s.Spans[k] = sn
 	}
 	for k, t := range series {
 		s.Training[k] = t.Epochs()

@@ -1,9 +1,16 @@
 package telemetry
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
+
+// spanReservoirSize is the per-path sample cap for quantile tracking:
+// a fixed reservoir bounds memory at 2 KiB per span path no matter how
+// many spans complete, while keeping a uniform sample of the full
+// duration history for p50/p95/p99.
+const spanReservoirSize = 256
 
 // SpanStat aggregates every completed span with one label path.
 type SpanStat struct {
@@ -13,6 +20,13 @@ type SpanStat struct {
 	min   time.Duration
 	max   time.Duration
 	last  time.Duration
+	// samples is a uniform reservoir (algorithm R) of completed span
+	// durations in ns; rng drives replacement once the reservoir is
+	// full. The xorshift state is seeded with a fixed constant so runs
+	// are reproducible — statistical uniformity is all the reservoir
+	// needs, not unpredictability.
+	samples []int64
+	rng     uint64
 }
 
 func (s *SpanStat) record(d time.Duration) {
@@ -27,6 +41,48 @@ func (s *SpanStat) record(d time.Duration) {
 	s.count++
 	s.total += d
 	s.last = d
+	if len(s.samples) < spanReservoirSize {
+		if s.samples == nil {
+			s.samples = make([]int64, 0, 8)
+			s.rng = 0x9E3779B97F4A7C15
+		}
+		s.samples = append(s.samples, int64(d))
+		return
+	}
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	if j := s.rng % uint64(s.count); j < spanReservoirSize {
+		s.samples[j] = int64(d)
+	}
+}
+
+// Quantile returns the q-quantile (0 < q <= 1, nearest-rank) of the
+// reservoir-sampled duration history, or 0 when no span has completed.
+// The estimate is exact until the path's count exceeds the reservoir
+// size, then converges as a uniform subsample.
+func (s *SpanStat) Quantile(q float64) time.Duration {
+	s.mu.Lock()
+	cp := append([]int64(nil), s.samples...)
+	s.mu.Unlock()
+	return quantileNS(cp, q)
+}
+
+// quantileNS computes the nearest-rank q-quantile of ns samples,
+// sorting in place.
+func quantileNS(ns []int64, q float64) time.Duration {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	idx := int(q*float64(len(ns))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ns) {
+		idx = len(ns) - 1
+	}
+	return time.Duration(ns[idx])
 }
 
 // Count returns how many spans completed under this label.
@@ -50,6 +106,35 @@ func (s *SpanStat) Last() time.Duration {
 	return s.last
 }
 
+// SpanObserver receives begin/end events for every span recorded in a
+// registry. It is the seam the distributed tracer (internal/trace)
+// hangs off: installing an observer upgrades every existing StartSpan
+// call site into a per-request trace event source without touching the
+// instrumented code. The token returned by SpanStarted is handed back
+// verbatim to SpanEnded, so an observer can correlate the pair without
+// its own bookkeeping; implementations must tolerate a nil token (a
+// span started before the observer was installed).
+type SpanObserver interface {
+	SpanStarted(path string) (token any)
+	SpanEnded(token any, path string, start time.Time, d time.Duration)
+}
+
+// spanObsBox wraps the observer so the registry can swap it atomically
+// (atomic.Pointer needs a concrete element type).
+type spanObsBox struct{ obs SpanObserver }
+
+// SetSpanObserver installs (or, with nil, removes) the registry's span
+// observer. At most one observer is active; installing replaces the
+// previous one. Spans already in flight keep their original token (nil
+// if none), so a mid-flight swap never mismatches begin/end pairs.
+func (r *Registry) SetSpanObserver(obs SpanObserver) {
+	if obs == nil {
+		r.spanObs.Store(nil)
+		return
+	}
+	r.spanObs.Store(&spanObsBox{obs: obs})
+}
+
 // Span is one in-flight timed stage. Spans carry a hierarchical label
 // path ("pretrain/feature-build"); children created with Child extend
 // the path. A nil Span (what a disabled registry hands out) is a valid
@@ -58,6 +143,7 @@ type Span struct {
 	r     *Registry
 	path  string
 	start time.Time
+	token any
 }
 
 // StartSpan begins a named stage timer. When the registry is disabled
@@ -66,7 +152,11 @@ func (r *Registry) StartSpan(path string) *Span {
 	if !r.enabled.Load() {
 		return nil
 	}
-	return &Span{r: r, path: path, start: time.Now()}
+	s := &Span{r: r, path: path, start: time.Now()}
+	if box := r.spanObs.Load(); box != nil {
+		s.token = box.obs.SpanStarted(path)
+	}
+	return s
 }
 
 // Child begins a nested span labelled parent-path/name.
@@ -74,7 +164,11 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{r: s.r, path: s.path + "/" + name, start: time.Now()}
+	c := &Span{r: s.r, path: s.path + "/" + name, start: time.Now()}
+	if box := s.r.spanObs.Load(); box != nil {
+		c.token = box.obs.SpanStarted(c.path)
+	}
+	return c
 }
 
 // Path returns the span's full label path ("" for nil).
@@ -93,6 +187,9 @@ func (s *Span) End() time.Duration {
 	}
 	d := time.Since(s.start)
 	s.r.spanStat(s.path).record(d)
+	if box := s.r.spanObs.Load(); box != nil {
+		box.obs.SpanEnded(s.token, s.path, s.start, d)
+	}
 	return d
 }
 

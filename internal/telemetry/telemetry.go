@@ -31,6 +31,7 @@ import (
 // (disabled until Enable).
 type Registry struct {
 	enabled atomic.Bool
+	spanObs atomic.Pointer[spanObsBox]
 
 	mu       sync.RWMutex
 	counters map[string]*Counter

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"time"
+
+	"fillvoid/internal/telemetry"
+)
+
+// bridge adapts a Tracer to telemetry.SpanObserver, so every
+// telemetry.StartSpan call site in the repo — plan builds, k-d tree
+// construction, chunked execution, cache lookups, training epochs —
+// doubles as a trace span without re-instrumenting callers. The
+// direction of the dependency matters: telemetry stays leaf-level and
+// only sees the observer interface; trace imports telemetry, never the
+// reverse.
+type bridge struct {
+	t *Tracer
+}
+
+// SpanStarted attributes the new telemetry span to the calling
+// goroutine's ambient trace span, if any. Telemetry spans fired
+// outside any trace (background work, untraced CLI paths) return a
+// nil token and never create orphan traces.
+func (b *bridge) SpanStarted(path string) (token any) {
+	t := b.t
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	g := goid()
+	t.curMu.Lock()
+	parent := t.current[g]
+	t.curMu.Unlock()
+	if parent == nil {
+		return nil
+	}
+	child := t.newSpan(parent.tr, parent.id, path)
+	t.push(g, child)
+	return child
+}
+
+// SpanEnded completes the bridged span using telemetry's own start
+// time and duration, so /metrics histograms and trace timelines agree
+// exactly.
+func (b *bridge) SpanEnded(token any, path string, start time.Time, d time.Duration) {
+	sp, ok := token.(*Span)
+	if !ok || sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.start = start
+	sp.mu.Unlock()
+	sp.endWith(d)
+}
+
+// Install bridges telemetry spans recorded on reg (nil: the process
+// default registry) into t (nil: the process default tracer). Passing
+// a nil Tracer with a non-nil registry still installs a bridge that
+// resolves the default tracer lazily via its captured pointer — call
+// Uninstall to detach.
+func Install(t *Tracer, reg *telemetry.Registry) {
+	if t == nil {
+		t = Default()
+	}
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	reg.SetSpanObserver(&bridge{t: t})
+}
+
+// Uninstall detaches any trace bridge from reg (nil: the process
+// default registry).
+func Uninstall(reg *telemetry.Registry) {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	reg.SetSpanObserver(nil)
+}

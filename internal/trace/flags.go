@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"flag"
+
+	"fillvoid/internal/telemetry"
+)
+
+// Flags bundles the tracing CLI flag shared by the fillvoid and
+// experiments commands:
+//
+//	-trace-out <file.json>   collect per-request traces and write them
+//	                         as Chrome trace-event JSON on exit
+//
+// Register with RegisterFlags before fs.Parse, then call Start after;
+// the returned stop function writes the trace file and detaches the
+// telemetry bridge.
+type Flags struct {
+	TraceOut string
+}
+
+// RegisterFlags installs the tracing flags on a FlagSet.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write collected traces as Chrome trace-event JSON (Perfetto) to this file on exit")
+	return f
+}
+
+// Enabled reports whether the parsed flags ask for tracing.
+func (f *Flags) Enabled() bool { return f != nil && f.TraceOut != "" }
+
+// Start applies the parsed flags: when -trace-out is set it enables
+// the default tracer, enables telemetry (the bridge needs live
+// telemetry spans to observe), and installs the telemetry bridge so
+// every instrumented stage feeds the trace. The returned stop function
+// writes the collected traces and detaches the bridge; call it once,
+// after the command's work is done. With no -trace-out it is a no-op
+// that returns a nil-safe stop.
+func (f *Flags) Start() (stop func() error, err error) {
+	if !f.Enabled() {
+		return func() error { return nil }, nil
+	}
+	telemetry.Enable()
+	Enable()
+	Install(Default(), telemetry.Default())
+	return func() error {
+		Uninstall(telemetry.Default())
+		traces := Default().Traces()
+		if err := WriteChromeFile(f.TraceOut, traces); err != nil {
+			return err
+		}
+		telemetry.Infof("wrote trace file", "path", f.TraceOut, "traces", len(traces))
+		return nil
+	}, nil
+}

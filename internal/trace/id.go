@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end request across every span it
+// touches — 16 bytes, rendered as 32 lowercase hex digits, matching
+// the W3C trace-context format so IDs round-trip through traceparent
+// headers unchanged.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace — 8 bytes, 16 hex digits.
+type SpanID [8]byte
+
+// String renders the ID as lowercase hex.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as lowercase hex.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is all zeros (the invalid value both
+// W3C and this package reserve for "absent").
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is all zeros.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// ParseTraceID decodes 32 hex digits into a TraceID.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("trace: trace id %q is not %d hex digits", s, 2*len(id))
+	}
+	if _, err := hex.Decode(id[:], []byte(strings.ToLower(s))); err != nil {
+		return TraceID{}, fmt.Errorf("trace: bad trace id %q: %w", s, err)
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("trace: trace id is all zeros")
+	}
+	return id, nil
+}
+
+// ParseSpanID decodes 16 hex digits into a SpanID.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("trace: span id %q is not %d hex digits", s, 2*len(id))
+	}
+	if _, err := hex.Decode(id[:], []byte(strings.ToLower(s))); err != nil {
+		return SpanID{}, fmt.Errorf("trace: bad span id %q: %w", s, err)
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("trace: span id is all zeros")
+	}
+	return id, nil
+}
+
+// idRNG is a mutex-guarded xorshift128+ generator for trace/span IDs,
+// seeded once from crypto/rand (falling back to the clock if the
+// system source is unavailable). IDs need uniqueness and speed, not
+// cryptographic strength; a locked PRNG avoids a syscall per span.
+var idRNG struct {
+	mu     sync.Mutex
+	s0, s1 uint64
+}
+
+func init() {
+	var seed [16]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		now := uint64(time.Now().UnixNano())
+		binary.LittleEndian.PutUint64(seed[:8], now)
+		binary.LittleEndian.PutUint64(seed[8:], now^0x9E3779B97F4A7C15)
+	}
+	idRNG.s0 = binary.LittleEndian.Uint64(seed[:8]) | 1
+	idRNG.s1 = binary.LittleEndian.Uint64(seed[8:]) | 1
+}
+
+// randUint64 steps the shared xorshift128+ state.
+func randUint64() uint64 {
+	idRNG.mu.Lock()
+	defer idRNG.mu.Unlock()
+	x, y := idRNG.s0, idRNG.s1
+	idRNG.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	idRNG.s1 = x
+	return x + y
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], randUint64())
+		binary.BigEndian.PutUint64(id[8:], randUint64())
+	}
+	return id
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], randUint64())
+	}
+	return id
+}
+
+// FormatTraceparent renders a W3C trace-context traceparent header
+// (version 00): "00-<trace-id>-<parent-id>-<flags>", flags 01 when
+// sampled.
+func FormatTraceparent(t TraceID, s SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + t.String() + "-" + s.String() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header into its trace ID,
+// parent span ID and sampled flag. Future versions (anything but "ff")
+// are accepted per the spec as long as the version-00 prefix fields
+// parse; extra fields after the flags are ignored.
+func ParseTraceparent(h string) (TraceID, SpanID, bool, error) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return TraceID{}, SpanID{}, false, fmt.Errorf("trace: traceparent %q: want version-traceid-parentid-flags", h)
+	}
+	ver := strings.ToLower(parts[0])
+	if len(ver) != 2 || ver == "ff" {
+		return TraceID{}, SpanID{}, false, fmt.Errorf("trace: traceparent %q: invalid version %q", h, parts[0])
+	}
+	tid, err := ParseTraceID(parts[1])
+	if err != nil {
+		return TraceID{}, SpanID{}, false, err
+	}
+	sid, err := ParseSpanID(parts[2])
+	if err != nil {
+		return TraceID{}, SpanID{}, false, err
+	}
+	if len(parts[3]) != 2 {
+		return TraceID{}, SpanID{}, false, fmt.Errorf("trace: traceparent %q: invalid flags %q", h, parts[3])
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(strings.ToLower(parts[3]))); err != nil {
+		return TraceID{}, SpanID{}, false, fmt.Errorf("trace: traceparent %q: invalid flags %q", h, parts[3])
+	}
+	return tid, sid, flags[0]&1 == 1, nil
+}

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is one completed span as stored in a trace: times are
+// wall-clock nanoseconds so records serialize exactly and re-anchor in
+// external viewers.
+type SpanRecord struct {
+	Name        string `json:"name"`
+	SpanID      SpanID `json:"-"`
+	ParentID    SpanID `json:"-"`
+	StartUnixNS int64  `json:"start_unix_ns"`
+	DurationNS  int64  `json:"duration_ns"`
+	Attrs       []Attr `json:"attrs,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// TraceData is one completed, kept trace: the root's identity and
+// timing plus every recorded span in completion order.
+type TraceData struct {
+	TraceID      TraceID      `json:"-"`
+	RootID       SpanID       `json:"-"`
+	Name         string       `json:"name"`
+	StartUnixNS  int64        `json:"start_unix_ns"`
+	DurationNS   int64        `json:"duration_ns"`
+	Error        string       `json:"error,omitempty"`
+	KeepReason   string       `json:"keep_reason"`
+	Remote       bool         `json:"remote,omitempty"`
+	DroppedSpans int          `json:"dropped_spans,omitempty"`
+	Spans        []SpanRecord `json:"spans"`
+}
+
+// activeTrace accumulates spans while a trace is in flight.
+type activeTrace struct {
+	id     TraceID
+	rootID SpanID
+	remote bool
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+	done    bool
+}
+
+// record appends one completed span, honouring the per-trace cap.
+// It reports whether this span was the root (the trace is complete).
+func (tr *activeTrace) record(rec SpanRecord, maxSpans int) (isRoot bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.done {
+		tr.dropped++
+		return false
+	}
+	if len(tr.spans) >= maxSpans {
+		tr.dropped++
+	} else {
+		tr.spans = append(tr.spans, rec)
+	}
+	if rec.SpanID == tr.rootID {
+		tr.done = true
+		return true
+	}
+	return false
+}
+
+// Span is one in-flight operation within a trace. A nil *Span (what a
+// disabled tracer hands out) is a valid no-op, so call sites never
+// branch on whether tracing is active.
+type Span struct {
+	t      *Tracer
+	tr     *activeTrace
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	goid   uint64
+	prev   *Span
+
+	mu     sync.Mutex
+	attrs  []Attr
+	errMsg string
+	ended  bool
+}
+
+// TraceID returns the ID of the trace the span belongs to (zero for
+// nil spans).
+func (s *Span) TraceID() TraceID {
+	if s == nil || s.tr == nil {
+		return TraceID{}
+	}
+	return s.tr.id
+}
+
+// ID returns the span's own ID (zero for nil).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr annotates the span. Later values for the same key are
+// appended, not deduplicated; exports render them in order.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetError marks the span (and, for a root, the whole trace) as
+// failed; error traces are always kept by the tail sampler.
+func (s *Span) SetError(msg string) {
+	if s == nil || msg == "" {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = msg
+	s.mu.Unlock()
+}
+
+// End completes the span: the record lands in its trace, and if this
+// span is the trace root the tail-sampling decision runs. End is
+// idempotent; only the first call records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.endWith(d)
+}
+
+// endWith completes the span with an externally measured duration (the
+// telemetry bridge reuses telemetry's own timing so both systems agree
+// to the nanosecond).
+func (s *Span) endWith(d time.Duration) {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		Name:        s.name,
+		SpanID:      s.id,
+		ParentID:    s.parent,
+		StartUnixNS: s.start.UnixNano(),
+		DurationNS:  int64(d),
+		Attrs:       s.attrs,
+		Error:       s.errMsg,
+	}
+	s.mu.Unlock()
+
+	s.t.pop(s)
+	if isRoot := s.tr.record(rec, s.t.cfg.MaxSpans); isRoot {
+		s.t.finish(s.tr, rec)
+	}
+}
+
+// StartChild begins a child span on the calling goroutine, making it
+// that goroutine's ambient current span until End. This is the
+// fan-out primitive: a parallel loop starts one child per worker so
+// events from instrumented code inside the worker attribute to the
+// right subtree. nil-safe.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil || s.t == nil || !s.t.enabled.Load() {
+		return nil
+	}
+	child := s.t.newSpan(s.tr, s.id, name)
+	s.t.push(goid(), child)
+	return child
+}
+
+// ctxKey keys the span stored in a context.
+type ctxKey struct{}
+
+// ContextWith returns a context carrying sp.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Start begins a span on the tracer owning the context's span (the
+// process default tracer when the context carries none). See
+// Tracer.Start for parenting rules.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	t := Default()
+	if sp := FromContext(ctx); sp != nil && sp.t != nil {
+		t = sp.t
+	}
+	return t.Start(ctx, name)
+}
+
+// Ambient returns the most specific open span visible to the caller:
+// the calling goroutine's innermost open span if it has one (which
+// includes spans the telemetry bridge created), else the context's
+// span, else nil. Fan-out code uses it to capture the parent before
+// spawning workers.
+func Ambient(ctx context.Context) *Span {
+	sp := FromContext(ctx)
+	t := Default()
+	if sp != nil && sp.t != nil {
+		t = sp.t
+	}
+	if t == nil || !t.enabled.Load() {
+		return sp
+	}
+	g := goid()
+	t.curMu.Lock()
+	cur := t.current[g]
+	t.curMu.Unlock()
+	if cur != nil {
+		return cur
+	}
+	return sp
+}
+
+// goid returns the current goroutine's id, parsed from the runtime
+// stack header ("goroutine 123 ["). ~1µs per call; only paid while
+// tracing is enabled, and per span rather than per data item.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for i := prefix; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -1,0 +1,422 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fillvoid/internal/telemetry"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	tid := NewTraceID()
+	sid := NewSpanID()
+	if tid.IsZero() || sid.IsZero() {
+		t.Fatal("fresh IDs must be non-zero")
+	}
+	gotT, err := ParseTraceID(tid.String())
+	if err != nil || gotT != tid {
+		t.Fatalf("trace id round trip: got %v, %v", gotT, err)
+	}
+	gotS, err := ParseSpanID(sid.String())
+	if err != nil || gotS != sid {
+		t.Fatalf("span id round trip: got %v, %v", gotS, err)
+	}
+	if _, err := ParseTraceID(strings.Repeat("0", 32)); err == nil {
+		t.Fatal("all-zero trace id must be rejected")
+	}
+	if _, err := ParseTraceID("xyz"); err == nil {
+		t.Fatal("short trace id must be rejected")
+	}
+}
+
+func TestTraceparent(t *testing.T) {
+	tid := NewTraceID()
+	sid := NewSpanID()
+	h := FormatTraceparent(tid, sid, true)
+	gt, gs, sampled, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt != tid || gs != sid || !sampled {
+		t.Fatalf("round trip lost fields: %v %v %v", gt, gs, sampled)
+	}
+	// Future versions parse; extra fields are ignored.
+	if _, _, _, err := ParseTraceparent("cc-" + tid.String() + "-" + sid.String() + "-00-extra"); err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"", "00", "ff-" + tid.String() + "-" + sid.String() + "-01",
+		"00-" + strings.Repeat("0", 32) + "-" + sid.String() + "-01",
+		"00-" + tid.String() + "-" + sid.String() + "-0",
+	} {
+		if _, _, _, err := ParseTraceparent(bad); err == nil {
+			t.Fatalf("ParseTraceparent(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNestingAndRing(t *testing.T) {
+	tr := New(Config{})
+	ctx, root := tr.Start(context.Background(), "root")
+	if root == nil {
+		t.Fatal("enabled tracer returned nil span")
+	}
+	_, child := tr.Start(ctx, "child")
+	grand := child.StartChild("grand")
+	grand.End()
+	child.End()
+	root.SetAttr("k", "v")
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("want 1 kept trace, got %d", len(traces))
+	}
+	td := traces[0]
+	if td.Name != "root" || len(td.Spans) != 3 {
+		t.Fatalf("trace %q has %d spans, want root with 3", td.Name, len(td.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["child"].ParentID != byName["root"].SpanID {
+		t.Fatal("child must parent under root")
+	}
+	if byName["grand"].ParentID != byName["child"].SpanID {
+		t.Fatal("grand must parent under child")
+	}
+	if got := tr.TraceByID(td.TraceID); got == nil || got.RootID != byName["root"].SpanID {
+		t.Fatal("TraceByID lookup failed")
+	}
+}
+
+func TestAmbientParenting(t *testing.T) {
+	tr := New(Config{})
+	prev := SetDefault(tr)
+	defer SetDefault(prev)
+
+	ctx, root := tr.Start(context.Background(), "root")
+	// A Start with a bare context on the same goroutine still parents
+	// under the ambient root.
+	_, inner := tr.Start(context.Background(), "inner")
+	if inner.TraceID() != root.TraceID() {
+		t.Fatal("ambient parenting lost the trace")
+	}
+	inner.End()
+
+	// Fan-out: a worker goroutine has no ambient span; StartChild from
+	// the captured parent attributes it correctly.
+	parent := Ambient(ctx)
+	if parent != root {
+		t.Fatalf("Ambient returned %v, want root", parent.Name())
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := parent.StartChild("worker")
+		w.End()
+	}()
+	wg.Wait()
+	root.End()
+
+	td := tr.Traces()[0]
+	if len(td.Spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(td.Spans))
+	}
+}
+
+func TestDisabledTracerIsNoOp(t *testing.T) {
+	tr := New(Config{})
+	tr.SetEnabled(false)
+	ctx, sp := tr.Start(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("disabled tracer must hand out nil spans")
+	}
+	// All nil-span methods must be safe.
+	sp.SetAttr("a", "b")
+	sp.SetError("boom")
+	sp.StartChild("c").End()
+	sp.End()
+	if FromContext(ctx) != nil {
+		t.Fatal("disabled Start must not plant a span in the context")
+	}
+	var nilT *Tracer
+	if nilT.Enabled() {
+		t.Fatal("nil tracer is enabled?")
+	}
+	if _, sp := nilT.Start(context.Background(), "x"); sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+}
+
+func TestRemoteContinuation(t *testing.T) {
+	tr := New(Config{})
+	upstream := NewTraceID()
+	parent := NewSpanID()
+	_, sp := tr.StartRemote(context.Background(), "handler", upstream, parent)
+	if sp.TraceID() != upstream {
+		t.Fatal("remote root must keep the upstream trace id")
+	}
+	sp.End()
+	td := tr.Traces()[0]
+	if !td.Remote || td.TraceID != upstream {
+		t.Fatalf("remote trace not recorded: remote=%v id=%v", td.Remote, td.TraceID)
+	}
+	if td.Spans[0].ParentID != parent {
+		t.Fatal("remote root must parent under the upstream span id")
+	}
+}
+
+func TestTailSamplingKeepsErrorsAndSlow(t *testing.T) {
+	tr := New(Config{Capacity: 512, KeepEvery: 1000})
+	// Feed enough fast roots to establish the slow threshold; with
+	// KeepEvery 1000 none of them is head-sampled.
+	for i := 0; i < minSlowSamples+8; i++ {
+		_, sp := tr.Start(context.Background(), "fast")
+		sp.End()
+	}
+	_, esp := tr.Start(context.Background(), "failing")
+	esp.SetError("boom")
+	esp.End()
+	_, ssp := tr.Start(context.Background(), "slow")
+	time.Sleep(20 * time.Millisecond) // far beyond the ~µs fast roots
+	ssp.End()
+
+	kept := map[string]string{}
+	for _, td := range tr.Traces() {
+		kept[td.Name] = td.KeepReason
+	}
+	if kept["failing"] != "error" {
+		t.Fatalf("error trace kept as %q, want error", kept["failing"])
+	}
+	if kept["slow"] != "slow" {
+		t.Fatalf("slow trace kept as %q, want slow", kept["slow"])
+	}
+	// Fast traces may legitimately land above the slow quantile (the
+	// threshold is estimated from their own durations) but must never
+	// survive head-sampling with KeepEvery 1000.
+	if kept["fast"] == "sampled" {
+		t.Fatal("fast trace head-sampled despite KeepEvery 1000")
+	}
+	started, keptN, dropped := tr.Stats()
+	if started != int64(minSlowSamples+10) || keptN < 2 || keptN+dropped != started {
+		t.Fatalf("stats started=%d kept=%d dropped=%d", started, keptN, dropped)
+	}
+}
+
+func TestMaxSpansBound(t *testing.T) {
+	tr := New(Config{MaxSpans: 4})
+	_, root := tr.Start(context.Background(), "root")
+	for i := 0; i < 10; i++ {
+		root.StartChild("c").End()
+	}
+	root.End()
+	td := tr.Traces()[0]
+	if len(td.Spans) != 4 {
+		t.Fatalf("span cap not enforced: %d spans", len(td.Spans))
+	}
+	if td.DroppedSpans != 7 {
+		// 10 children + 1 root = 11 ends, 4 stored.
+		t.Fatalf("dropped %d spans, want 7", td.DroppedSpans)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		_, sp := tr.Start(context.Background(), "t")
+		sp.End()
+	}
+	if n := len(tr.Traces()); n != 4 {
+		t.Fatalf("ring holds %d, want 4", n)
+	}
+	tr.Reset()
+	if len(tr.Traces()) != 0 {
+		t.Fatal("Reset left traces behind")
+	}
+}
+
+func TestBridgeAttachesTelemetrySpans(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(Config{})
+	Install(tr, reg)
+	defer Uninstall(reg)
+
+	_, root := tr.Start(context.Background(), "root")
+	tsp := reg.StartSpan("stage/a")
+	inner := reg.StartSpan("stage/b") // nests under stage/a via ambient
+	inner.End()
+	tsp.End()
+	root.End()
+
+	td := tr.Traces()[0]
+	byName := map[string]SpanRecord{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("want 3 spans (root + 2 bridged), got %d: %v", len(td.Spans), byName)
+	}
+	if byName["stage/a"].ParentID != byName["root"].SpanID {
+		t.Fatal("bridged span must parent under the ambient root")
+	}
+	if byName["stage/b"].ParentID != byName["stage/a"].SpanID {
+		t.Fatal("nested bridged span must parent under the outer bridged span")
+	}
+
+	// Telemetry spans with no ambient trace must not create orphans.
+	orphan := reg.StartSpan("stage/orphan")
+	orphan.End()
+	if started, _, _ := tr.Stats(); started != 1 {
+		t.Fatalf("orphan telemetry span created a trace: started=%d", started)
+	}
+}
+
+func TestChromeExportRoundTrip(t *testing.T) {
+	tr := New(Config{})
+	ctx, root := tr.Start(context.Background(), "root")
+	_, child := tr.Start(ctx, "child")
+	child.SetAttr("key", "value")
+	child.SetError("oops")
+	child.End()
+	root.End()
+	td := tr.Traces()[0]
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ParseChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.TraceEvents) != 2 {
+		t.Fatalf("want 2 events, got %d", len(ct.TraceEvents))
+	}
+	byName := map[string]ChromeEvent{}
+	for _, ev := range ct.TraceEvents {
+		byName[ev.Name] = ev
+	}
+	// Field-exact checks against the source records.
+	for _, rec := range td.Spans {
+		ev, ok := byName[rec.Name]
+		if !ok {
+			t.Fatalf("span %q missing from export", rec.Name)
+		}
+		if ev.Ph != "X" || ev.Cat != "fillvoid" || ev.PID != 1 || ev.TID != 1 {
+			t.Fatalf("event %q malformed: %+v", rec.Name, ev)
+		}
+		if ev.TS != float64(rec.StartUnixNS)/1e3 || ev.Dur != float64(rec.DurationNS)/1e3 {
+			t.Fatalf("event %q timing mismatch: ts=%v dur=%v", rec.Name, ev.TS, ev.Dur)
+		}
+		if ev.Args["trace_id"] != td.TraceID.String() || ev.Args["span_id"] != rec.SpanID.String() {
+			t.Fatalf("event %q id args mismatch: %v", rec.Name, ev.Args)
+		}
+	}
+	cev := byName["child"]
+	if cev.Args["key"] != "value" || cev.Args["error"] != "oops" {
+		t.Fatalf("attrs lost in export: %v", cev.Args)
+	}
+	if cev.Args["parent_id"] != byName["root"].Args["span_id"] {
+		t.Fatal("parent_id must point at the root span")
+	}
+	rev := byName["root"]
+	if rev.Args["keep_reason"] == "" {
+		t.Fatal("root event must carry keep_reason")
+	}
+}
+
+func TestWriteChromeFile(t *testing.T) {
+	tr := New(Config{})
+	_, sp := tr.Start(context.Background(), "only")
+	sp.End()
+	path := t.TempDir() + "/trace.json"
+	if err := WriteChromeFile(path, tr.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ParseChrome(bytes.NewReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.TraceEvents) != 1 || ct.TraceEvents[0].Name != "only" {
+		t.Fatalf("file round trip lost events: %+v", ct.TraceEvents)
+	}
+}
+
+func TestFlagsStartStop(t *testing.T) {
+	prevTr := New(Config{})
+	prevTr.SetEnabled(false)
+	prev := SetDefault(prevTr)
+	defer SetDefault(prev)
+
+	path := t.TempDir() + "/out.json"
+	f := &Flags{TraceOut: path}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sp := Start(context.Background(), "cli-op")
+	sp.End()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ParseChrome(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.TraceEvents) != 1 || ct.TraceEvents[0].Name != "cli-op" {
+		t.Fatalf("flag-driven export wrong: %+v", ct.TraceEvents)
+	}
+
+	// No -trace-out: start/stop are no-ops.
+	var none Flags
+	stop, err = none.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentTraces(t *testing.T) {
+	tr := New(Config{Capacity: 256})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, root := tr.Start(context.Background(), "req")
+				_, c := tr.Start(ctx, "stage")
+				c.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	started, kept, _ := tr.Stats()
+	if started != 800 || kept != 800 {
+		t.Fatalf("started=%d kept=%d, want 800/800", started, kept)
+	}
+	for _, td := range tr.Traces() {
+		if len(td.Spans) != 2 {
+			t.Fatalf("trace with %d spans, want 2", len(td.Spans))
+		}
+	}
+}
