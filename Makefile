@@ -69,26 +69,37 @@ serve-smoke:
 	$(GO) run ./scripts/serve-smoke -bin ./fillvoid.smoke
 	rm -f fillvoid.smoke
 
-# Per-package coverage, with a hard floor on the reconstruction engine:
-# internal/recon is the one execution path every method runs through, so
-# it must stay >= 80% covered.
+# Per-package coverage with hard floors on the inference hot path:
+# internal/recon is the one execution path every method runs through;
+# kdtree/nn/features/mathutil carry the fused batch pipeline's
+# bit-identity and zero-alloc contracts; core's floor is lower because
+# its training half is exercised only outside -short.
+COVER_FLOORS = internal/recon:80 internal/kdtree:85 internal/nn:85 \
+	internal/features:85 internal/mathutil:85 internal/core:40
+
 cover:
 	$(GO) test -short -cover -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
-	@$(GO) test -short -cover ./internal/recon/ | \
-		awk '{ for (i = 1; i <= NF; i++) if ($$i == "coverage:") pct = substr($$(i+1), 1, length($$(i+1))-1) } \
-		END { if (pct == "") { print "cover: no coverage reported for internal/recon"; exit 1 } \
-		printf "internal/recon coverage: %s%% (floor 80%%)\n", pct; \
-		if (pct + 0 < 80) { print "cover: internal/recon below 80% floor"; exit 1 } }'
+	@for pf in $(COVER_FLOORS); do \
+		pkg=$${pf%:*}; floor=$${pf#*:}; \
+		$(GO) test -short -cover ./$$pkg/ | \
+		awk -v pkg="$$pkg" -v floor="$$floor" \
+			'{ for (i = 1; i <= NF; i++) if ($$i == "coverage:") pct = substr($$(i+1), 1, length($$(i+1))-1) } \
+			END { if (pct == "") { printf "cover: no coverage reported for %s\n", pkg; exit 1 } \
+			printf "%s coverage: %s%% (floor %s%%)\n", pkg, pct, floor; \
+			if (pct + 0 < floor + 0) { printf "cover: %s below %s%% floor\n", pkg, floor; exit 1 } }' \
+		|| exit 1; \
+	done
 
 # Native-fuzzing smoke pass: each target runs for 10s on top of the
 # committed seed corpora in testdata/fuzz (go's fuzzer only takes one
-# package per invocation, hence two lines). FUZZTIME=2m for a longer
-# local session.
+# package per invocation, hence one line per target). FUZZTIME=2m for a
+# longer local session.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run='^$$' -fuzz=FuzzReconstructRequest -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzF16RoundTrip -fuzztime=$(FUZZTIME) ./internal/mathutil
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt bench_current.json fillvoid.smoke

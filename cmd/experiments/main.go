@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +40,7 @@ func main() {
 		out      = flag.String("out", "", "directory for rendered images (fig2/fig3)")
 		csvDir   = flag.String("csv", "", "directory to also write <id>.csv files into")
 		workers  = flag.Int("workers", 0, "parallelism (0 = all cores)")
+		quant    = flag.String("quant", "", "quantized fcnn inference: f16 or int8 (empty = f64)")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		benchOut = flag.String("bench-out", "", "write a machine-readable run summary (e.g. BENCH_experiments.json)")
@@ -98,6 +100,7 @@ func main() {
 		Seed:    *seed,
 		OutDir:  *out,
 		Workers: *workers,
+		Quant:   *quant,
 		Quiet:   *quiet,
 		Log:     os.Stderr,
 	}
@@ -119,8 +122,11 @@ func main() {
 		Scale:           *scale,
 		Dataset:         *dataset,
 		Seed:            *seed,
+		Quant:           *quant,
 	}
 	for _, r := range runners {
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		// The trace root is named run/<id> so the bridged telemetry span
 		// experiment/<id> nests under it instead of duplicating it.
@@ -130,6 +136,8 @@ func main() {
 		sp.End()
 		rootSp.End()
 		wall := time.Since(start)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
 			os.Exit(1)
@@ -152,6 +160,7 @@ func main() {
 			Columns: res.Columns,
 			Rows:    res.Rows,
 			SNRdB:   snrColumn(res),
+			Allocs:  msAfter.Mallocs - msBefore.Mallocs,
 			Notes:   res.Notes,
 		})
 		if !*quiet {

@@ -8,10 +8,13 @@
 //	fillvoid-bench -baseline BENCH_experiments.json -current b.json -json
 //	fillvoid-bench -current b.json -advisory        # report, exit 0
 //
-// Wall time gates on a ratio (machine-dependent; default limit 1.5x),
+// Wall time gates on a ratio (machine-dependent; default limit 1.5x,
+// tightened to 1.35x for fig9 whose fused inference path jitters less),
 // SNR on an absolute drop in dB (deterministic for a fixed seed and
-// worker count; default limit 1.0 dB). Exit status: 0 clean (or
-// -advisory), 1 regressions found, 2 usage or I/O error.
+// worker count; default limit 1.0 dB), and heap allocations on a ratio
+// (deterministic; default limit 1.5x, skipped when either summary
+// predates the allocs field). Exit status: 0 clean (or -advisory),
+// 1 regressions found, 2 usage or I/O error.
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 		current      = flag.String("current", "", "fresh run summary to check (required)")
 		maxWallRatio = flag.Float64("max-wall-ratio", 0, "max current/baseline wall-time ratio per experiment (0 = default 1.5)")
 		maxSNRDrop   = flag.Float64("max-snr-drop", 0, "max per-entry SNR drop in dB (0 = default 1.0)")
+		maxAllocs    = flag.Float64("max-alloc-ratio", 0, "max current/baseline heap-allocation ratio per experiment (0 = default 1.5)")
 		advisory     = flag.Bool("advisory", false, "report regressions but exit 0 (for machines the baseline was not made on)")
 		jsonOut      = flag.Bool("json", false, "emit the comparison as JSON instead of text lines")
 	)
@@ -58,7 +62,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	th := bench.Thresholds{MaxWallRatio: *maxWallRatio, MaxSNRDrop: *maxSNRDrop}
+	th := bench.Thresholds{MaxWallRatio: *maxWallRatio, MaxSNRDrop: *maxSNRDrop, MaxAllocRatio: *maxAllocs}
 	regs := bench.Compare(base, cur, th)
 
 	if *jsonOut {

@@ -335,6 +335,7 @@ func cmdReconstruct(args []string) (err error) {
 	like := fs.String("like", "", ".vti volume defining the output grid geometry")
 	method := fs.String("method", "fcnn", "fcnn, linear, linear-seq, natural, shepard, nearest, rbf")
 	model := fs.String("model", "", "trained model path (required for -method fcnn)")
+	quant := fs.String("quant", "", "quantized inference: f16 or int8 (fcnn only)")
 	out := fs.String("o", "recon.vti", "output .vti path")
 	tf := telemetry.RegisterFlags(fs)
 	trf := trace.RegisterFlags(fs)
@@ -364,6 +365,17 @@ func cmdReconstruct(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	if *quant != "" {
+		qm, ok := m.(interface {
+			WithQuant(string) (interp.Reconstructor, error)
+		})
+		if !ok {
+			return fmt.Errorf("-quant is not supported by method %q", *method)
+		}
+		if m, err = qm.WithQuant(*quant); err != nil {
+			return err
+		}
+	}
 
 	cloud, err := vtk.ReadVTPFile(*points)
 	if err != nil {
@@ -381,7 +393,7 @@ func cmdReconstruct(args []string) (err error) {
 		return err
 	}
 	fmt.Printf("wrote %s: %dx%dx%d reconstructed with %s from %d samples\n",
-		*out, vol.NX, vol.NY, vol.NZ, *method, cloud.Len())
+		*out, vol.NX, vol.NY, vol.NZ, m.Name(), cloud.Len())
 	return nil
 }
 

@@ -20,7 +20,7 @@ var updateGolden = flag.Bool("update-golden", false,
 // wider: training is deterministic for a fixed seed and worker count,
 // but is the quantity most likely to move legitimately when training
 // internals are tuned — the test should flag that, not forbid it.
-var goldenTolerance = map[string]float64{"fcnn": 1.0}
+var goldenTolerance = map[string]float64{"fcnn": 1.0, "fcnn-f16": 1.0, "fcnn-int8": 1.5}
 
 const defaultGoldenTolerance = 0.05
 
@@ -88,6 +88,31 @@ func goldenSNR(t *testing.T) map[string]float64 {
 		t.Fatal(err)
 	}
 	out["fcnn"] = s
+
+	// Quantized views of the same trained model: inference-only weight
+	// compression, so the SNR rows pin how much quality each mode gives
+	// up relative to the f64 row above.
+	for _, mode := range []string{"f16", "int8"} {
+		qm, err := model.WithQuant(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol, err := qm.Reconstruct(cloud, spec)
+		if err != nil {
+			t.Fatalf("fcnn-%s: %v", mode, err)
+		}
+		s, err := SNR(truth, vol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[qm.Name()] = s
+	}
+	// f16 keeps ~11 bits of weight mantissa; its quality must stay
+	// within 1 dB of full precision on the same trained model.
+	if d := math.Abs(out["fcnn"] - out["fcnn-f16"]); d > 1.0 {
+		t.Errorf("f16 quantization costs %.3f dB SNR (limit 1.0): f64 %.4f, f16 %.4f",
+			d, out["fcnn"], out["fcnn-f16"])
+	}
 	return out
 }
 

@@ -30,19 +30,28 @@ type Experiment struct {
 	// experiment reports one, so downstream tooling does not have to
 	// re-locate it in Rows.
 	SNRdB []float64 `json:"snr_db,omitempty"`
-	Notes []string  `json:"notes,omitempty"`
+	// Allocs is the number of heap allocations the experiment performed
+	// (runtime mallocs delta across the run). Zero in summaries written
+	// before the field existed, so Compare skips the alloc gate when
+	// either side reports zero.
+	Allocs uint64   `json:"allocs,omitempty"`
+	Notes  []string `json:"notes,omitempty"`
 }
 
 // Summary is the -bench-out JSON document: one run of the experiments
 // command, with per-experiment wall time, result tables, and the full
 // telemetry snapshot with per-stage span timings.
 type Summary struct {
-	GeneratedUnixNS int64               `json:"generated_unix_ns"`
-	Scale           string              `json:"scale"`
-	Dataset         string              `json:"dataset,omitempty"`
-	Seed            int64               `json:"seed"`
-	Experiments     []Experiment        `json:"experiments"`
-	Telemetry       *telemetry.Snapshot `json:"telemetry"`
+	GeneratedUnixNS int64  `json:"generated_unix_ns"`
+	Scale           string `json:"scale"`
+	Dataset         string `json:"dataset,omitempty"`
+	Seed            int64  `json:"seed"`
+	// Quant records the quantized-inference mode the run used ("f16",
+	// "int8", or empty for full precision) so a quantized smoke summary
+	// is never mistaken for the f64 baseline.
+	Quant       string              `json:"quant,omitempty"`
+	Experiments []Experiment        `json:"experiments"`
+	Telemetry   *telemetry.Snapshot `json:"telemetry"`
 }
 
 // Load reads a run summary from path.
@@ -78,20 +87,45 @@ type Thresholds struct {
 	// per experiment (default 1.5 — wall time is machine-dependent, so
 	// the gate is generous; tighten it on pinned CI hardware).
 	MaxWallRatio float64
+	// MaxWallRatioFor overrides MaxWallRatio per experiment ID. The
+	// default tightens fig9 (the fcnn headline benchmark) to 1.35: the
+	// fused inference pipeline makes its runtime far less allocation- and
+	// GC-bound, so it jitters less than the rule-based sweeps.
+	MaxWallRatioFor map[string]float64
 	// MaxSNRDrop is the worst allowed per-entry SNR drop in dB (default
 	// 1.0, matching the repo's golden-test tolerance for a fixed seed
 	// and worker count).
 	MaxSNRDrop float64
+	// MaxAllocRatio is the worst allowed current/baseline heap-allocation
+	// ratio per experiment (default 1.5). Allocation counts are
+	// deterministic for a fixed seed and worker count, so this catches
+	// accidental re-introductions of per-point allocation in the hot
+	// path. Skipped when either side reports zero (pre-schema summary).
+	MaxAllocRatio float64
 }
 
 func (t Thresholds) withDefaults() Thresholds {
 	if t.MaxWallRatio <= 0 {
 		t.MaxWallRatio = 1.5
 	}
+	if t.MaxWallRatioFor == nil {
+		t.MaxWallRatioFor = map[string]float64{"fig9": 1.35}
+	}
 	if t.MaxSNRDrop <= 0 {
 		t.MaxSNRDrop = 1.0
 	}
+	if t.MaxAllocRatio <= 0 {
+		t.MaxAllocRatio = 1.5
+	}
 	return t
+}
+
+// wallRatioFor resolves the wall gate for one experiment.
+func (t Thresholds) wallRatioFor(id string) float64 {
+	if r, ok := t.MaxWallRatioFor[id]; ok && r > 0 {
+		return r
+	}
+	return t.MaxWallRatio
 }
 
 // Regression is one metric that degraded past its threshold.
@@ -134,16 +168,31 @@ func Compare(baseline, current *Summary, th Thresholds) []Regression {
 			continue
 		}
 		if base.WallMS > 0 {
+			limit := th.wallRatioFor(base.ID)
 			ratio := c.WallMS / base.WallMS
-			if ratio > th.MaxWallRatio {
+			if ratio > limit {
 				regs = append(regs, Regression{
 					Experiment: base.ID,
 					Metric:     "wall_ms",
 					Baseline:   base.WallMS,
 					Current:    c.WallMS,
-					Limit:      th.MaxWallRatio,
+					Limit:      limit,
 					Detail: fmt.Sprintf("wall time %.1fms is %.2fx baseline %.1fms (limit %.2fx)",
-						c.WallMS, ratio, base.WallMS, th.MaxWallRatio),
+						c.WallMS, ratio, base.WallMS, limit),
+				})
+			}
+		}
+		if base.Allocs > 0 && c.Allocs > 0 {
+			ratio := float64(c.Allocs) / float64(base.Allocs)
+			if ratio > th.MaxAllocRatio {
+				regs = append(regs, Regression{
+					Experiment: base.ID,
+					Metric:     "allocs",
+					Baseline:   float64(base.Allocs),
+					Current:    float64(c.Allocs),
+					Limit:      th.MaxAllocRatio,
+					Detail: fmt.Sprintf("heap allocations %d are %.2fx baseline %d (limit %.2fx)",
+						c.Allocs, ratio, base.Allocs, th.MaxAllocRatio),
 				})
 			}
 		}

@@ -33,12 +33,12 @@ func TestCompareClean(t *testing.T) {
 }
 
 func TestCompareWallRatio(t *testing.T) {
-	base := summary(exp("fig9", 1000, 10.0))
-	within := summary(exp("fig9", 1400, 10.0))
+	base := summary(exp("fig10", 1000, 10.0))
+	within := summary(exp("fig10", 1400, 10.0))
 	if regs := Compare(base, within, Thresholds{}); regs != nil {
 		t.Fatalf("1.4x wall flagged under default 1.5x: %v", metrics(regs))
 	}
-	over := summary(exp("fig9", 1600, 10.0))
+	over := summary(exp("fig10", 1600, 10.0))
 	regs := Compare(base, over, Thresholds{})
 	if len(regs) != 1 || regs[0].Metric != "wall_ms" {
 		t.Fatalf("1.6x wall not flagged: %v", metrics(regs))
@@ -49,6 +49,49 @@ func TestCompareWallRatio(t *testing.T) {
 	// Custom threshold admits it.
 	if regs := Compare(base, over, Thresholds{MaxWallRatio: 2}); regs != nil {
 		t.Fatalf("custom 2x threshold still flagged: %v", metrics(regs))
+	}
+}
+
+func TestCompareWallRatioFig9Tightened(t *testing.T) {
+	// fig9 (the fcnn headline benchmark) runs under a tighter default
+	// gate of 1.35x; other experiments stay at 1.5x.
+	base := summary(exp("fig9", 1000, 10.0), exp("fig10", 1000))
+	cur := summary(exp("fig9", 1400, 10.0), exp("fig10", 1400))
+	regs := Compare(base, cur, Thresholds{})
+	if len(regs) != 1 || regs[0].Experiment != "fig9" || regs[0].Metric != "wall_ms" {
+		t.Fatalf("regressions = %v, want only fig9/wall_ms", metrics(regs))
+	}
+	if !strings.Contains(regs[0].String(), "1.35x") {
+		t.Fatalf("report line lacks the tightened limit: %q", regs[0].String())
+	}
+	// An explicit per-experiment override wins over the default map.
+	if regs := Compare(base, cur, Thresholds{MaxWallRatioFor: map[string]float64{"fig9": 2}}); regs != nil {
+		t.Fatalf("override 2x still flagged: %v", metrics(regs))
+	}
+}
+
+func TestCompareAllocRatio(t *testing.T) {
+	withAllocs := func(e Experiment, n uint64) Experiment {
+		e.Allocs = n
+		return e
+	}
+	base := summary(withAllocs(exp("fig10", 100, 10.0), 1000))
+	within := summary(withAllocs(exp("fig10", 100, 10.0), 1400))
+	if regs := Compare(base, within, Thresholds{}); regs != nil {
+		t.Fatalf("1.4x allocs flagged under default 1.5x: %v", metrics(regs))
+	}
+	over := summary(withAllocs(exp("fig10", 100, 10.0), 1600))
+	regs := Compare(base, over, Thresholds{})
+	if len(regs) != 1 || regs[0].Metric != "allocs" {
+		t.Fatalf("1.6x allocs not flagged: %v", metrics(regs))
+	}
+	if regs := Compare(base, over, Thresholds{MaxAllocRatio: 2}); regs != nil {
+		t.Fatalf("custom 2x alloc threshold still flagged: %v", metrics(regs))
+	}
+	// A baseline predating the allocs field (zero) cannot gate a ratio.
+	old := summary(exp("fig10", 100, 10.0))
+	if regs := Compare(old, over, Thresholds{}); regs != nil {
+		t.Fatalf("zero-alloc baseline produced %v", metrics(regs))
 	}
 }
 

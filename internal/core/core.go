@@ -33,6 +33,7 @@ import (
 
 	"fillvoid/internal/features"
 	"fillvoid/internal/grid"
+	"fillvoid/internal/kdtree"
 	"fillvoid/internal/mathutil"
 	"fillvoid/internal/nn"
 	"fillvoid/internal/parallel"
@@ -191,6 +192,19 @@ type FCNN struct {
 	// experiments) read so their reports can never disagree with the
 	// telemetry spans.
 	tm *timings
+	// quant, when non-nil, makes inference run on a compressed weight
+	// snapshot (f16 or int8) built lazily from net on first use. It is
+	// a pointer so the FCNN struct stays copyable (Clone, WithQuant);
+	// nil means full f64 precision.
+	quant *quantState
+}
+
+// quantState is the lazily-built quantized snapshot of the network.
+type quantState struct {
+	mode nn.QuantMode
+	once sync.Once
+	q    *nn.Quantized
+	err  error
 }
 
 // timings holds an FCNN's most recent stage durations.
@@ -426,8 +440,45 @@ func (r *FCNN) FineTune(truth *grid.Volume, sampler sampling.Sampler, mode FineT
 	return err
 }
 
-// Name implements recon.Reconstructor.
-func (r *FCNN) Name() string { return "fcnn" }
+// Name implements recon.Reconstructor: "fcnn" for the full-precision
+// model, "fcnn-f16"/"fcnn-int8" for quantized views.
+func (r *FCNN) Name() string {
+	if r.quant != nil {
+		return "fcnn-" + r.quant.mode.String()
+	}
+	return "fcnn"
+}
+
+// WithQuant returns a reconstructor view of r whose inference runs on
+// weights compressed to the given mode ("f16" or "int8"; "", "none"
+// and "f64" return r unchanged). The view shares the underlying
+// network, normalizer and timings with r; the compressed snapshot is
+// taken lazily on first reconstruction and reused afterwards, so
+// fine-tune before taking the view, not after.
+func (r *FCNN) WithQuant(mode string) (recon.Reconstructor, error) {
+	m, err := nn.ParseQuantMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	if m == nn.QuantNone {
+		return r, nil
+	}
+	cp := *r
+	cp.quant = &quantState{mode: m}
+	return &cp, nil
+}
+
+// predictor resolves the inference engine: the network itself at full
+// precision, or the (lazily built) quantized snapshot.
+func (r *FCNN) predictor() (nn.Predictor, error) {
+	if r.quant == nil {
+		return r.net, nil
+	}
+	r.quant.once.Do(func() {
+		r.quant.q, r.quant.err = r.net.Quantize(r.quant.mode)
+	})
+	return r.quant.q, r.quant.err
+}
 
 // Reconstruct implements recon.Reconstructor (legacy full-grid path): it
 // fills the spec'd grid from the sampled cloud via a private query plan.
@@ -435,12 +486,43 @@ func (r *FCNN) Reconstruct(c *pointcloud.Cloud, spec recon.GridSpec) (*grid.Volu
 	return recon.ReconstructCloud(context.Background(), r, c, spec)
 }
 
+// fusedTile is the micro-batch size of the fused inference path: each
+// worker featurizes and predicts fusedTile void locations at a time, so
+// the feature block (fusedTile × 23 floats) and every activation block
+// stay cache-resident while the layer weights stream over them.
+const fusedTile = 512
+
+// fusedScratch is one worker's reusable state for the fused path: the
+// feature block, the prediction block, the per-layer activation
+// buffers, and the query/neighbor scratch. Allocated once per
+// ReconstructRegion call and reused across every macro-batch.
+type fusedScratch struct {
+	x, out  *nn.Matrix
+	buf     *nn.InferenceBuffers
+	queries []mathutil.Vec3
+	nbBuf   []kdtree.Neighbor
+}
+
+func newFusedScratch(pred nn.Predictor, inW, outW, k int) *fusedScratch {
+	return &fusedScratch{
+		x:       nn.NewMatrix(fusedTile, inW),
+		out:     nn.NewMatrix(fusedTile, outW),
+		buf:     pred.NewInferenceBuffers(fusedTile),
+		queries: make([]mathutil.Vec3, 0, fusedTile),
+		nbBuf:   make([]kdtree.Neighbor, 0, k),
+	}
+}
+
 // ReconstructRegion implements recon.Reconstructor. Region queries
 // coinciding with samples keep their exact sampled value; every other
-// query (the void locations) is predicted by the network in batched
-// inference passes, with the context checked between batches. The
-// position normalization is refit to the plan's full grid bounds — not
-// the region's — which is what lets a model trained on one
+// query (the void locations) flows through the fused batch pipeline —
+// per worker and per fusedTile micro-batch: batched k-NN featurization
+// into a reusable feature block, a blocked GEMM forward pass into
+// reusable activation buffers, and denormalization straight into dst.
+// The context is checked between macro-batches (ReconBatch locations),
+// preserving the pre-fusion cancellation granularity. The position
+// normalization is refit to the plan's full grid bounds — not the
+// region's — which is what lets a model trained on one
 // resolution/domain reconstruct another, and makes a sub-box query
 // bit-identical to the same box cut from a full-grid reconstruction.
 func (r *FCNN) ReconstructRegion(ctx context.Context, p *recon.Plan, region recon.Region, dst []float64) error {
@@ -453,12 +535,12 @@ func (r *FCNN) ReconstructRegion(ctx context.Context, p *recon.Plan, region reco
 	sp := reg.StartSpan("reconstruct")
 	defer sp.End()
 	start := time.Now()
-	norm := &features.Normalizer{ValMin: r.norm.ValMin, ValScale: r.norm.ValScale}
-	posNorm := features.NewNormalizer(spec.Bounds(), 0, 1)
-	norm.PosMin = posNorm.PosMin
-	norm.PosScale = posNorm.PosScale
-
+	norm := r.reconNormalizer(spec)
 	ex, err := features.NewExtractorWithTree(r.opts.Features, c, p.Tree(), norm)
+	if err != nil {
+		return err
+	}
+	pred, err := r.predictor()
 	if err != nil {
 		return err
 	}
@@ -485,7 +567,13 @@ func (r *FCNN) ReconstructRegion(ctx context.Context, p *recon.Plan, region reco
 	if batch <= 0 {
 		batch = 1 << 18
 	}
-	queries := make([]mathutil.Vec3, 0, minIntCore(batch, len(voidIdx)))
+	workers := r.opts.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	// One scratch set per worker, reused across macro-batches; slots
+	// fill lazily because ForChunked may engage fewer workers.
+	scratch := make([]*fusedScratch, workers)
 	for bstart := 0; bstart < len(voidIdx); bstart += batch {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -494,23 +582,12 @@ func (r *FCNN) ReconstructRegion(ctx context.Context, p *recon.Plan, region reco
 		if end > len(voidIdx) {
 			end = len(voidIdx)
 		}
-		chunk := voidIdx[bstart:end]
-		featSp := sp.Child("featurize")
-		queries = queries[:0]
-		for _, m := range chunk {
-			queries = append(queries, region.PointAt(spec, m))
-		}
-		x := ex.Matrix(queries)
-		featSp.End()
-		predSp := sp.Child("predict")
-		pred, err := r.net.Predict(x)
+		fusedSp := sp.Child("fused-infer")
+		err := r.fusedInfer(pred, ex, spec, region, voidIdx[bstart:end], dst, norm, workers, scratch)
+		fusedSp.End()
 		if err != nil {
 			return err
 		}
-		parallel.For(len(chunk), r.opts.Workers, func(i int) {
-			dst[chunk[i]] = norm.Denorm(pred.At(i, 0))
-		})
-		predSp.End()
 		reg.Counter("core.reconstruct.batches").Inc()
 	}
 	elapsed := time.Since(start)
@@ -524,11 +601,136 @@ func (r *FCNN) ReconstructRegion(ctx context.Context, p *recon.Plan, region reco
 	return nil
 }
 
-func minIntCore(a, b int) int {
-	if a < b {
-		return a
+// reconNormalizer builds the per-reconstruction normalizer: the fitted
+// value scaling with position scaling refit to the target grid bounds.
+func (r *FCNN) reconNormalizer(spec recon.GridSpec) *features.Normalizer {
+	norm := &features.Normalizer{ValMin: r.norm.ValMin, ValScale: r.norm.ValScale}
+	posNorm := features.NewNormalizer(spec.Bounds(), 0, 1)
+	norm.PosMin = posNorm.PosMin
+	norm.PosScale = posNorm.PosScale
+	return norm
+}
+
+// fusedInfer runs one macro-batch of void locations through the fused
+// pipeline: workers take contiguous sub-ranges of chunk and stream
+// fusedTile micro-batches through their own scratch, so the whole
+// macro-batch performs O(workers) allocations on first use and zero
+// afterwards. Results are bit-identical to the row-at-a-time reference
+// path (reconstructRegionScalar) — the kernels preserve accumulation
+// order exactly.
+func (r *FCNN) fusedInfer(pred nn.Predictor, ex *features.Extractor, spec recon.GridSpec, region recon.Region, chunk []int, dst []float64, norm *features.Normalizer, workers int, scratch []*fusedScratch) error {
+	nw := workers
+	if nw > len(chunk) {
+		nw = len(chunk)
 	}
-	return b
+	if nw < 1 {
+		return nil
+	}
+	csz := (len(chunk) + nw - 1) / nw
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	parallel.ForChunked(len(chunk), nw, func(lo, hi int) {
+		// ForChunked hands worker w the range starting at w*csz, so the
+		// worker id — and its scratch slot — falls out of lo.
+		w := lo / csz
+		s := scratch[w]
+		if s == nil {
+			s = newFusedScratch(pred, ex.Config().InputWidth(), pred.Config().Out, ex.Config().K)
+			scratch[w] = s
+		}
+		for t := lo; t < hi; t += fusedTile {
+			te := t + fusedTile
+			if te > hi {
+				te = hi
+			}
+			tile := chunk[t:te]
+			s.queries = s.queries[:0]
+			for _, m := range tile {
+				s.queries = append(s.queries, region.PointAt(spec, m))
+			}
+			rows := len(tile)
+			s.x.Rows, s.out.Rows = rows, rows
+			if err := ex.BuildBatch(s.queries, s.x, s.nbBuf); err != nil {
+				fail(err)
+				return
+			}
+			if err := pred.PredictInto(s.x, s.out, s.buf); err != nil {
+				fail(err)
+				return
+			}
+			for i, m := range tile {
+				dst[m] = norm.Denorm(s.out.At(i, 0))
+			}
+		}
+	})
+	return firstErr
+}
+
+// reconstructRegionScalar is the pre-fusion row-at-a-time reference
+// implementation: full feature matrix per macro-batch, the parallel
+// sharded Predict, per-point denorm. Kept unexported for the
+// bit-identity guard test, which asserts the fused path reproduces its
+// output volumes byte for byte.
+func (r *FCNN) reconstructRegionScalar(ctx context.Context, p *recon.Plan, region recon.Region, dst []float64) error {
+	c := p.Cloud()
+	if c.Len() < r.opts.Features.K {
+		return fmt.Errorf("core: cloud has %d points, need >= %d", c.Len(), r.opts.Features.K)
+	}
+	spec := p.Spec()
+	norm := r.reconNormalizer(spec)
+	ex, err := features.NewExtractorWithTree(r.opts.Features, c, p.Tree(), norm)
+	if err != nil {
+		return err
+	}
+	n := region.Len()
+	eps2 := spec.MinSpacing2() * 1e-12
+	nearIdx, nearD2, err := p.NearestFor(ctx, region, r.opts.Workers)
+	if err != nil {
+		return err
+	}
+	voidIdx := make([]int, 0, n)
+	for m := 0; m < n; m++ {
+		if nearD2[m] <= eps2 {
+			dst[m] = c.Values[nearIdx[m]]
+		} else {
+			voidIdx = append(voidIdx, m)
+		}
+	}
+	batch := r.opts.ReconBatch
+	if batch <= 0 {
+		batch = 1 << 18
+	}
+	var queries []mathutil.Vec3
+	for bstart := 0; bstart < len(voidIdx); bstart += batch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := bstart + batch
+		if end > len(voidIdx) {
+			end = len(voidIdx)
+		}
+		chunk := voidIdx[bstart:end]
+		queries = queries[:0]
+		for _, m := range chunk {
+			queries = append(queries, region.PointAt(spec, m))
+		}
+		x := ex.Matrix(queries)
+		pred, err := r.net.Predict(x)
+		if err != nil {
+			return err
+		}
+		for i := range chunk {
+			dst[chunk[i]] = norm.Denorm(pred.At(i, 0))
+		}
+	}
+	return nil
 }
 
 // Losses returns the concatenated per-epoch training losses (full
@@ -557,6 +759,11 @@ func (r *FCNN) Clone() (*FCNN, error) {
 	n := *r.norm
 	cp.norm = &n
 	cp.tm = &timings{}
+	if r.quant != nil {
+		// Fresh lazy state: the clone's snapshot must come from the
+		// clone's weights, not the original's.
+		cp.quant = &quantState{mode: r.quant.mode}
+	}
 	return &cp, nil
 }
 

@@ -118,6 +118,9 @@ type Config struct {
 	OutDir string
 	// Workers bounds parallelism (<= 0: all cores).
 	Workers int
+	// Quant selects quantized inference ("f16" or "int8") for methods
+	// that support it (currently fcnn); "" runs full precision.
+	Quant string
 	// Quiet suppresses progress logging.
 	Quiet bool
 	// Log receives progress lines (defaults to io.Discard when Quiet).
@@ -346,6 +349,15 @@ func (cfg *Config) methods(model *core.FCNN, names ...string) ([]interp.Reconstr
 		m, err := reg.Get(name)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Quant != "" {
+			if qm, ok := m.(interface {
+				WithQuant(string) (interp.Reconstructor, error)
+			}); ok {
+				if m, err = qm.WithQuant(cfg.Quant); err != nil {
+					return nil, err
+				}
+			}
 		}
 		out = append(out, m)
 	}

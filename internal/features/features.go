@@ -223,6 +223,26 @@ func (e *Extractor) FeaturesInto(q mathutil.Vec3, dst []float64, nbBuf []kdtree.
 	dst[w+2] = qn.Z
 }
 
+// BuildBatch fills the first len(queries) rows of x with one feature
+// vector per query on the calling goroutine, reusing nbBuf
+// (cap >= K) as k-NN scratch: zero heap allocations per call. It is
+// the per-chunk primitive of the fused inference path — each
+// reconstruction worker owns one x and one nbBuf and streams its
+// chunks through them. x must have InputWidth columns and at least
+// len(queries) rows.
+func (e *Extractor) BuildBatch(queries []mathutil.Vec3, x *nn.Matrix, nbBuf []kdtree.Neighbor) error {
+	if x.Cols != e.cfg.InputWidth() {
+		return fmt.Errorf("features: batch matrix has %d cols, want %d", x.Cols, e.cfg.InputWidth())
+	}
+	if x.Rows < len(queries) {
+		return fmt.Errorf("features: batch matrix has %d rows for %d queries", x.Rows, len(queries))
+	}
+	for i, q := range queries {
+		e.FeaturesInto(q, x.Row(i), nbBuf[:0])
+	}
+	return nil
+}
+
 // Matrix builds the feature matrix for a set of query points in
 // parallel: one row per query, InputWidth columns.
 func (e *Extractor) Matrix(queries []mathutil.Vec3) *nn.Matrix {

@@ -7,6 +7,7 @@ import (
 
 	"fillvoid/internal/datasets"
 	"fillvoid/internal/grid"
+	"fillvoid/internal/kdtree"
 	"fillvoid/internal/mathutil"
 	"fillvoid/internal/nn"
 	"fillvoid/internal/pointcloud"
@@ -157,6 +158,49 @@ func TestFeatureVectorLayout(t *testing.T) {
 	w := 4 * 2
 	if dst[w] != 0.5 || dst[w+1] != 0.5 || math.Abs(dst[w+2]-0.6) > 1e-12 {
 		t.Fatalf("query coords: %v", dst[w:])
+	}
+}
+
+func TestBuildBatchMatchesMatrix(t *testing.T) {
+	v := testVolume()
+	cloud, _, err := (&sampling.Importance{Seed: 2}).Sample(v, "f", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := NormalizerFor(cloud, v.Bounds())
+	ex, err := NewExtractor(DefaultConfig(), cloud, norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]mathutil.Vec3, 0, 60)
+	for i := 0; i < 60; i++ {
+		queries = append(queries, v.PointAt(i*7%v.Len()))
+	}
+	want := ex.Matrix(queries)
+	x := nn.NewMatrix(len(queries), ex.Config().InputWidth())
+	nbBuf := make([]kdtree.Neighbor, 0, ex.Config().K)
+	if err := ex.BuildBatch(queries, x, nbBuf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Float64bits(x.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("element %d: batch %g, reference %g", i, x.Data[i], want.Data[i])
+		}
+	}
+	// Shape misuse is rejected.
+	if err := ex.BuildBatch(queries, nn.NewMatrix(len(queries), 5), nbBuf); err == nil {
+		t.Error("wrong column count accepted")
+	}
+	if err := ex.BuildBatch(queries, nn.NewMatrix(3, ex.Config().InputWidth()), nbBuf); err == nil {
+		t.Error("too few rows accepted")
+	}
+	// Steady-state zero allocations, the fused-path contract.
+	if a := testing.AllocsPerRun(50, func() {
+		if err := ex.BuildBatch(queries, x, nbBuf); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("BuildBatch: %v allocs/op, want 0", a)
 	}
 }
 

@@ -28,6 +28,11 @@ type Tree struct {
 	// axis[n] records the split axis chosen for the subtree rooted at
 	// position n of the idx slice layout.
 	axis []int8
+	// px/py/pz hold the point coordinates in tree order (px[n] is
+	// points[idx[n]].X): a structure-of-arrays copy that replaces the
+	// points[idx[mid]] double indirection on the query hot path with
+	// three sequential slice loads.
+	px, py, pz []float64
 }
 
 // Build constructs a tree over points. The slice is retained (not
@@ -48,6 +53,13 @@ func Build(points []mathutil.Vec3) *Tree {
 			b = b.Extend(p)
 		}
 		t.build(0, len(points), b, 0)
+	}
+	t.px = make([]float64, len(points))
+	t.py = make([]float64, len(points))
+	t.pz = make([]float64, len(points))
+	for n, i := range t.idx {
+		p := points[i]
+		t.px[n], t.py[n], t.pz[n] = p.X, p.Y, p.Z
 	}
 	return t
 }
@@ -159,12 +171,57 @@ type Neighbor struct {
 // Nearest returns the index of the closest indexed point to q and the
 // squared distance, or (-1, +Inf) for an empty tree.
 func (t *Tree) Nearest(q mathutil.Vec3) (int, float64) {
-	var buf [1]Neighbor
-	res := t.KNearestInto(q, 1, buf[:0])
-	if len(res) == 0 {
+	if len(t.points) == 0 {
 		return -1, inf()
 	}
-	return res[0].Index, res[0].Dist2
+	// Dedicated 1-NN traversal: routing k=1 through KNearestInto makes
+	// the one-element buffer escape into the heap struct, costing one
+	// allocation per call — and Nearest is called once per grid node
+	// when the recon engine builds its nearest-sample table.
+	b := nearest1{index: -1, d2: inf()}
+	t.nearest1(0, len(t.points), q, &b)
+	return b.index, b.d2
+}
+
+type nearest1 struct {
+	index int
+	d2    float64
+}
+
+func (t *Tree) nearest1(lo, hi int, q mathutil.Vec3, b *nearest1) {
+	if hi <= lo {
+		return
+	}
+	mid := (lo + hi) / 2
+	dx := t.px[mid] - q.X
+	dy := t.py[mid] - q.Y
+	dz := t.pz[mid] - q.Z
+	if d2 := dx*dx + dy*dy + dz*dz; d2 < b.d2 {
+		b.index, b.d2 = int(t.idx[mid]), d2
+	}
+	if hi-lo == 1 {
+		return
+	}
+	var d float64
+	switch t.axis[mid] {
+	case 0:
+		d = q.X - t.px[mid]
+	case 1:
+		d = q.Y - t.py[mid]
+	default:
+		d = q.Z - t.pz[mid]
+	}
+	if d < 0 {
+		t.nearest1(lo, mid, q, b)
+		if d*d < b.d2 {
+			t.nearest1(mid+1, hi, q, b)
+		}
+	} else {
+		t.nearest1(mid+1, hi, q, b)
+		if d*d < b.d2 {
+			t.nearest1(lo, mid, q, b)
+		}
+	}
 }
 
 // KNearest returns the k nearest points to q ordered by increasing
@@ -174,17 +231,29 @@ func (t *Tree) KNearest(q mathutil.Vec3, k int) []Neighbor {
 }
 
 // KNearestInto is KNearest writing into buf (reused when cap(buf) >= k)
-// to let hot loops avoid allocation. The returned slice is sorted by
-// increasing distance.
+// to let hot loops avoid allocation: when the buffer is large enough the
+// call performs no heap allocation at all. The returned slice is sorted
+// by increasing distance.
 func (t *Tree) KNearestInto(q mathutil.Vec3, k int, buf []Neighbor) []Neighbor {
 	if k <= 0 || len(t.points) == 0 {
 		return buf[:0]
 	}
 	h := heapNeighbors{items: buf[:0], k: k}
 	t.knn(0, len(t.points), q, &h)
-	// Heap holds the k nearest in max-heap order; sort ascending.
-	sort.Slice(h.items, func(a, b int) bool { return h.items[a].Dist2 < h.items[b].Dist2 })
-	return h.items
+	// Heap holds the k nearest in max-heap order; insertion sort keeps
+	// the call allocation-free (sort.Slice's closure and reflect-based
+	// swapper both escape to the heap), and k is tiny (typically 5).
+	items := h.items
+	for i := 1; i < len(items); i++ {
+		it := items[i]
+		j := i - 1
+		for j >= 0 && items[j].Dist2 > it.Dist2 {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = it
+	}
+	return items
 }
 
 func (t *Tree) knn(lo, hi int, q mathutil.Vec3, h *heapNeighbors) {
@@ -192,13 +261,22 @@ func (t *Tree) knn(lo, hi int, q mathutil.Vec3, h *heapNeighbors) {
 		return
 	}
 	mid := (lo + hi) / 2
-	p := t.points[t.idx[mid]]
-	h.offer(int(t.idx[mid]), p.Dist2(q))
+	dx := t.px[mid] - q.X
+	dy := t.py[mid] - q.Y
+	dz := t.pz[mid] - q.Z
+	h.offer(int(t.idx[mid]), dx*dx+dy*dy+dz*dz)
 	if hi-lo == 1 {
 		return
 	}
-	ax := int(t.axis[mid])
-	d := q.Component(ax) - p.Component(ax)
+	var d float64
+	switch t.axis[mid] {
+	case 0:
+		d = q.X - t.px[mid]
+	case 1:
+		d = q.Y - t.py[mid]
+	default:
+		d = q.Z - t.pz[mid]
+	}
 	// Search the near side first, then the far side only if the
 	// splitting plane is closer than the current k-th best distance.
 	if d < 0 {
@@ -251,14 +329,60 @@ func (t *Tree) radius(lo, hi int, q mathutil.Vec3, r2 float64, out []int) []int 
 	return out
 }
 
+// KNearestBatchInto answers len(queries) k-NN queries into one flat
+// caller-owned buffer: query i's neighbors land in out[i*k:(i+1)*k],
+// sorted by increasing distance and padded with {Index: -1,
+// Dist2: +Inf} entries when the tree holds fewer than k points. out
+// must have length >= len(queries)*k. workers <= 0 uses
+// parallel.DefaultWorkers(); workers == 1 runs inline on the calling
+// goroutine with zero heap allocations, which is what the fused
+// inference path relies on (each reconstruction worker batches its own
+// chunk serially). Returns out[:len(queries)*k].
+func (t *Tree) KNearestBatchInto(queries []mathutil.Vec3, k, workers int, out []Neighbor) []Neighbor {
+	if k <= 0 || len(queries) == 0 {
+		return out[:0]
+	}
+	if len(out) < len(queries)*k {
+		panic("kdtree: KNearestBatchInto buffer shorter than len(queries)*k")
+	}
+	if workers == 1 {
+		t.knnBatchRange(queries, k, out, 0, len(queries))
+	} else {
+		parallel.ForChunked(len(queries), workers, func(lo, hi int) {
+			t.knnBatchRange(queries, k, out, lo, hi)
+		})
+	}
+	return out[:len(queries)*k]
+}
+
+func (t *Tree) knnBatchRange(queries []mathutil.Vec3, k int, out []Neighbor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		// Three-index slice: KNearestInto appends into exactly the
+		// [i*k, (i+1)*k) window of out, never beyond it.
+		got := t.KNearestInto(queries[i], k, out[i*k:i*k:(i+1)*k])
+		for j := len(got); j < k; j++ {
+			out[i*k+j] = Neighbor{Index: -1, Dist2: inf()}
+		}
+	}
+}
+
 // KNearestBatch runs KNearest for every query in parallel, returning one
-// result slice per query. It is the bulk entry point used by feature
-// extraction over hundreds of thousands of void locations.
+// result slice per query. It is the allocating convenience wrapper over
+// KNearestBatchInto; hot loops should call the Into variant with a
+// reused buffer.
 func (t *Tree) KNearestBatch(queries []mathutil.Vec3, k int) [][]Neighbor {
 	out := make([][]Neighbor, len(queries))
-	parallel.For(len(queries), 0, func(i int) {
-		out[i] = t.KNearest(queries[i], k)
-	})
+	if k <= 0 || len(queries) == 0 {
+		return out
+	}
+	flat := t.KNearestBatchInto(queries, k, 0, make([]Neighbor, len(queries)*k))
+	per := k
+	if t.Len() < per {
+		per = t.Len()
+	}
+	for i := range out {
+		out[i] = flat[i*k : i*k+per]
+	}
 	return out
 }
 

@@ -1,0 +1,102 @@
+package mathutil
+
+import "math"
+
+// IEEE 754 binary16 (half precision) conversion, used by the quantized
+// inference path: trained f64 weights are stored as 16-bit halves and
+// expanded on the fly inside the tiled GEMM. Only conversion is
+// implemented — no half arithmetic — because the dot products themselves
+// always run in float64.
+//
+// Encoding goes through float32 first (Go's conversion rounds to
+// nearest-even), then float32 → binary16 with round-to-nearest-even.
+// Values beyond the half range (|v| > 65504 after rounding) become
+// ±Inf, subnormal halves are produced below 2^-14, and NaN encodes to a
+// canonical quiet NaN.
+
+const (
+	f16SignMask = 0x8000
+	f16ExpMask  = 0x7c00
+	f16ManMask  = 0x03ff
+	f16Inf      = 0x7c00
+	f16NaN      = 0x7e00
+)
+
+// F16Encode converts v to its nearest IEEE 754 binary16 representation.
+func F16Encode(v float64) uint16 {
+	b := math.Float32bits(float32(v))
+	sign := uint16(b>>16) & f16SignMask
+	exp := int(b >> 23 & 0xff)
+	man := b & 0x007fffff
+
+	if exp == 0xff { // Inf or NaN
+		if man != 0 {
+			return sign | f16NaN
+		}
+		return sign | f16Inf
+	}
+
+	e := exp - 127 + 15
+	if e <= 0 {
+		// Subnormal half (or underflow to signed zero). The smallest
+		// subnormal is 2^-24, i.e. e = -10 after re-biasing.
+		if e < -10 {
+			return sign
+		}
+		man |= 0x00800000 // make the implicit leading 1 explicit
+		shift := uint(14 - e)
+		half := uint32(1) << (shift - 1)
+		m := man >> shift
+		// Round to nearest, ties to even.
+		if man&half != 0 && (man&(half-1) != 0 || m&1 == 1) {
+			m++
+		}
+		return sign | uint16(m)
+	}
+	if e >= 0x1f {
+		return sign | f16Inf
+	}
+
+	m := man >> 13
+	// Round to nearest, ties to even; a mantissa carry bumps the
+	// exponent (and can overflow to infinity at the top of the range).
+	if man&0x1000 != 0 && (man&0x0fff != 0 || m&1 == 1) {
+		m++
+		if m == 0x400 {
+			m = 0
+			e++
+			if e >= 0x1f {
+				return sign | f16Inf
+			}
+		}
+	}
+	return sign | uint16(e)<<10 | uint16(m)
+}
+
+// F16Decode converts binary16 bits back to float64. The conversion is
+// exact: every finite half is representable in float64.
+func F16Decode(h uint16) float64 {
+	sign := uint32(h&f16SignMask) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & f16ManMask)
+	var b uint32
+	switch {
+	case exp == 0:
+		if man == 0 {
+			b = sign // ±0
+		} else {
+			// Subnormal half: normalize into a float32 normal.
+			e := uint32(113) // 127 - 14
+			for man&0x400 == 0 {
+				man <<= 1
+				e--
+			}
+			b = sign | e<<23 | (man&f16ManMask)<<13
+		}
+	case exp == 0x1f:
+		b = sign | 0x7f800000 | man<<13 // ±Inf / NaN (payload widened)
+	default:
+		b = sign | (exp-15+127)<<23 | man<<13
+	}
+	return float64(math.Float32frombits(b))
+}

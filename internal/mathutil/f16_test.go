@@ -1,0 +1,141 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+)
+
+// TestF16ExhaustiveRoundTrip walks every one of the 65536 half bit
+// patterns: decode must be exact (every finite half is a float64), and
+// re-encoding the decoded value must reproduce the original bits.
+// NaN payloads are the one exception — encode canonicalizes them.
+func TestF16ExhaustiveRoundTrip(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		bits := uint16(h)
+		v := F16Decode(bits)
+		isNaN := bits&f16ExpMask == f16ExpMask && bits&f16ManMask != 0
+		if isNaN {
+			if !math.IsNaN(v) {
+				t.Fatalf("%#04x: decoded %g, want NaN", bits, v)
+			}
+			if got := F16Encode(v); got&f16ExpMask != f16ExpMask || got&f16ManMask == 0 {
+				t.Fatalf("%#04x: NaN re-encoded to non-NaN %#04x", bits, got)
+			}
+			continue
+		}
+		if got := F16Encode(v); got != bits {
+			t.Fatalf("%#04x: decode %g re-encodes to %#04x", bits, v, got)
+		}
+	}
+}
+
+func TestF16KnownValues(t *testing.T) {
+	cases := []struct {
+		v    float64
+		bits uint16
+	}{
+		{0, 0x0000},
+		{math.Copysign(0, -1), 0x8000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                 // largest finite half
+		{65505, 0x7bff},                 // rounds back down
+		{65520, 0x7c00},                 // ties up to infinity
+		{1e9, 0x7c00},                   // overflow
+		{-1e9, 0xfc00},                  // overflow, negative
+		{math.Inf(1), 0x7c00},           //
+		{math.Inf(-1), 0xfc00},          //
+		{6.103515625e-05, 0x0400},       // smallest normal, 2^-14
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal, 2^-24
+		{1e-10, 0x0000},                 // underflow to zero
+	}
+	for _, c := range cases {
+		if got := F16Encode(c.v); got != c.bits {
+			t.Errorf("F16Encode(%g) = %#04x, want %#04x", c.v, got, c.bits)
+		}
+	}
+	if !math.IsNaN(F16Decode(F16Encode(math.NaN()))) {
+		t.Error("NaN did not round-trip to NaN")
+	}
+}
+
+// TestF16RelativeError bounds the representation error over the normal
+// half range: one half ulp is 2^-11 of the value.
+func TestF16RelativeError(t *testing.T) {
+	rng := NewRNG(7)
+	for trial := 0; trial < 20000; trial++ {
+		// Log-uniform magnitudes across the normal half range.
+		mag := math.Exp2(rng.Float64()*30 - 14) // 2^-14 .. 2^16
+		if mag > 65504 {
+			continue
+		}
+		v := mag
+		if rng.Intn(2) == 1 {
+			v = -v
+		}
+		got := F16Decode(F16Encode(v))
+		if rel := math.Abs(got-v) / math.Abs(v); rel > 1.0/2048 {
+			t.Fatalf("F16 round-trip of %g gives %g (relative error %g)", v, got, rel)
+		}
+	}
+}
+
+// FuzzF16RoundTrip checks the encode/decode pair on arbitrary float64
+// inputs: NaN/Inf handling, the relative-error bound in range, and
+// order preservation (encode is monotone in the input).
+func FuzzF16RoundTrip(f *testing.F) {
+	seeds := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.1, -0.1,
+		65504, 65505, 65519.999, 65520, -65520,
+		6.103515625e-05, 5.960464477539063e-08, 1e-10,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.Pi, 1e300, -1e300, 2.980232e-08,
+	}
+	for _, a := range seeds {
+		f.Add(a, 1.0)
+	}
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		for _, v := range [2]float64{a, b} {
+			h := F16Encode(v)
+			rt := F16Decode(h)
+			switch {
+			case math.IsNaN(v):
+				if !math.IsNaN(rt) {
+					t.Fatalf("NaN input decoded to %g", rt)
+				}
+			case math.IsInf(v, 0) || math.Abs(v) >= 65520:
+				if !math.IsInf(rt, int(math.Copysign(1, v))) {
+					t.Fatalf("out-of-range %g decoded to %g, want Inf", v, rt)
+				}
+			case math.Abs(v) > 65504:
+				// Between the largest finite half and the overflow
+				// threshold the value rounds to ±65504 — except that
+				// the float32 pre-rounding step can push inputs just
+				// under 65520 over the edge to ±Inf (double rounding).
+				if rt != math.Copysign(65504, v) && !math.IsInf(rt, int(math.Copysign(1, v))) {
+					t.Fatalf("near-max %g decoded to %g, want ±65504 or Inf", v, rt)
+				}
+			case math.Abs(v) >= 6.103515625e-05:
+				// Normal range: half a half-ulp of relative error.
+				if rel := math.Abs(rt-v) / math.Abs(v); rel > 1.0/2048 {
+					t.Fatalf("round-trip of %g gives %g (relative error %g)", v, rt, rel)
+				}
+			default:
+				// Subnormal range: absolute error within one subnormal
+				// step, 2^-24.
+				if math.Abs(rt-v) > 5.960464477539063e-08 {
+					t.Fatalf("subnormal round-trip of %g gives %g", v, rt)
+				}
+			}
+		}
+		// Monotonicity: ordering of inputs survives the round trip.
+		if !math.IsNaN(a) && !math.IsNaN(b) {
+			ra, rb := F16Decode(F16Encode(a)), F16Decode(F16Encode(b))
+			if a <= b && !(ra <= rb) {
+				t.Fatalf("monotonicity violated: %g <= %g but %g > %g", a, b, ra, rb)
+			}
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fillvoid/internal/mathutil"
+)
+
+// Quantized inference: weights stored as IEEE 754 binary16 halves or as
+// int8 with one scale per layer, expanded row-by-row into a small f64
+// scratch inside the blocked GEMM. The dot products themselves always
+// run in float64 — quantization only compresses the stored weights
+// (4x for int8, 2x for f16) and trades a bounded amount of accuracy,
+// which the golden-SNR harness pins per mode. Biases stay float64:
+// they are O(width) per layer, too small to be worth compressing.
+
+// QuantMode selects the weight storage of a Quantized network.
+type QuantMode int
+
+const (
+	QuantNone QuantMode = iota // full float64 weights
+	QuantF16                   // binary16 weights
+	QuantInt8                  // int8 weights with a per-layer scale
+)
+
+// String returns the CLI spelling of the mode.
+func (m QuantMode) String() string {
+	switch m {
+	case QuantF16:
+		return "f16"
+	case QuantInt8:
+		return "int8"
+	default:
+		return "none"
+	}
+}
+
+// ParseQuantMode parses the CLI/API spelling of a quantization mode.
+// Empty, "none" and "f64" all mean full precision.
+func ParseQuantMode(s string) (QuantMode, error) {
+	switch s {
+	case "", "none", "f64":
+		return QuantNone, nil
+	case "f16":
+		return QuantF16, nil
+	case "int8":
+		return QuantInt8, nil
+	default:
+		return QuantNone, fmt.Errorf("nn: unknown quant mode %q (want f16, int8 or none)", s)
+	}
+}
+
+// quantDense is one layer with compressed weights. Exactly one of f16
+// or q8 is populated, matching the parent's mode.
+type quantDense struct {
+	in, out int
+	relu    bool
+	b       []float64
+	f16     []uint16
+	q8      []int8
+	scale   float64 // int8 dequantization scale
+}
+
+// Quantized is an immutable compressed snapshot of a trained Network,
+// usable only for inference via PredictInto. Snapshots are safe for
+// concurrent use from any number of goroutines (each with its own
+// InferenceBuffers).
+type Quantized struct {
+	cfg    Config
+	mode   QuantMode
+	layers []quantDense
+}
+
+// Quantize captures a compressed snapshot of the network's current
+// weights. The snapshot is taken under the weight mutex, so it is
+// consistent even while the network fine-tunes. mode must be QuantF16
+// or QuantInt8.
+func (n *Network) Quantize(mode QuantMode) (*Quantized, error) {
+	if mode != QuantF16 && mode != QuantInt8 {
+		return nil, fmt.Errorf("nn: cannot quantize to mode %v", mode)
+	}
+	q := &Quantized{cfg: n.cfg, mode: mode}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.layers {
+		ql := quantDense{in: l.in, out: l.out, relu: l.relu, b: append([]float64(nil), l.b...)}
+		switch mode {
+		case QuantF16:
+			ql.f16 = make([]uint16, len(l.w))
+			for i, w := range l.w {
+				ql.f16[i] = mathutil.F16Encode(w)
+			}
+		case QuantInt8:
+			maxAbs := 0.0
+			for _, w := range l.w {
+				if a := math.Abs(w); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs == 0 {
+				maxAbs = 1 // all-zero layer: any scale maps 0 -> 0
+			}
+			ql.scale = maxAbs / 127
+			ql.q8 = make([]int8, len(l.w))
+			for i, w := range l.w {
+				v := math.RoundToEven(w / ql.scale)
+				if v > 127 {
+					v = 127
+				} else if v < -127 {
+					v = -127
+				}
+				ql.q8[i] = int8(v)
+			}
+		}
+		q.layers = append(q.layers, ql)
+	}
+	return q, nil
+}
+
+// Config returns the architecture configuration of the snapshot.
+func (q *Quantized) Config() Config { return q.cfg }
+
+// Mode returns the weight storage mode.
+func (q *Quantized) Mode() QuantMode { return q.mode }
+
+// NewInferenceBuffers allocates activation buffers for PredictInto
+// batches of up to maxRows rows.
+func (q *Quantized) NewInferenceBuffers(maxRows int) *InferenceBuffers {
+	return newInferenceBuffers(q.cfg.layerWidths(), maxRows)
+}
+
+// PredictInto runs the forward pass with on-the-fly weight expansion:
+// each compressed weight row is dequantized once into buf.wrow and then
+// reused across the row block, so the expansion cost is amortized over
+// the batch. Zero heap allocations per call.
+func (q *Quantized) PredictInto(x, out *Matrix, buf *InferenceBuffers) error {
+	if err := checkPredictInto(q.cfg, x, out, buf); err != nil {
+		return err
+	}
+	cur := x.Data
+	for li := range q.layers {
+		l := &q.layers[li]
+		dst := out.Data
+		if li < len(q.layers)-1 {
+			dst = buf.acts[li][:x.Rows*l.out]
+		}
+		quantForwardBlocked(l, cur, x.Rows, buf.wrow[:l.in], dst)
+		cur = dst
+	}
+	return nil
+}
+
+// quantForwardBlocked mirrors denseForwardBlocked with a dequantization
+// step per weight row. The loop nest is inverted relative to the f64
+// kernel — outputs outermost — so each weight row is expanded exactly
+// once per batch, not once per row block.
+func quantForwardBlocked(l *quantDense, x []float64, rows int, wrow, dst []float64) {
+	in, nout := l.in, l.out
+	for o := 0; o < nout; o++ {
+		if l.f16 != nil {
+			hw := l.f16[o*in : (o+1)*in]
+			for i, h := range hw {
+				wrow[i] = mathutil.F16Decode(h)
+			}
+		} else {
+			qw := l.q8[o*in : (o+1)*in]
+			for i, qv := range qw {
+				wrow[i] = l.scale * float64(qv)
+			}
+		}
+		bo := l.b[o]
+		r := 0
+		for ; r+4 <= rows; r += 4 {
+			x0 := x[(r+0)*in : (r+1)*in]
+			x1 := x[(r+1)*in : (r+2)*in]
+			x2 := x[(r+2)*in : (r+3)*in]
+			x3 := x[(r+3)*in : (r+4)*in]
+			s0, s1, s2, s3 := bo, bo, bo, bo
+			for i, wi := range wrow {
+				s0 += wi * x0[i]
+				s1 += wi * x1[i]
+				s2 += wi * x2[i]
+				s3 += wi * x3[i]
+			}
+			if l.relu {
+				if s0 < 0 {
+					s0 = 0
+				}
+				if s1 < 0 {
+					s1 = 0
+				}
+				if s2 < 0 {
+					s2 = 0
+				}
+				if s3 < 0 {
+					s3 = 0
+				}
+			}
+			dst[(r+0)*nout+o] = s0
+			dst[(r+1)*nout+o] = s1
+			dst[(r+2)*nout+o] = s2
+			dst[(r+3)*nout+o] = s3
+		}
+		for ; r < rows; r++ {
+			xr := x[r*in : (r+1)*in]
+			s := bo
+			for i, wi := range wrow {
+				s += wi * xr[i]
+			}
+			if l.relu && s < 0 {
+				s = 0
+			}
+			dst[r*nout+o] = s
+		}
+	}
+}

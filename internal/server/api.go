@@ -109,6 +109,9 @@ type ReconstructRequest struct {
 	CloudID string     `json:"cloud_id,omitempty"`
 	Grid    GridJSON   `json:"grid"`
 	Region  RegionJSON `json:"region"`
+	// Quant selects quantized inference ("f16" or "int8") for methods
+	// that support it (currently fcnn); empty means full precision.
+	Quant string `json:"quant,omitempty"`
 }
 
 // ReconstructResponse carries the reconstructed values in region order
@@ -126,6 +129,9 @@ type ReconstructResponse struct {
 	// spatial index) instead of building a fresh one.
 	PlanCached bool    `json:"plan_cached"`
 	DurationMS float64 `json:"duration_ms"`
+	// Quant echoes the quantization mode the reconstruction ran with
+	// (empty for full precision).
+	Quant string `json:"quant,omitempty"`
 }
 
 // UploadResponse is the body returned by POST /v1/clouds.

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"fillvoid/internal/recon"
+)
+
+// quantStub is a stubRecon that also implements the WithQuant contract
+// the handler wires to the fcnn reconstructor.
+type quantStub struct {
+	stubRecon
+	mode string
+}
+
+func (q *quantStub) WithQuant(mode string) (recon.Reconstructor, error) {
+	switch mode {
+	case "", "none", "f64":
+		return q, nil
+	case "f16", "int8":
+		cp := *q
+		cp.mode = mode
+		return &cp, nil
+	default:
+		return nil, fmt.Errorf("unknown quant mode %q", mode)
+	}
+}
+
+func TestReconstructQuantField(t *testing.T) {
+	reg := recon.NewRegistry()
+	qs := &quantStub{}
+	qs.name = "quantable"
+	qs.fn = func(_ context.Context, _ *recon.Plan, _ recon.Region, dst []float64) error {
+		return nil
+	}
+	reg.RegisterMethod(qs)
+	reg.RegisterMethod(&stubRecon{name: "plain", fn: func(_ context.Context, _ *recon.Plan, _ recon.Region, dst []float64) error {
+		return nil
+	}})
+	_, base := startServer(t, Config{Registry: reg})
+
+	req := func(method, quant string) ReconstructRequest {
+		return ReconstructRequest{
+			Method: method, Quant: quant,
+			Cloud: testCloud(10, 9), Grid: GridJSON{Dims: [3]int{4, 4, 2}},
+		}
+	}
+
+	// A quant request against a method without WithQuant is a 400.
+	if code, body := postJSON(t, base+"/v1/reconstruct", req("plain", "f16")); code != http.StatusBadRequest {
+		t.Fatalf("plain+f16: got %d (%s), want 400", code, body)
+	}
+	// An unknown mode against a quantable method is a 400.
+	if code, body := postJSON(t, base+"/v1/reconstruct", req("quantable", "f32")); code != http.StatusBadRequest {
+		t.Fatalf("quantable+f32: got %d (%s), want 400", code, body)
+	}
+	// A valid mode runs the quantized view and echoes the mode.
+	code, body := postJSON(t, base+"/v1/reconstruct", req("quantable", "f16"))
+	if code != http.StatusOK {
+		t.Fatalf("quantable+f16: got %d (%s)", code, body)
+	}
+	var resp ReconstructResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Quant != "f16" {
+		t.Errorf("response quant %q, want f16", resp.Quant)
+	}
+	// No quant field: full precision, empty echo.
+	code, body = postJSON(t, base+"/v1/reconstruct", req("quantable", ""))
+	if code != http.StatusOK {
+		t.Fatalf("quantable: got %d (%s)", code, body)
+	}
+	resp = ReconstructResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Quant != "" {
+		t.Errorf("response quant %q, want empty", resp.Quant)
+	}
+}

@@ -483,6 +483,22 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Quant != "" {
+		// Quantized inference is an opt-in per-request view of methods
+		// that support it (the fcnn reconstructor); the view shares the
+		// underlying model, so taking it per request is cheap.
+		qm, ok := m.(interface {
+			WithQuant(string) (recon.Reconstructor, error)
+		})
+		if !ok {
+			writeError(w, http.StatusBadRequest, "method %q does not support quantized inference", req.Method)
+			return
+		}
+		if m, err = qm.WithQuant(req.Quant); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	cloud, hash, status, err := s.resolveCloud(&req)
 	if err != nil {
 		writeError(w, status, "%v", err)
@@ -551,6 +567,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		CloudID:    hash.String(),
 		PlanCached: cached,
 		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Quant:      req.Quant,
 	})
 }
 
