@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check lint bench bench-baseline bench-gate bench-gate-advisory experiments-smoke serve-smoke cover fuzz clean
+.PHONY: all build vet test test-short race check lint bench bench-baseline bench-gate bench-gate-advisory experiments-smoke serve-smoke cluster-smoke cover fuzz clean
 
 all: build vet test
 
@@ -67,6 +67,14 @@ experiments-smoke:
 serve-smoke:
 	$(GO) build -o fillvoid.smoke ./cmd/fillvoid
 	$(GO) run ./scripts/serve-smoke -bin ./fillvoid.smoke
+	rm -f fillvoid.smoke
+
+# Boots three replicas joined by -peers plus a standalone reference,
+# uploads the same cloud to both worlds, and asserts a fanned-out
+# full-grid reconstruction is bit-identical to the standalone answer.
+cluster-smoke:
+	$(GO) build -o fillvoid.smoke ./cmd/fillvoid
+	$(GO) run ./scripts/cluster-smoke -bin ./fillvoid.smoke
 	rm -f fillvoid.smoke
 
 # Per-package coverage with hard floors on the inference hot path:

@@ -12,7 +12,7 @@
 //	fillvoid reconstruct -points points.vtp -like vol.vti -method fcnn -model model.bin -o recon.vti
 //	fillvoid evaluate    -truth vol.vti -recon recon.vti
 //	fillvoid render      -in recon.vti -slice 5 -o slice.ppm
-//	fillvoid serve       -addr :8080 -model model.bin
+//	fillvoid serve       -addr :8080 -model model.bin [-peers r0=...,r1=... -replica-id r0]
 package main
 
 import (

@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"time"
 
+	"fillvoid/internal/cluster"
 	"fillvoid/internal/core"
 	"fillvoid/internal/interp"
 	"fillvoid/internal/recon"
@@ -32,6 +33,11 @@ func cmdServe(args []string) (err error) {
 	planCache := fs.Int("plan-cache", 0, "plan LRU capacity in (cloud, grid) entries (0 = 16)")
 	cloudCache := fs.Int("cloud-cache", 0, "uploaded-cloud LRU capacity (0 = 32)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max graceful-shutdown drain before aborting in-flight work")
+	peers := fs.String("peers", "", "cluster membership as id=url,id=url,... (includes this replica; empty = standalone)")
+	replicaID := fs.String("replica-id", "", "this replica's id within -peers (required with -peers)")
+	shards := fs.Int("shards", 0, "sub-box shards per fanned-out query (0 = one per replica)")
+	shardThreshold := fs.Int("shard-threshold", 0, "min box-region points before a query fans out across replicas (0 = 4096)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "fixed delay before hedging a slow sub-query (0 = adaptive p95)")
 	tf := telemetry.RegisterFlags(fs)
 	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +66,27 @@ func cmdServe(args []string) (err error) {
 		})
 	}
 
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *replicaID == "" {
+			return fmt.Errorf("-peers requires -replica-id (which entry is this process?)")
+		}
+		members, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:           *replicaID,
+			Members:        members,
+			Shards:         *shards,
+			ShardThreshold: *shardThreshold,
+			HedgeAfter:     *hedgeAfter,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		Registry:       reg,
 		MaxConcurrent:  *maxConcurrent,
@@ -68,12 +95,17 @@ func cmdServe(args []string) (err error) {
 		RequestTimeout: *requestTimeout,
 		PlanCacheSize:  *planCache,
 		CloudCacheSize: *cloudCache,
+		Cluster:        cl,
 	})
 	if err != nil {
 		return err
 	}
 	if err := srv.Start(*addr); err != nil {
 		return err
+	}
+	if cl != nil {
+		fmt.Printf("fillvoid serve: replica %s of %d (shards=%d)\n",
+			cl.Self().ID, len(cl.Members()), cl.StatusSnapshot().Shards)
 	}
 	fmt.Printf("fillvoid serve: listening on http://%s (methods: %v)\n", srv.Addr(), reg.Names())
 

@@ -33,6 +33,7 @@ import (
 	"io"
 
 	"fillvoid/internal/checkpoint"
+	"fillvoid/internal/cluster"
 	"fillvoid/internal/codec"
 	"fillvoid/internal/core"
 	"fillvoid/internal/datasets"
@@ -265,6 +266,25 @@ type (
 // NewServer builds the reconstruction HTTP service. Start it with
 // (*Server).Start and stop it with (*Server).Shutdown.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+type (
+	// Cluster is one replica's view of a multi-replica serving cluster:
+	// consistent-hash plan placement, sharded fan-out of large queries,
+	// and hedged sub-queries. Pass it to ServerConfig.Cluster.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures NewCluster; its zero value picks sensible
+	// defaults for everything but Self and Members.
+	ClusterConfig = cluster.Config
+	// ClusterMember identifies one replica (stable ID + base URL).
+	ClusterMember = cluster.Member
+)
+
+// NewCluster builds one replica's cluster state. Members must include
+// an entry whose ID equals cfg.Self.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ParsePeers parses the `-peers` flag form "id=url,id=url,...".
+func ParsePeers(s string) ([]ClusterMember, error) { return cluster.ParsePeers(s) }
 
 // SNR returns the paper's signal-to-noise ratio (dB) of a
 // reconstruction against the original.

@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"fillvoid/internal/recon"
+	"fillvoid/internal/telemetry"
+)
+
+// Internal request headers. Sub-queries and replications carry
+// HeaderInternal so the receiving replica executes locally instead of
+// re-routing (which could loop); HeaderReplica names the sender for
+// access logs and debugging.
+const (
+	HeaderInternal = "X-Fillvoid-Internal"
+	HeaderReplica  = "X-Fillvoid-Replica"
+
+	internalShard     = "shard"
+	internalProxy     = "proxy"
+	internalReplicate = "replicate"
+)
+
+// IsInternal reports whether r is a cluster-internal sub-request that
+// must execute on the receiving replica as-is.
+func IsInternal(r *http.Request) bool { return r.Header.Get(HeaderInternal) != "" }
+
+// Config configures one replica's view of the cluster. Zero values
+// pick defaults.
+type Config struct {
+	// Self is this replica's ID; it must appear in Members.
+	Self string
+	// Members is the full replica list, including self.
+	Members []Member
+	// VNodes is the virtual-node count per member (default 64): enough
+	// that each member owns an even slice of key space and membership
+	// changes move ~1/N of the keys.
+	VNodes int
+	// ShardThreshold is the minimum box-region point count before a
+	// query is fanned out across replicas instead of routed whole to
+	// its owner (default 4096; sub-queries below it cost more in HTTP
+	// overhead than they save in parallelism).
+	ShardThreshold int
+	// Shards is the sub-box count per fanned-out query (0 = one per
+	// member).
+	Shards int
+	// HedgeAfter is the fixed delay before a slow sub-query is hedged
+	// to the next replica on the ring (0 = adaptive: the p95 of recent
+	// sub-query latencies).
+	HedgeAfter time.Duration
+	// Telemetry receives the cluster.* counters (default: process
+	// global registry).
+	Telemetry *telemetry.Registry
+	// Client issues sub-queries (default: a dedicated client; the
+	// per-request context carries the deadline).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ShardThreshold <= 0 {
+		c.ShardThreshold = 4096
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.Default()
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return c
+}
+
+// Cluster is one replica's placement + fan-out state. Safe for
+// concurrent use; SetMembers swaps the ring atomically under a lock.
+type Cluster struct {
+	cfg  Config
+	self Member
+	tel  *telemetry.Registry
+
+	mu   sync.RWMutex
+	ring *ring
+
+	lat *latencyTracker
+
+	// do issues one sub-query; a test seam over the HTTP client.
+	do func(ctx context.Context, m Member, req *subQuery) ([]float64, error)
+}
+
+// New builds the replica's cluster state. Members must include Self.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg: cfg,
+		tel: cfg.Telemetry,
+		lat: newLatencyTracker(128),
+	}
+	c.do = c.httpDo
+	if err := c.SetMembers(cfg.Members); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SetMembers replaces the membership and rebuilds the ring. The list
+// must still contain Self. Consistent hashing keeps placement stable:
+// only keys owned by departed members move.
+func (c *Cluster) SetMembers(members []Member) error {
+	var self *Member
+	for i := range members {
+		if members[i].ID == c.cfg.Self {
+			self = &members[i]
+		}
+	}
+	if self == nil {
+		return fmt.Errorf("cluster: self %q not in member list", c.cfg.Self)
+	}
+	r := newRing(members, c.cfg.VNodes)
+	c.mu.Lock()
+	c.self = *self
+	c.ring = r
+	c.mu.Unlock()
+	return nil
+}
+
+// Self returns this replica's member record.
+func (c *Cluster) Self() Member {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.self
+}
+
+// Members returns the current membership in ID order.
+func (c *Cluster) Members() []Member {
+	c.mu.RLock()
+	out := append([]Member(nil), c.ring.members...)
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Route is the placement decision for one external query.
+type Route int
+
+const (
+	// RouteLocal executes on this replica (it owns the key, or the
+	// cluster has one member).
+	RouteLocal Route = iota
+	// RouteProxy forwards the whole query to the owner replica, so
+	// the owner's plan cache — not every replica's — holds the plan.
+	RouteProxy
+	// RouteFanout splits the query into sub-box shards across
+	// replicas and stitches the results.
+	RouteFanout
+)
+
+// Plan decides how to serve a query for plan key hash h over region:
+// fan out large box regions, route everything else to the key's owner
+// (local when that is us). The returned member is the proxy target
+// (RouteProxy only); shards is the fan-out width (RouteFanout only).
+func (c *Cluster) Plan(h uint64, region recon.Region) (Route, Member, int) {
+	c.mu.RLock()
+	ring, self := c.ring, c.self
+	c.mu.RUnlock()
+	if len(ring.members) <= 1 {
+		c.tel.Counter("cluster.route.local").Inc()
+		return RouteLocal, self, 0
+	}
+	if !region.IsPoints() && region.Len() >= c.cfg.ShardThreshold {
+		n := c.cfg.Shards
+		if n <= 0 {
+			n = len(ring.members)
+		}
+		if n > 1 {
+			c.tel.Counter("cluster.route.fanout").Inc()
+			return RouteFanout, self, n
+		}
+	}
+	owner := ring.owner(h)
+	if owner.ID == self.ID {
+		c.tel.Counter("cluster.route.local").Inc()
+		return RouteLocal, self, 0
+	}
+	c.tel.Counter("cluster.route.proxy").Inc()
+	return RouteProxy, owner, 0
+}
+
+// replicasFor returns the stable replica order for key hash h:
+// owner first, then the clockwise fallback/hedge order.
+func (c *Cluster) replicasFor(h uint64, n int) []Member {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.owners(h, n)
+}
+
+// hedgeDelay returns how long a sub-query may run before a hedge is
+// sent: the configured fixed delay, or an adaptive p95 of recent
+// sub-query latencies clamped to [5ms, 2s] (100ms until enough
+// samples exist).
+func (c *Cluster) hedgeDelay() time.Duration {
+	if c.cfg.HedgeAfter > 0 {
+		return c.cfg.HedgeAfter
+	}
+	p95, ok := c.lat.quantile(0.95)
+	if !ok {
+		return 100 * time.Millisecond
+	}
+	if p95 < 5*time.Millisecond {
+		p95 = 5 * time.Millisecond
+	}
+	if p95 > 2*time.Second {
+		p95 = 2 * time.Second
+	}
+	return p95
+}
+
+// MemberStatus is one row of the /v1/cluster membership table.
+type MemberStatus struct {
+	Member
+	Self bool `json:"self,omitempty"`
+}
+
+// Status is the /v1/cluster response body.
+type Status struct {
+	Replica        string           `json:"replica"`
+	Members        []MemberStatus   `json:"members"`
+	VNodes         int              `json:"vnodes_per_member"`
+	Shards         int              `json:"fanout_shards"`
+	ShardThreshold int              `json:"shard_threshold_points"`
+	HedgeAfterMS   float64          `json:"hedge_after_ms"`
+	Counters       map[string]int64 `json:"counters"`
+}
+
+// statusCounters are the cluster.* counters surfaced on /v1/cluster.
+// plan_cache.coalesced lives in the server's namespace but is listed
+// here because coalescing is part of the cluster serving story.
+var statusCounters = []string{
+	"cluster.route.local",
+	"cluster.route.proxy",
+	"cluster.route.fanout",
+	"cluster.fanout.shards",
+	"cluster.hedges",
+	"cluster.hedge_wins",
+	"cluster.cloud_pushes",
+	"cluster.replicate.errors",
+	"server.plan_cache.coalesced",
+}
+
+// StatusSnapshot assembles the /v1/cluster body.
+func (c *Cluster) StatusSnapshot() Status {
+	c.mu.RLock()
+	self := c.self
+	members := append([]Member(nil), c.ring.members...)
+	c.mu.RUnlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	st := Status{
+		Replica:        self.ID,
+		VNodes:         c.cfg.VNodes,
+		Shards:         c.cfg.Shards,
+		ShardThreshold: c.cfg.ShardThreshold,
+		HedgeAfterMS:   float64(c.hedgeDelay()) / float64(time.Millisecond),
+		Counters:       make(map[string]int64, len(statusCounters)),
+	}
+	if st.Shards <= 0 {
+		st.Shards = len(members)
+	}
+	for _, m := range members {
+		st.Members = append(st.Members, MemberStatus{Member: m, Self: m.ID == self.ID})
+	}
+	for _, name := range statusCounters {
+		st.Counters[name] = c.tel.Counter(name).Value()
+	}
+	return st
+}
+
+// latencyTracker keeps a bounded ring of recent sub-query latencies
+// for the adaptive hedge delay.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	full    bool
+}
+
+func newLatencyTracker(n int) *latencyTracker {
+	return &latencyTracker{samples: make([]time.Duration, n)}
+}
+
+func (l *latencyTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.next] = d
+	l.next++
+	if l.next == len(l.samples) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the recorded samples; ok is false
+// until at least 16 samples exist (too few to trust a tail estimate).
+func (l *latencyTracker) quantile(q float64) (time.Duration, bool) {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.samples)
+	}
+	buf := append([]time.Duration(nil), l.samples[:n]...)
+	l.mu.Unlock()
+	if len(buf) < 16 {
+		return 0, false
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	i := int(q * float64(len(buf)-1))
+	return buf[i], true
+}

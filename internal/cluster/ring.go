@@ -1,0 +1,164 @@
+// Package cluster is the multi-replica serving layer: a consistent-hash
+// ring that assigns every (cloud, grid) plan key an owner replica, a
+// coordinator that splits large box queries into sub-box shards
+// executed on different replicas over the ordinary HTTP API and
+// stitched back into one volume, and hedged sub-queries for tail
+// tolerance. It is a transport + placement layer on the recon engine
+// seam: replicas never share state beyond content-addressed cloud
+// uploads, and the engine's ROI-equals-full-grid guarantee makes the
+// sharded output bit-identical to a single-replica run.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Member is one replica of the serving cluster.
+type Member struct {
+	// ID is the replica's stable identity on the ring; membership
+	// changes move only the keys owned by the members that left.
+	ID string `json:"id"`
+	// URL is the replica's base URL (scheme://host:port).
+	URL string `json:"url"`
+}
+
+// ringPoint is one virtual node: a hash position owned by a member.
+type ringPoint struct {
+	hash   uint64
+	member int // index into ring.members
+}
+
+// ring is an immutable consistent-hash ring with virtual nodes. Build
+// a new one on membership change; lookups are lock-free.
+type ring struct {
+	members []Member
+	points  []ringPoint // sorted by hash
+}
+
+// fmix64 is the splitmix64 finalizer: full-avalanche mixing so every
+// input bit disturbs every output bit. FNV alone is not enough here —
+// its multiply only carries entropy upward, so near-identical short
+// member IDs ("r0", "r1", ...) produce correlated high bits, clustered
+// ring positions, and badly skewed ownership.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// vnodeHash positions vnode v of member id on the ring: FNV-1a over
+// "id\x00v", then finalized for avalanche. Stable across processes and
+// reorderings of the member list.
+func vnodeHash(id string, v int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	h ^= 0
+	h *= prime64
+	x := uint64(v)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime64
+		x >>= 8
+	}
+	return fmix64(h)
+}
+
+// newRing builds the ring with vnodes virtual nodes per member.
+func newRing(members []Member, vnodes int) *ring {
+	r := &ring{
+		members: append([]Member(nil), members...),
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+	}
+	for mi, m := range r.members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(m.ID, v), member: mi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by member ID so every
+		// replica builds the identical ring.
+		return r.members[r.points[i].member].ID < r.members[r.points[j].member].ID
+	})
+	return r
+}
+
+// owner returns the member owning key hash h: the member of the first
+// virtual node at or clockwise after h, wrapping at the top.
+func (r *ring) owner(h uint64) Member {
+	return r.members[r.points[r.search(h)].member]
+}
+
+// search returns the index of the first point at or after the key's
+// finalized hash (wrapped). Keys get the same avalanche treatment as
+// vnode positions: plan-key hashes are FNV chains too, and only a key's
+// high bits decide its arc, so un-mixed keys would inherit FNV's
+// high-bit correlation.
+func (r *ring) search(h uint64) int {
+	h = fmix64(h)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// owners returns up to n distinct members walking clockwise from key
+// hash h: owners(h, n)[0] is the key's owner, the rest are the stable
+// fallback/hedge order. n is clamped to the member count.
+func (r *ring) owners(h uint64, n int) []Member {
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]Member, 0, n)
+	seen := make(map[int]bool, n)
+	start := r.search(h)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// ParsePeers parses the -peers flag form "id=url,id=url,...". IDs must
+// be unique and every entry needs both halves.
+func ParsePeers(s string) ([]Member, error) {
+	var members []Member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not id=url", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		members = append(members, Member{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", s)
+	}
+	return members, nil
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func membersOf(ids ...string) []Member {
+	ms := make([]Member, len(ids))
+	for i, id := range ids {
+		ms[i] = Member{ID: id, URL: "http://" + id}
+	}
+	return ms
+}
+
+// keyHash generates a deterministic spread of key hashes.
+func keyHash(i int) uint64 { return vnodeHash(fmt.Sprintf("key-%d", i), i) }
+
+// TestRingOwnerIndependentOfMemberOrder: every replica must compute the
+// same placement from its own copy of the member list, whatever order
+// the -peers flag listed it in.
+func TestRingOwnerIndependentOfMemberOrder(t *testing.T) {
+	a := newRing(membersOf("r0", "r1", "r2"), 64)
+	b := newRing(membersOf("r2", "r0", "r1"), 64)
+	for i := 0; i < 2000; i++ {
+		h := keyHash(i)
+		if a.owner(h).ID != b.owner(h).ID {
+			t.Fatalf("key %d: owner %q vs %q across member orderings", i, a.owner(h).ID, b.owner(h).ID)
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes must spread ownership evenly enough
+// that no replica owns a wildly disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	r := newRing(membersOf("r0", "r1", "r2"), 64)
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.owner(keyHash(i)).ID]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("member %s owns %.1f%% of keys; vnode spread is broken (%v)", id, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingStabilityAcrossMembershipChange: removing one member may move
+// only the keys that member owned; everything else stays put. This is
+// the property that keeps the other replicas' plan caches warm through
+// a membership change.
+func TestRingStabilityAcrossMembershipChange(t *testing.T) {
+	before := newRing(membersOf("r0", "r1", "r2", "r3"), 64)
+	after := newRing(membersOf("r0", "r1", "r2"), 64)
+	moved := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		h := keyHash(i)
+		was, is := before.owner(h).ID, after.owner(h).ID
+		if was != "r3" && was != is {
+			t.Fatalf("key %d moved %s -> %s though %s never left", i, was, is, was)
+		}
+		if was == "r3" {
+			moved++
+		}
+	}
+	// r3 owned roughly a quarter of the space; all of it (and only it)
+	// must have been redistributed.
+	if moved < n/8 || moved > n/2 {
+		t.Fatalf("%d of %d keys were on the departed member; expected roughly a quarter", moved, n)
+	}
+}
+
+// TestOwnersDistinctOrder: the replica walk is distinct, starts at the
+// owner, and clamps to the member count.
+func TestOwnersDistinctOrder(t *testing.T) {
+	r := newRing(membersOf("r0", "r1", "r2"), 64)
+	for i := 0; i < 500; i++ {
+		h := keyHash(i)
+		got := r.owners(h, 5)
+		if len(got) != 3 {
+			t.Fatalf("owners(h, 5) with 3 members returned %d", len(got))
+		}
+		if got[0].ID != r.owner(h).ID {
+			t.Fatalf("owners[0] = %s, owner = %s", got[0].ID, r.owner(h).ID)
+		}
+		seen := map[string]bool{}
+		for _, m := range got {
+			if seen[m.ID] {
+				t.Fatalf("duplicate member %s in owners walk", m.ID)
+			}
+			seen[m.ID] = true
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	ms, err := ParsePeers("r0=http://a:1, r1=http://b:2/,r2=http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[1].ID != "r1" || ms[1].URL != "http://b:2" {
+		t.Fatalf("parsed %+v", ms)
+	}
+	for _, bad := range []string{"", "r0", "r0=", "=http://a", "r0=http://a,r0=http://b"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}

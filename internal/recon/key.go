@@ -71,6 +71,27 @@ type PlanKey struct {
 	Spec  GridSpec
 }
 
+// Hash folds the key into a single placement hash: FNV-1a over the
+// cloud fingerprint and every GridSpec field's bit pattern. Two
+// processes computing Hash for the same (cloud, spec) agree exactly,
+// which is what lets a cluster of replicas route a plan key to its
+// owner by hashing locally instead of asking anyone. Distinct from the
+// Go map hash of PlanKey, which is per-process.
+func (k PlanKey) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvMix(h, uint64(k.Cloud))
+	h = fnvMix(h, uint64(int64(k.Spec.NX)))
+	h = fnvMix(h, uint64(int64(k.Spec.NY)))
+	h = fnvMix(h, uint64(int64(k.Spec.NZ)))
+	h = fnvMix(h, math.Float64bits(k.Spec.Origin.X))
+	h = fnvMix(h, math.Float64bits(k.Spec.Origin.Y))
+	h = fnvMix(h, math.Float64bits(k.Spec.Origin.Z))
+	h = fnvMix(h, math.Float64bits(k.Spec.Spacing.X))
+	h = fnvMix(h, math.Float64bits(k.Spec.Spacing.Y))
+	h = fnvMix(h, math.Float64bits(k.Spec.Spacing.Z))
+	return h
+}
+
 // KeyOf computes the cache key for a (cloud, spec) pair. Cost is one
 // linear pass over the cloud — cheap next to building any of the plan's
 // lazy pieces.

@@ -132,6 +132,12 @@ type ReconstructResponse struct {
 	// Quant echoes the quantization mode the reconstruction ran with
 	// (empty for full precision).
 	Quant string `json:"quant,omitempty"`
+	// Replica is the ID of the replica that answered (clustered serving
+	// only; empty standalone).
+	Replica string `json:"replica,omitempty"`
+	// Shards is how many sub-box shards a fanned-out query was split
+	// into (0 when the query executed on a single replica).
+	Shards int `json:"shards,omitempty"`
 }
 
 // UploadResponse is the body returned by POST /v1/clouds.

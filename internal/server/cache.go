@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"fillvoid/internal/pointcloud"
 	"fillvoid/internal/recon"
@@ -79,51 +80,162 @@ func (c *lru[K, V]) len() int {
 	return c.ll.Len()
 }
 
+// planEntry wraps a cached plan with its gauge accounting. accounted is
+// the byte count this entry currently contributes to the
+// server.plan_cache.bytes gauge, or -1 once evicted. A plan's lazy
+// pieces (k-d tree, nearest table, memos) grow after insertion, so the
+// entry re-measures on every hit and moves the gauge by the delta; the
+// eviction hook swaps in the -1 sentinel and subtracts exactly what was
+// accounted, so insert/evict churn can never drive the gauge negative.
+type planEntry struct {
+	plan      *recon.Plan
+	accounted atomic.Int64
+}
+
+// planBuild is one in-flight plan construction that concurrent misses
+// for the same key coalesce onto.
+type planBuild struct {
+	done chan struct{}
+	plan *recon.Plan
+	err  error
+}
+
 // planCache is the LRU of recon.Plans keyed by (cloud hash, GridSpec).
 // A cached plan carries the lazily built spatial index and per-method
 // memos, so repeated queries against the same sampled timestep skip the
 // k-d tree / nearest-table / tetrahedralization rebuilds entirely.
+//
+// Misses are singleflighted: N concurrent first requests for the same
+// key run recon.NewPlan once; the other N-1 block on the leader's
+// result and count as server.plan_cache.coalesced.
 type planCache struct {
-	lru *lru[recon.PlanKey, *recon.Plan]
+	lru *lru[recon.PlanKey, *planEntry]
 	tel *telemetry.Registry
+
+	// build constructs a plan on a miss; a seam over recon.NewPlan so
+	// tests can observe and gate builds.
+	build func(cloud *pointcloud.Cloud, spec recon.GridSpec) (*recon.Plan, error)
+
+	mu       sync.Mutex
+	inflight map[recon.PlanKey]*planBuild
 }
 
 func newPlanCache(capacity int, tel *telemetry.Registry) *planCache {
-	pc := &planCache{tel: tel}
-	pc.lru = newLRU[recon.PlanKey, *recon.Plan](capacity, func(k recon.PlanKey, p *recon.Plan) {
-		st := p.Stats()
+	pc := &planCache{
+		tel:      tel,
+		build:    recon.NewPlan,
+		inflight: make(map[recon.PlanKey]*planBuild),
+	}
+	pc.lru = newLRU[recon.PlanKey, *planEntry](capacity, func(k recon.PlanKey, e *planEntry) {
+		freed := e.accounted.Swap(-1)
+		if freed > 0 {
+			tel.Gauge("server.plan_cache.bytes").Add(-float64(freed))
+		}
 		tel.Counter("server.plan_cache.evictions").Inc()
-		tel.Gauge("server.plan_cache.bytes").Add(-float64(st.Bytes))
 		telemetry.Debugf("plan evicted",
 			"cloud", k.Cloud.String(), "grid",
 			[3]int{k.Spec.NX, k.Spec.NY, k.Spec.NZ},
-			"bytes", st.Bytes, "tree", st.TreeBuilt, "near", st.NearestTableBuilt)
+			"bytes", freed)
 	})
 	return pc
 }
 
+// lookup returns the cached plan for key, reconciling its gauge
+// contribution against the plan's current (possibly grown) size.
+func (pc *planCache) lookup(key recon.PlanKey) (*recon.Plan, bool) {
+	e, ok := pc.lru.get(key)
+	if !ok {
+		return nil, false
+	}
+	pc.reconcile(e)
+	return e.plan, true
+}
+
+// reconcile moves the bytes gauge by exactly the growth since this
+// entry's last measurement. The CAS loop loses cleanly to a concurrent
+// eviction: once the sentinel is in place the entry's contribution has
+// been fully subtracted and must not be touched again.
+func (pc *planCache) reconcile(e *planEntry) {
+	now := e.plan.Stats().Bytes
+	for {
+		old := e.accounted.Load()
+		if old < 0 || old == now {
+			return
+		}
+		if e.accounted.CompareAndSwap(old, now) {
+			pc.tel.Gauge("server.plan_cache.bytes").Add(float64(now - old))
+			return
+		}
+	}
+}
+
 // getOrBuild returns the cached plan for (cloud, spec) or builds and
-// caches a fresh one. The hit/miss counters are the serving-layer
-// cache-effectiveness signal; bytes are re-measured on hits too because
-// the plan's lazy pieces grow after insertion.
+// caches a fresh one, coalescing concurrent builds of the same key.
+// The returned bool reports whether the caller got an existing plan
+// (a cache hit or a coalesced wait) rather than paying for a build.
 func (pc *planCache) getOrBuild(key recon.PlanKey, cloud *pointcloud.Cloud, spec recon.GridSpec) (*recon.Plan, bool, error) {
-	if p, ok := pc.lru.get(key); ok {
+	if p, ok := pc.lookup(key); ok {
 		pc.tel.Counter("server.plan_cache.hits").Inc()
 		return p, true, nil
 	}
-	p, err := recon.NewPlan(cloud, spec)
+
+	pc.mu.Lock()
+	if b, ok := pc.inflight[key]; ok {
+		pc.mu.Unlock()
+		pc.tel.Counter("server.plan_cache.coalesced").Inc()
+		<-b.done
+		if b.err != nil {
+			return nil, false, b.err
+		}
+		pc.tel.Counter("server.plan_cache.hits").Inc()
+		return b.plan, true, nil
+	}
+	b := &planBuild{done: make(chan struct{})}
+	pc.inflight[key] = b
+	pc.mu.Unlock()
+
+	// Leader. Re-check the cache first: a previous leader may have
+	// inserted between our miss and our claim of the inflight slot.
+	if p, ok := pc.lookup(key); ok {
+		b.plan = p
+		pc.finish(key, b)
+		pc.tel.Counter("server.plan_cache.hits").Inc()
+		return p, true, nil
+	}
+	p, err := pc.build(cloud, spec)
 	if err != nil {
+		b.err = err
+		pc.finish(key, b)
 		return nil, false, err
 	}
-	got, existed := pc.lru.getOrAdd(key, p)
-	if existed {
-		// A concurrent request inserted first; use theirs.
-		pc.tel.Counter("server.plan_cache.hits").Inc()
-		return got, true, nil
-	}
+	pc.insert(key, p)
+	b.plan = p
+	pc.finish(key, b)
 	pc.tel.Counter("server.plan_cache.misses").Inc()
-	pc.tel.Gauge("server.plan_cache.bytes").Add(float64(p.Stats().Bytes))
 	return p, false, nil
+}
+
+// insert accounts the fresh plan's bytes and adds it to the LRU. The
+// gauge add happens before the insert so the eviction hook (which may
+// fire for this very entry on a full cache) only ever subtracts bytes
+// already added.
+func (pc *planCache) insert(key recon.PlanKey, p *recon.Plan) {
+	e := &planEntry{plan: p}
+	bytes := p.Stats().Bytes
+	e.accounted.Store(bytes)
+	pc.tel.Gauge("server.plan_cache.bytes").Add(float64(bytes))
+	// Singleflight guarantees one leader per key, so the key cannot be
+	// concurrently inserted by anyone else.
+	pc.lru.getOrAdd(key, e)
+}
+
+// finish publishes the leader's result and releases the key's inflight
+// slot.
+func (pc *planCache) finish(key recon.PlanKey, b *planBuild) {
+	pc.mu.Lock()
+	delete(pc.inflight, key)
+	pc.mu.Unlock()
+	close(b.done)
 }
 
 func (pc *planCache) len() int { return pc.lru.len() }

@@ -163,10 +163,13 @@ func TestReconstructErrorPaths(t *testing.T) {
 			wantMsg:  "empty",
 		},
 		{
+			// An oversized body is a payload problem, not a syntax
+			// problem: 413, not 400, so clients debug their size limit
+			// instead of their JSON.
 			name:     "body over MaxBodyBytes",
 			req:      &ReconstructRequest{Method: "nearest", Cloud: testCloud(200, 7), Grid: GridJSON{Dims: [3]int{4, 4, 2}}},
-			wantCode: http.StatusBadRequest,
-			wantMsg:  "request body too large",
+			wantCode: http.StatusRequestEntityTooLarge,
+			wantMsg:  "exceeds the 2048 byte limit",
 		},
 	}
 
@@ -220,22 +223,41 @@ func TestReconstructErrorPaths(t *testing.T) {
 	}
 }
 
-// TestWriteJSONCountsEncodeFailures pins the behavior change that
-// replaced a silently dropped Encode error: response-path encode
-// failures are observable as a counter in the default registry.
+// TestWriteJSONCountsEncodeFailures pins that response-path encode
+// failures are counted on the server's *own* telemetry registry — a
+// server handed an injected registry must not leak the counter into
+// the process-global default, where its operators would never look.
 func TestWriteJSONCountsEncodeFailures(t *testing.T) {
-	prev := telemetry.SetDefault(telemetry.NewRegistry())
-	defer telemetry.SetDefault(prev)
+	tel := telemetry.NewRegistry()
+	s, _ := startServer(t, Config{Telemetry: tel})
+	globalBefore := telemetry.Default().Counter("server.response_encode_errors").Value()
 
 	rec := httptest.NewRecorder()
-	writeJSON(rec, http.StatusOK, map[string]any{"bad": math.NaN()})
-	if got := telemetry.Default().Counter("server.response_encode_errors").Value(); got != 1 {
+	s.writeJSON(rec, http.StatusOK, map[string]any{"bad": math.NaN()})
+	if got := tel.Counter("server.response_encode_errors").Value(); got != 1 {
 		t.Fatalf("response_encode_errors = %d, want 1", got)
+	}
+	if got := telemetry.Default().Counter("server.response_encode_errors").Value(); got != globalBefore {
+		t.Fatalf("encode failure leaked into the global registry (%d -> %d)", globalBefore, got)
 	}
 
 	rec = httptest.NewRecorder()
-	writeJSON(rec, http.StatusOK, map[string]string{"ok": "fine"})
-	if got := telemetry.Default().Counter("server.response_encode_errors").Value(); got != 1 {
+	s.writeJSON(rec, http.StatusOK, map[string]string{"ok": "fine"})
+	if got := tel.Counter("server.response_encode_errors").Value(); got != 1 {
 		t.Fatalf("response_encode_errors after clean encode = %d, want 1", got)
+	}
+}
+
+// TestCloudUploadOverLimitIs413 pins the same 413 contract on the
+// upload endpoint, which shares the MaxBytesReader cap.
+func TestCloudUploadOverLimitIs413(t *testing.T) {
+	_, base := startServer(t, Config{MaxBodyBytes: 512})
+	code, body := postJSON(t, base+"/v1/clouds", testCloud(100, 7))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: %d %s, want 413", code, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, "512 byte limit") {
+		t.Fatalf("413 body %s does not pin the limit message", body)
 	}
 }

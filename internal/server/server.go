@@ -10,6 +10,7 @@
 //	POST /v1/reconstruct  run a method over a region (inline cloud or cloud_id)
 //	POST /v1/clouds       upload a cloud once, get its content-hash id
 //	GET  /v1/methods      list registered reconstructors
+//	GET  /v1/cluster      replica membership + routing counters (404 standalone)
 //	GET  /healthz         liveness + in-flight/queue/cache counts
 //	GET  /metrics         telemetry JSON snapshot
 //	GET  /debug/traces    kept request traces (Chrome trace-event JSON)
@@ -26,8 +27,21 @@
 // Admission is a bounded-concurrency semaphore with a bounded wait
 // queue: when every slot is busy a request waits up to QueueTimeout for
 // one (503 on timeout); when the queue itself is full the request is
-// rejected immediately with 429. Shutdown stops accepting connections
-// and drains in-flight reconstructions before returning.
+// rejected immediately with 429. A slot is held only around the engine
+// call itself — decode, validation, plan-cache access (singleflighted)
+// and cluster fan-out all run unslotted, so a coordinator waiting on
+// sub-queries can never starve the very replicas serving them.
+// Shutdown stops accepting connections and drains in-flight
+// reconstructions before returning.
+//
+// With Config.Cluster set, the server is one replica of a serving
+// cluster: external queries route by the consistent hash of their
+// (cloud, grid) plan key — executed locally when this replica owns the
+// key, proxied whole to the owner otherwise, and large box regions
+// fanned out as sub-box shards across replicas and stitched
+// bit-identically. Cluster-internal sub-requests (marked by
+// X-Fillvoid-Internal) always execute locally, which is what terminates
+// the routing recursion.
 package server
 
 import (
@@ -42,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fillvoid/internal/cluster"
 	"fillvoid/internal/pointcloud"
 	"fillvoid/internal/recon"
 	"fillvoid/internal/telemetry"
@@ -86,6 +101,11 @@ type Config struct {
 	// global tracer). New enables it and bridges Telemetry's spans into
 	// it, so serving always collects traces.
 	Tracer *trace.Tracer
+	// Cluster, when set, makes this server one replica of a multi-replica
+	// serving cluster (see internal/cluster): plan keys route by
+	// consistent hash, large box queries fan out as shards. Nil serves
+	// standalone.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -125,13 +145,14 @@ func (c Config) withDefaults() Config {
 // Server is the reconstruction HTTP service. Construct with New, bind
 // with Start, stop with Shutdown (graceful) or Close (immediate).
 type Server struct {
-	cfg    Config
-	reg    *recon.Registry
-	tel    *telemetry.Registry
-	tracer *trace.Tracer
-	plans  *planCache
-	clouds *cloudStore
-	mux    *http.ServeMux
+	cfg     Config
+	reg     *recon.Registry
+	tel     *telemetry.Registry
+	tracer  *trace.Tracer
+	plans   *planCache
+	clouds  *cloudStore
+	cluster *cluster.Cluster
+	mux     *http.ServeMux
 
 	sem   chan struct{}
 	queue chan struct{}
@@ -151,14 +172,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		reg:    cfg.Registry,
-		tel:    cfg.Telemetry,
-		tracer: cfg.Tracer,
-		plans:  newPlanCache(cfg.PlanCacheSize, cfg.Telemetry),
-		clouds: newCloudStore(cfg.CloudCacheSize, cfg.Telemetry),
-		sem:    make(chan struct{}, cfg.MaxConcurrent),
-		queue:  make(chan struct{}, cfg.MaxQueue),
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		tel:     cfg.Telemetry,
+		tracer:  cfg.Tracer,
+		plans:   newPlanCache(cfg.PlanCacheSize, cfg.Telemetry),
+		clouds:  newCloudStore(cfg.CloudCacheSize, cfg.Telemetry),
+		cluster: cfg.Cluster,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		queue:   make(chan struct{}, cfg.MaxQueue),
 	}
 	// Serving without traces is flying blind: turn the tracer on and
 	// bridge the engine's telemetry spans into it so every request tree
@@ -177,6 +199,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/reconstruct", s.instrument("reconstruct", s.handleReconstruct))
 	mux.HandleFunc("POST /v1/clouds", s.instrument("clouds", s.handleClouds))
 	mux.HandleFunc("GET /v1/methods", s.instrument("methods", s.handleMethods))
+	mux.HandleFunc("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", telemetry.MetricsHandler(s.tel))
 	telemetry.RegisterDebug(mux)
@@ -367,24 +390,46 @@ func gridPoints(spec recon.GridSpec) int64 {
 	return nx * ny * nz
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// The status line is gone; all we can do is count the failure
-		// so operators see response-path trouble in /metrics.
-		telemetry.Default().Counter("server.response_encode_errors").Inc()
+		// so operators see response-path trouble in /metrics. Count on
+		// the server's own registry — a server handed an injected
+		// registry must not leak its failures into the process-global
+		// one, where its operators would never look.
+		s.tel.Counter("server.response_encode_errors").Inc()
 	}
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	resp := errorResponse{Error: msg}
 	if sw, ok := w.(*statusWriter); ok {
 		sw.errMsg = msg
 		resp.RequestID = sw.reqID
 	}
-	writeJSON(w, code, resp)
+	s.writeJSON(w, code, resp)
+}
+
+// decodeBody decodes one JSON request body under the configured size
+// cap, mapping the cap trip to 413 (the body is well-formed but too
+// big — telling the client "bad request" would send them debugging
+// their JSON instead of their payload size) and everything else to 400.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any, what string) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d byte limit", mbe.Limit)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "decoding %s: %v", what, err)
+		return false
+	}
+	return true
 }
 
 // acquire implements admission: fast path straight into an execution
@@ -458,29 +503,21 @@ func (s *Server) resolveCloud(req *ReconstructRequest) (*pointcloud.Cloud, recon
 }
 
 func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
-	release, status, err := s.acquire(r.Context())
-	if err != nil {
-		if status == 499 {
-			// Client already gone; nothing to write.
-			return
-		}
-		writeError(w, status, "%v", err)
-		return
-	}
-	defer release()
-
+	// Decode and validate before admission: a malformed or oversized
+	// request must not occupy an execution slot (under load, a burst of
+	// bad requests used to 503 well-formed ones behind them in the
+	// queue), and the cluster fan-out path below must hold no slot while
+	// it waits on sub-queries that may land back on this very replica.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
 	var req ReconstructRequest
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req, "request") {
 		return
 	}
 	m, err := s.reg.Get(req.Method)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Quant != "" {
@@ -491,45 +528,64 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 			WithQuant(string) (recon.Reconstructor, error)
 		})
 		if !ok {
-			writeError(w, http.StatusBadRequest, "method %q does not support quantized inference", req.Method)
+			s.writeError(w, http.StatusBadRequest, "method %q does not support quantized inference", req.Method)
 			return
 		}
 		if m, err = qm.WithQuant(req.Quant); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
 	cloud, hash, status, err := s.resolveCloud(&req)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		s.writeError(w, status, "%v", err)
 		return
 	}
 	spec, err := req.Grid.toSpec()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Bound the grid before Region math touches it: NX*NY*NZ from the
 	// wire can overflow int, and even in range it sizes the output
 	// allocation, so it must not exceed the configured ceiling.
 	if pts := gridPoints(spec); pts < 0 || pts > s.cfg.MaxGridPoints {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		s.writeError(w, http.StatusRequestEntityTooLarge,
 			"grid %dx%dx%d exceeds the server limit of %d points",
 			spec.NX, spec.NY, spec.NZ, s.cfg.MaxGridPoints)
 		return
 	}
 	region, err := req.Region.toRegion(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	key := recon.PlanKey{Cloud: hash, Spec: spec}
 
+	// Cluster routing applies to external queries only: internal
+	// sub-requests carry X-Fillvoid-Internal and always execute locally,
+	// which terminates the recursion.
+	if s.cluster != nil && !cluster.IsInternal(r) {
+		route, owner, width := s.cluster.Plan(key.Hash(), region)
+		switch route {
+		case cluster.RouteProxy:
+			s.proxyReconstruct(ctx, w, owner, &req, cloud, hash)
+			return
+		case cluster.RouteFanout:
+			s.fanoutReconstruct(ctx, w, &req, key, cloud, spec, region, width)
+			return
+		}
+	}
+
+	// The plan build runs singleflighted and unslotted: concurrent
+	// first requests for one key coalesce onto a single recon.NewPlan,
+	// and an expensive build never pins an execution slot.
 	_, psp := trace.Start(ctx, "server/plan-cache")
-	plan, cached, err := s.plans.getOrBuild(recon.PlanKey{Cloud: hash, Spec: spec}, cloud, spec)
+	plan, cached, err := s.plans.getOrBuild(key, cloud, spec)
 	if err != nil {
 		psp.SetError(err.Error())
 		psp.End()
-		writeError(w, http.StatusBadRequest, "building plan: %v", err)
+		s.writeError(w, http.StatusBadRequest, "building plan: %v", err)
 		return
 	}
 	cacheNote := "miss"
@@ -539,6 +595,17 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	psp.SetAttr("cached", cacheNote)
 	psp.End()
 	setCacheNote(w, cacheNote)
+
+	release, status, err := s.acquire(r.Context())
+	if err != nil {
+		if status == 499 {
+			// Client already gone; nothing to write.
+			return
+		}
+		s.writeError(w, status, "%v", err)
+		return
+	}
+	defer release()
 
 	start := time.Now()
 	vol, err := recon.Reconstruct(ctx, m, plan, region)
@@ -551,14 +618,14 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 			telemetry.Debugf("reconstruction cancelled by client", "method", req.Method)
 		case errors.Is(err, context.DeadlineExceeded):
 			s.tel.Counter("server.reconstruct.timeout").Inc()
-			writeError(w, http.StatusGatewayTimeout, "reconstruction exceeded %s", s.cfg.RequestTimeout)
+			s.writeError(w, http.StatusGatewayTimeout, "reconstruction exceeded %s", s.cfg.RequestTimeout)
 		default:
-			writeError(w, http.StatusUnprocessableEntity, "reconstruction failed: %v", err)
+			s.writeError(w, http.StatusUnprocessableEntity, "reconstruction failed: %v", err)
 		}
 		return
 	}
 	s.tel.Counter("server.reconstruct.points").Add(int64(region.Len()))
-	writeJSON(w, http.StatusOK, &ReconstructResponse{
+	s.writeJSON(w, http.StatusOK, &ReconstructResponse{
 		Method:     req.Method,
 		Dims:       [3]int{vol.NX, vol.NY, vol.NZ},
 		Origin:     [3]float64{vol.Origin.X, vol.Origin.Y, vol.Origin.Z},
@@ -568,31 +635,127 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		PlanCached: cached,
 		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
 		Quant:      req.Quant,
+		Replica:    s.replicaID(),
+	})
+}
+
+// replicaID names this replica in clustered responses; empty (and
+// omitted from the JSON) standalone.
+func (s *Server) replicaID() string {
+	if s.cluster == nil {
+		return ""
+	}
+	return s.cluster.Self().ID
+}
+
+// proxyReconstruct forwards a whole query to the replica owning its
+// plan key and relays the owner's response verbatim, so only the
+// owner's plan cache holds the plan. The inline cloud (if any) is
+// rewritten to its cloud_id — the coordinator already stored it, and
+// the owner pulls it via the replication push on a miss.
+func (s *Server) proxyReconstruct(ctx context.Context, w http.ResponseWriter, owner cluster.Member, req *ReconstructRequest, cloud *pointcloud.Cloud, hash recon.CloudHash) {
+	fwd := *req
+	fwd.Cloud = nil
+	fwd.CloudID = hash.String()
+	body, err := json.Marshal(&fwd)
+	if err != nil {
+		s.writeError(w, http.StatusBadGateway, "encoding proxy request: %v", err)
+		return
+	}
+	status, respBody, err := s.cluster.Proxy(ctx, owner, body, cloud)
+	if err != nil {
+		s.writeError(w, http.StatusBadGateway, "proxy to replica %s: %v", owner.ID, err)
+		return
+	}
+	if sw, ok := w.(*statusWriter); ok && status >= 400 {
+		sw.errMsg = fmt.Sprintf("proxied error from replica %s", owner.ID)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(cluster.HeaderReplica, owner.ID)
+	w.WriteHeader(status)
+	if _, err := w.Write(respBody); err != nil {
+		s.tel.Counter("server.response_encode_errors").Inc()
+	}
+}
+
+// fanoutReconstruct serves a large box query by sharding it across the
+// cluster and stitching the sub-volumes; the result is bit-identical to
+// a single-replica run because each shard is an ordinary ROI query and
+// the engine guarantees ROI output equals the full-grid values.
+func (s *Server) fanoutReconstruct(ctx context.Context, w http.ResponseWriter, req *ReconstructRequest, key recon.PlanKey, cloud *pointcloud.Cloud, spec recon.GridSpec, region recon.Region, width int) {
+	start := time.Now()
+	res, err := s.cluster.Fanout(ctx, &cluster.Query{
+		Method:  req.Method,
+		Quant:   req.Quant,
+		CloudID: key.Cloud.String(),
+		Cloud:   cloud,
+		Spec:    spec,
+		Region:  region,
+		KeyHash: key.Hash(),
+	}, width)
+	if err != nil {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.tel.Counter("server.reconstruct.timeout").Inc()
+			s.writeError(w, http.StatusGatewayTimeout, "sharded reconstruction exceeded %s", s.cfg.RequestTimeout)
+			return
+		}
+		s.writeError(w, http.StatusBadGateway, "sharded reconstruction: %v", err)
+		return
+	}
+	s.tel.Counter("server.reconstruct.points").Add(int64(region.Len()))
+	nx, ny, nz := region.Dims()
+	origin := region.Origin(spec)
+	s.writeJSON(w, http.StatusOK, &ReconstructResponse{
+		Method:     req.Method,
+		Dims:       [3]int{nx, ny, nz},
+		Origin:     [3]float64{origin.X, origin.Y, origin.Z},
+		Spacing:    [3]float64{spec.Spacing.X, spec.Spacing.Y, spec.Spacing.Z},
+		Values:     res.Values,
+		CloudID:    key.Cloud.String(),
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Quant:      req.Quant,
+		Replica:    s.replicaID(),
+		Shards:     res.Shards,
 	})
 }
 
 func (s *Server) handleClouds(w http.ResponseWriter, r *http.Request) {
 	var cj CloudJSON
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(&cj); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding cloud: %v", err)
+	if !s.decodeBody(w, r, &cj, "cloud") {
 		return
 	}
 	c, err := cj.toCloud()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	h := s.clouds.put(c)
-	writeJSON(w, http.StatusOK, &UploadResponse{CloudID: h.String(), Points: c.Len()})
+	// Broadcast external uploads to the peers (best effort, counted on
+	// failure) so sharded sub-queries find the cloud already resident;
+	// replication pushes themselves carry the internal marker and stop
+	// here.
+	if s.cluster != nil && !cluster.IsInternal(r) {
+		if body, err := json.Marshal(&cj); err == nil {
+			s.cluster.ReplicateCloud(r.Context(), body)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, &UploadResponse{CloudID: h.String(), Points: c.Len()})
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	if s.cluster == nil {
+		s.writeError(w, http.StatusNotFound, "clustering not enabled (start with -peers)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.cluster.StatusSnapshot())
 }
 
 func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, &MethodsResponse{Methods: s.reg.Names()})
+	s.writeJSON(w, http.StatusOK, &MethodsResponse{Methods: s.reg.Names()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, &HealthResponse{
+	s.writeJSON(w, http.StatusOK, &HealthResponse{
 		Status:   "ok",
 		InFlight: s.inFlight.Load(),
 		Queued:   s.queued.Load(),

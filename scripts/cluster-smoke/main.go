@@ -1,0 +1,332 @@
+// Command cluster-smoke is the `make cluster-smoke` driver: it boots
+// three fillvoid serve replicas joined by -peers plus one standalone
+// reference server, uploads the same cloud to both worlds, fires a
+// full-grid reconstruction through one replica (large enough to fan
+// out across the cluster), and asserts the sharded result is
+// bit-identical to the standalone answer. It also checks /v1/cluster
+// reports the fan-out. Any failure exits non-zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "./fillvoid", "fillvoid binary to exercise")
+	flag.Parse()
+	if err := run(*bin); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("cluster-smoke: PASS")
+}
+
+func run(bin string) error {
+	// -peers needs every replica's URL before any of them boots, so
+	// reserve three free ports up front. The tiny window between
+	// closing the probe listener and serve re-binding is acceptable
+	// for a smoke test.
+	ports, err := freePorts(3)
+	if err != nil {
+		return err
+	}
+	var peers []string
+	for i, p := range ports {
+		peers = append(peers, fmt.Sprintf("r%d=http://127.0.0.1:%d", i, p))
+	}
+	peersFlag := strings.Join(peers, ",")
+
+	var procs []*exec.Cmd
+	defer func() {
+		for _, c := range procs {
+			//lint:allow errdrop: best-effort kill of smoke children on exit
+			c.Process.Kill()
+		}
+	}()
+	var bases []string
+	for i, p := range ports {
+		cmd := exec.Command(bin, "serve",
+			"-addr", fmt.Sprintf("127.0.0.1:%d", p),
+			"-peers", peersFlag,
+			"-replica-id", fmt.Sprintf("r%d", i),
+			"-shard-threshold", "1024")
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting replica r%d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+		base, err := scanAddr(stdout)
+		if err != nil {
+			return fmt.Errorf("replica r%d: %w", i, err)
+		}
+		//lint:allow rawgoroutine: child-stdout drain; exits when the pipe closes with the process
+		go io.Copy(io.Discard, stdout)
+		bases = append(bases, base)
+	}
+
+	// Standalone reference: same engine, no cluster.
+	ref := exec.Command(bin, "serve", "-addr", "127.0.0.1:0")
+	ref.Stderr = os.Stderr
+	refOut, err := ref.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := ref.Start(); err != nil {
+		return fmt.Errorf("starting reference server: %w", err)
+	}
+	procs = append(procs, ref)
+	refBase, err := scanAddr(refOut)
+	if err != nil {
+		return fmt.Errorf("reference server: %w", err)
+	}
+	//lint:allow rawgoroutine: child-stdout drain; exits when the pipe closes with the process
+	go io.Copy(io.Discard, refOut)
+
+	for _, base := range append(append([]string(nil), bases...), refBase) {
+		if err := waitHealthy(base, 5*time.Second); err != nil {
+			return err
+		}
+	}
+
+	cloud := makeCloud()
+	cloudID, err := uploadCloud(bases[0], cloud)
+	if err != nil {
+		return fmt.Errorf("uploading to cluster: %w", err)
+	}
+	refID, err := uploadCloud(refBase, cloud)
+	if err != nil {
+		return fmt.Errorf("uploading to reference: %w", err)
+	}
+	if cloudID != refID {
+		return fmt.Errorf("content-addressed IDs diverged: cluster %s vs reference %s", cloudID, refID)
+	}
+	fmt.Printf("cluster-smoke: uploaded cloud %s to 3 replicas and the reference\n", cloudID)
+
+	// 16x16x8 = 2048 grid points: over the 1024 threshold, so the
+	// coordinator fans this out across the replicas.
+	want, _, err := reconstruct(refBase, cloudID)
+	if err != nil {
+		return fmt.Errorf("reference reconstruct: %w", err)
+	}
+	got, shards, err := reconstruct(bases[0], cloudID)
+	if err != nil {
+		return fmt.Errorf("cluster reconstruct: %w", err)
+	}
+	if shards < 2 {
+		return fmt.Errorf("cluster reconstruct reported %d shards, want >= 2", shards)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("cluster returned %d values, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("value[%d]: cluster %v != reference %v", i, got[i], want[i])
+		}
+	}
+	fmt.Printf("cluster-smoke: %d-shard fan-out bit-identical to the standalone reference (%d values)\n", shards, len(got))
+
+	if err := checkClusterStatus(bases[0]); err != nil {
+		return err
+	}
+
+	for i, c := range procs {
+		if err := c.Process.Signal(syscall.SIGTERM); err != nil {
+			return fmt.Errorf("SIGTERM process %d: %w", i, err)
+		}
+	}
+	for i, c := range procs {
+		done := make(chan error, 1)
+		c := c
+		//lint:allow rawgoroutine: process waiter feeding the SIGTERM-timeout select; exits with the child
+		go func() { done <- c.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("process %d exited uncleanly after SIGTERM: %w", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("process %d did not exit within 10s of SIGTERM", i)
+		}
+	}
+	return nil
+}
+
+// freePorts reserves n distinct TCP ports on loopback and releases
+// them for the replicas to re-bind.
+func freePorts(n int) ([]int, error) {
+	var ports []int
+	var listeners []net.Listener
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, l)
+		ports = append(ports, l.Addr().(*net.TCPAddr).Port)
+	}
+	for _, l := range listeners {
+		//lint:allow errdrop: releasing a port probe; the replica re-binds it immediately
+		l.Close()
+	}
+	return ports, nil
+}
+
+// scanAddr extracts the listen address from the serve banner line
+// ("fillvoid serve: listening on http://127.0.0.1:PORT ...").
+func scanAddr(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	//lint:allow rawgoroutine: banner scanner bounded by the deadline select; exits when the pipe closes
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return "", fmt.Errorf("serve exited before printing its address")
+			}
+			if i := strings.Index(line, "listening on http://"); i >= 0 {
+				addr := line[i+len("listening on "):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				return addr, nil
+			}
+		case <-deadline:
+			return "", fmt.Errorf("timed out waiting for the serve banner")
+		}
+	}
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			//lint:allow errdrop: best-effort close of a health-poll response body
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server %s not healthy within %s: %v", base, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func makeCloud() map[string]any {
+	rng := rand.New(rand.NewSource(7))
+	var pts [][3]float64
+	var vals []float64
+	for i := 0; i < 400; i++ {
+		x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+		pts = append(pts, [3]float64{x, y, z})
+		vals = append(vals, x*x+2*y-0.5*z)
+	}
+	return map[string]any{"name": "pressure", "points": pts, "values": vals}
+}
+
+func uploadCloud(base string, cloud map[string]any) (string, error) {
+	var resp struct {
+		CloudID string `json:"cloud_id"`
+	}
+	if err := postJSON(base+"/v1/clouds", cloud, &resp); err != nil {
+		return "", err
+	}
+	if resp.CloudID == "" {
+		return "", fmt.Errorf("empty cloud_id in upload response")
+	}
+	return resp.CloudID, nil
+}
+
+func reconstruct(base, cloudID string) (values []float64, shards int, err error) {
+	req := map[string]any{
+		"method":   "shepard",
+		"cloud_id": cloudID,
+		"grid": map[string]any{
+			"dims":    [3]int{16, 16, 8},
+			"spacing": [3]float64{1.0 / 15, 1.0 / 15, 1.0 / 7},
+		},
+	}
+	var resp struct {
+		Values []float64 `json:"values"`
+		Shards int       `json:"shards"`
+	}
+	if err := postJSON(base+"/v1/reconstruct", req, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Values, resp.Shards, nil
+}
+
+// checkClusterStatus asserts the coordinator's /v1/cluster endpoint
+// reports the membership and the fan-out it just ran.
+func checkClusterStatus(base string) error {
+	resp, err := http.Get(base + "/v1/cluster")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/cluster: status %d", resp.StatusCode)
+	}
+	var st struct {
+		Members  []struct{ ID string } `json:"members"`
+		Counters map[string]int64      `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Members) != 3 {
+		return fmt.Errorf("/v1/cluster reports %d members, want 3", len(st.Members))
+	}
+	if st.Counters["cluster.route.fanout"] < 1 {
+		return fmt.Errorf("/v1/cluster counters show no fan-out: %v", st.Counters)
+	}
+	fmt.Printf("cluster-smoke: /v1/cluster ok (3 members, fanout=%d, hedges=%d)\n",
+		st.Counters["cluster.route.fanout"], st.Counters["cluster.hedges"])
+	return nil
+}
+
+func postJSON(url string, body, into any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %d %s", url, resp.StatusCode, out)
+	}
+	return json.Unmarshal(out, into)
+}
