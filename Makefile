@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check lint bench bench-baseline bench-gate bench-gate-advisory experiments-smoke serve-smoke cluster-smoke cover fuzz clean
+.PHONY: all build vet test test-short race check lint bench bench-baseline bench-gate bench-gate-advisory experiments-smoke serve-smoke cluster-smoke train-smoke cover fuzz clean
 
 all: build vet test
 
@@ -77,6 +77,16 @@ cluster-smoke:
 	$(GO) run ./scripts/cluster-smoke -bin ./fillvoid.smoke
 	rm -f fillvoid.smoke
 
+# Boots `fillvoid serve -jobs-dir`, trains a fixed-seed job to
+# completion for reference, re-runs it in a fresh jobs dir, SIGTERMs the
+# server mid-job, restarts on the same dir, and asserts the resumed job
+# finishes with the reference (bit-identical) model id, then
+# reconstructs by model_id.
+train-smoke:
+	$(GO) build -o fillvoid.smoke ./cmd/fillvoid
+	$(GO) run ./scripts/train-smoke -bin ./fillvoid.smoke
+	rm -f fillvoid.smoke
+
 # Per-package coverage with hard floors on the inference hot path:
 # internal/recon is the one execution path every method runs through;
 # kdtree/nn/features/mathutil carry the fused batch pipeline's
@@ -107,6 +117,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run='^$$' -fuzz=FuzzReconstructRequest -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzTrainRequest -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzF16RoundTrip -fuzztime=$(FUZZTIME) ./internal/mathutil
 
 clean:

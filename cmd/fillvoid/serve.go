@@ -38,6 +38,12 @@ func cmdServe(args []string) (err error) {
 	shards := fs.Int("shards", 0, "sub-box shards per fanned-out query (0 = one per replica)")
 	shardThreshold := fs.Int("shard-threshold", 0, "min box-region points before a query fans out across replicas (0 = 4096)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "fixed delay before hedging a slow sub-query (0 = adaptive p95)")
+	jobsDir := fs.String("jobs-dir", "", "job-state directory; enables the async training service (POST /v1/train)")
+	trainWorkers := fs.Int("train-workers", 0, "training worker pool size (0 = 1)")
+	trainQueue := fs.Int("train-queue", 0, "max queued training jobs before 429 (0 = 16)")
+	trainCheckpointEvery := fs.Int("train-checkpoint-every", 0, "default epochs between job checkpoints (0 = 25)")
+	modelCache := fs.Int("model-cache", 0, "decoded stored-model LRU capacity (0 = 8)")
+	progressiveChunks := fs.Int("progressive-chunks", 0, "default chunk count for progressive reconstructions (0 = 8)")
 	tf := telemetry.RegisterFlags(fs)
 	trf := trace.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +102,13 @@ func cmdServe(args []string) (err error) {
 		PlanCacheSize:  *planCache,
 		CloudCacheSize: *cloudCache,
 		Cluster:        cl,
+
+		JobsDir:              *jobsDir,
+		TrainWorkers:         *trainWorkers,
+		TrainQueue:           *trainQueue,
+		TrainCheckpointEvery: *trainCheckpointEvery,
+		ModelCacheSize:       *modelCache,
+		ProgressiveChunks:    *progressiveChunks,
 	})
 	if err != nil {
 		return err

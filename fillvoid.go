@@ -42,6 +42,7 @@ import (
 	"fillvoid/internal/grid"
 	"fillvoid/internal/interp"
 	"fillvoid/internal/iso"
+	"fillvoid/internal/jobs"
 	"fillvoid/internal/mathutil"
 	"fillvoid/internal/metrics"
 	"fillvoid/internal/pointcloud"
@@ -266,6 +267,41 @@ type (
 // NewServer builds the reconstruction HTTP service. Start it with
 // (*Server).Start and stop it with (*Server).Shutdown.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Model lifecycle: the async training-job layer the server mounts when
+// ServerConfig.JobsDir is set (POST /v1/train et al.), usable directly
+// by embedders.
+
+type (
+	// JobManager runs async training jobs over a durable state
+	// directory; unfinished jobs resume from their last checkpoint
+	// after a restart, bit-identically.
+	JobManager = jobs.Manager
+	// JobConfig configures NewJobManager; Dir is required.
+	JobConfig = jobs.Config
+	// TrainSpec describes one training job (cloud, grid, sampler,
+	// options). Equal specs get equal job ids.
+	TrainSpec = jobs.Spec
+	// JobStatus is a point-in-time snapshot of a job.
+	JobStatus = jobs.Status
+	// ModelStore is the content-addressed model artifact store: the
+	// model_id is a hash of the canonical weight serialization.
+	ModelStore = jobs.ModelStore
+)
+
+// NewJobManager builds a job manager, re-queues any jobs a previous
+// process left unfinished, and starts the workers.
+func NewJobManager(cfg JobConfig) (*JobManager, error) { return jobs.New(cfg) }
+
+// NewModelStore builds a model store caching up to max decoded models
+// in memory; dir, when non-empty, persists artifacts across restarts.
+func NewModelStore(dir string, max int) (*ModelStore, error) {
+	return jobs.NewModelStore(dir, max, nil)
+}
+
+// ModelID returns the content address of a trained model — the id
+// GET /v1/models serves it under.
+func ModelID(m *FCNN) (string, error) { return jobs.IDForModel(m) }
 
 type (
 	// Cluster is one replica's view of a multi-replica serving cluster:

@@ -23,6 +23,7 @@ const (
 	internalShard     = "shard"
 	internalProxy     = "proxy"
 	internalReplicate = "replicate"
+	internalJobs      = "jobs"
 )
 
 // IsInternal reports whether r is a cluster-internal sub-request that
@@ -191,6 +192,21 @@ func (c *Cluster) Plan(h uint64, region recon.Region) (Route, Member, int) {
 	}
 	c.tel.Counter("cluster.route.proxy").Inc()
 	return RouteProxy, owner, 0
+}
+
+// Owner returns the replica owning key hash h and whether that is this
+// replica. Training jobs use it to pin each job to the replica owning
+// its cloud, so the job's checkpoints, status, and resulting model all
+// live where the cloud's queries already route.
+func (c *Cluster) Owner(h uint64) (Member, bool) {
+	c.mu.RLock()
+	ring, self := c.ring, c.self
+	c.mu.RUnlock()
+	if len(ring.members) <= 1 {
+		return self, true
+	}
+	owner := ring.owner(h)
+	return owner, owner.ID == self.ID
 }
 
 // replicasFor returns the stable replica order for key hash h:

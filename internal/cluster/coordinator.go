@@ -345,10 +345,58 @@ func (c *Cluster) ReplicateCloud(ctx context.Context, body []byte) (replicated i
 	return int(ok.Load())
 }
 
+// ProxyRequest forwards one request to a specific replica with the
+// cluster-internal headers and relays its response verbatim. The
+// training endpoints use it to pin job submission, status, and cancel
+// calls onto the replica owning the job's cloud.
+func (c *Cluster) ProxyRequest(ctx context.Context, m Member, method, path string, body []byte) (int, []byte, error) {
+	respBody, status, err := c.request(ctx, m, method, path, internalJobs, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return status, respBody, nil
+}
+
+// QueryPeers asks every peer in turn with an internal request and
+// returns the first response that is not a 404 (found = true). It backs
+// job-status and model lookups for ids that live on another replica:
+// the caller cannot derive the owner from the id alone, and peer counts
+// are small, so a linear probe is fine.
+func (c *Cluster) QueryPeers(ctx context.Context, method, path string) (status int, body []byte, found bool) {
+	self := c.Self()
+	for _, m := range c.Members() {
+		if m.ID == self.ID {
+			continue
+		}
+		respBody, st, err := c.request(ctx, m, method, path, internalJobs, nil)
+		if err != nil {
+			c.tel.Counter("cluster.peer_query.errors").Inc()
+			telemetry.Warnf("peer query failed", "peer", m.ID, "path", path, "error", err.Error())
+			continue
+		}
+		if st == http.StatusNotFound {
+			continue
+		}
+		c.tel.Counter("cluster.peer_query.hits").Inc()
+		return st, respBody, true
+	}
+	return 0, nil, false
+}
+
 // post issues one cluster-internal POST with the loop-prevention and
 // trace-propagation headers, returning the full response body.
 func (c *Cluster) post(ctx context.Context, m Member, path, kind string, body []byte) ([]byte, int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.URL+path, bytes.NewReader(body))
+	return c.request(ctx, m, http.MethodPost, path, kind, body)
+}
+
+// request is the shared internal HTTP path: loop-prevention and
+// trace-propagation headers, any method, full body back.
+func (c *Cluster) request(ctx context.Context, m Member, method, path, kind string, body []byte) ([]byte, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, m.URL+path, rd)
 	if err != nil {
 		return nil, 0, err
 	}

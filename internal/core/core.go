@@ -23,7 +23,9 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -791,6 +793,36 @@ func (r *FCNN) Save(w io.Writer) error {
 		FieldName: r.fieldName,
 		Model:     buf.Bytes(),
 	})
+}
+
+// WriteStable writes the reconstructor's persistent state in a
+// canonical byte form for content addressing: a length-prefixed JSON
+// header (bundle version, options, normalizer, field name) followed by
+// the network's stable dump (see nn.Network.WriteStable). Save's gob
+// stream embeds process-global type ids that vary with encoding
+// history, so equal models can serialize to different gob bytes in
+// different processes; these bytes depend only on the model's values,
+// which is what lets a model id minted by one process verify in
+// another.
+func (r *FCNN) WriteStable(w io.Writer) error {
+	hdr, err := json.Marshal(struct {
+		Version   int
+		Opts      Options
+		Norm      features.Normalizer
+		FieldName string
+	}{bundleVersion, r.opts, *r.norm, r.fieldName})
+	if err != nil {
+		return err
+	}
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(hdr)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	return r.net.WriteStable(w)
 }
 
 // Load reads a reconstructor previously written with Save.

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"bytes"
 	"context"
-	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -23,6 +22,12 @@ import (
 // Checkpointing.Resume picks up exactly where it stopped.
 var ErrStopped = nn.ErrStopped
 
+// ErrCheckpoint wraps a failure to persist a periodic or final
+// checkpoint. Callers that schedule training (the server's job layer)
+// match on it to tell a storage hiccup — the run is resumable from the
+// last intact checkpoint — apart from a genuine training error.
+var ErrCheckpoint = errors.New("core: checkpoint write failed")
+
 // Checkpointing configures crash-safe training for PretrainResumable
 // and FineTuneResumable.
 type Checkpointing struct {
@@ -37,6 +42,30 @@ type Checkpointing struct {
 	// current run's — resuming under different options, field, or grid
 	// geometry is refused rather than silently diverging.
 	Resume bool
+	// Observer, when non-nil, receives the run's per-epoch EpochStats in
+	// addition to the telemetry registry's own train series. The server's
+	// job layer uses it to surface live epoch/loss progress for a running
+	// training job.
+	Observer telemetry.TrainObserver
+}
+
+// observe wires the run's observers onto net: the caller-supplied one
+// (job progress) plus the registry train series when telemetry is on.
+func (ck Checkpointing) observe(net *nn.Network, reg *telemetry.Registry, series string) {
+	var obs []telemetry.TrainObserver
+	if ck.Observer != nil {
+		obs = append(obs, ck.Observer)
+	}
+	if reg.Enabled() {
+		obs = append(obs, reg.Train(series))
+	}
+	switch len(obs) {
+	case 0:
+	case 1:
+		net.SetObserver(obs[0])
+	default:
+		net.SetObserver(telemetry.MultiObserver(obs))
+	}
 }
 
 func (ck Checkpointing) every() int {
@@ -68,19 +97,22 @@ type trainPayload struct {
 func configHash(kind, fieldName string, truth *grid.Volume, opts Options) uint64 {
 	opts.Epochs = 0
 	opts.FineTuneEpochs = 0
-	var buf bytes.Buffer
-	// Encode errors cannot happen for this all-concrete struct; and if
-	// one ever did, two differing configs hashing equal is caught by the
-	// shape checks in nn.Resume anyway.
-	//lint:allow errdrop: gob-encoding this all-concrete struct cannot fail (see comment above)
-	_ = gob.NewEncoder(&buf).Encode(struct {
+	// JSON, not gob: gob streams embed process-global type ids that
+	// depend on what the process encoded earlier, so the same config
+	// would hash differently in (say) a freshly restarted server that
+	// decodes its job inputs before hashing. JSON bytes depend only on
+	// the values (struct field order is fixed and float64 marshaling is
+	// exact), which keeps the hash stable across processes — the whole
+	// point of validating a checkpoint against it.
+	//lint:allow errdrop: JSON-encoding this all-concrete struct cannot fail; a hypothetical collision is caught by the shape checks in nn.Resume
+	b, _ := json.Marshal(struct {
 		Kind  string
 		Field string
 		Dims  [3]int
 		Opts  Options
 	}{kind, fieldName, [3]int{truth.NX, truth.NY, truth.NZ}, opts})
 	h := fnv.New64a()
-	h.Write(buf.Bytes())
+	h.Write(b)
 	return h.Sum64()
 }
 
@@ -116,7 +148,10 @@ func sink(ck Checkpointing, hash uint64, norm *features.Normalizer, fieldName st
 			ConfigHash: hash,
 			RNGState:   ts.Shuffle,
 		}, trainPayload{State: ts, Norm: *norm, FieldName: fieldName, StartEpochs: startEpochs})
-		return err
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCheckpoint, err)
+		}
+		return nil
 	}
 }
 
@@ -180,9 +215,7 @@ func PretrainResumable(ctx context.Context, truth *grid.Volume, fieldName string
 			return nil, err
 		}
 	}
-	if reg.Enabled() {
-		net.SetObserver(reg.Train("pretrain"))
-	}
+	ck.observe(net, reg, "pretrain")
 	reg.Counter("core.pretrain.rows").Add(int64(ts.Len()))
 	r := &FCNN{opts: opts, net: net, norm: norm, fieldName: fieldName, tm: &timings{}}
 	run := nn.RunOptions{
@@ -283,9 +316,7 @@ func (r *FCNN) FineTuneResumable(ctx context.Context, truth *grid.Volume, sample
 	default:
 		return fmt.Errorf("core: unknown fine-tune mode %v", mode)
 	}
-	if reg.Enabled() {
-		r.net.SetObserver(reg.Train("finetune"))
-	}
+	ck.observe(r.net, reg, "finetune")
 	run := nn.RunOptions{
 		Ctx:             ctx,
 		Checkpoint:      sink(ck, hash, r.norm, r.fieldName, startEpochs),

@@ -1,0 +1,225 @@
+// Package jobs runs asynchronous training jobs for the serving layer:
+// a bounded queue of pretrain/fine-tune runs driven by the crash-safe
+// core.PretrainResumable/FineTuneResumable entry points, with per-job
+// checkpoint directories so a preempted or crashed job resumes from its
+// last checkpoint on restart, and a content-addressed model store that
+// makes finished models first-class artifacts (mirroring the server's
+// cloud store).
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"fillvoid/internal/core"
+	"fillvoid/internal/grid"
+	"fillvoid/internal/pointcloud"
+	"fillvoid/internal/recon"
+	"fillvoid/internal/sampling"
+)
+
+// Spec is the fully-resolved description of one training job. Two
+// submissions with equal Specs are the same job: the job id is a hash
+// of the Spec, so resubmitting is idempotent rather than duplicating
+// work (the same content-addressing discipline as clouds and models).
+type Spec struct {
+	// CloudID names the uploaded cloud (16-hex recon.CloudHash) whose
+	// points carry the full training field.
+	CloudID string
+	// Field is the scalar field name baked into the trained model.
+	Field string
+	// Grid is the simulation grid the cloud samples; training rebuilds
+	// the full truth volume on it (one cloud point per grid node).
+	Grid recon.GridSpec
+	// Sampler names the sampling strategy used to draw the training
+	// fractions from the truth volume ("importance", "random",
+	// "stratified").
+	Sampler string
+	// SamplerSeed seeds the sampler.
+	SamplerSeed int64
+	// BaseModel, when non-empty, is the model_id to fine-tune; empty
+	// pretrains from scratch.
+	BaseModel string
+	// FineTuneMode selects the paper's Case 1/Case 2 strategy when
+	// BaseModel is set.
+	FineTuneMode core.FineTuneMode
+	// FineTuneEpochs is the fine-tune epoch budget when BaseModel is
+	// set (0: the mode's default from Opts).
+	FineTuneEpochs int
+	// Opts are the resolved training options. They participate in the
+	// job id, so "same cloud, more epochs" is a distinct job.
+	Opts core.Options
+	// CheckpointEvery is the epoch period between checkpoints
+	// (0: the manager's default).
+	CheckpointEvery int
+}
+
+// Hard upper bounds on Spec numeric fields. Requests beyond them are
+// rejected up front rather than allowed to allocate unbounded memory
+// or spin for days; fuzzing leans on these.
+const (
+	MaxEpochs       = 100_000
+	MaxHiddenLayers = 16
+	MaxHiddenWidth  = 4096
+	MaxBatchSize    = 1 << 16
+	MaxWorkers      = 1024
+	MaxTrainRowsCap = 50_000_000
+)
+
+// Validate rejects malformed or abusive specs. maxGridPoints bounds
+// Grid (0: no bound); it mirrors the server's reconstruct-side grid
+// cap.
+func (s Spec) Validate(maxGridPoints int) error {
+	if _, err := recon.ParseCloudHash(s.CloudID); err != nil {
+		return fmt.Errorf("jobs: bad cloud_id %q", s.CloudID)
+	}
+	if s.Field == "" {
+		return errors.New("jobs: field is required")
+	}
+	if s.Grid.NX < 1 || s.Grid.NY < 1 || s.Grid.NZ < 1 {
+		return fmt.Errorf("jobs: invalid grid %dx%dx%d", s.Grid.NX, s.Grid.NY, s.Grid.NZ)
+	}
+	if maxGridPoints > 0 {
+		// Divide instead of multiplying so absurd dims cannot overflow
+		// past the bound.
+		if s.Grid.NX > maxGridPoints ||
+			s.Grid.NY > maxGridPoints/s.Grid.NX ||
+			s.Grid.NZ > maxGridPoints/(s.Grid.NX*s.Grid.NY) {
+			return fmt.Errorf("jobs: grid %dx%dx%d exceeds %d points", s.Grid.NX, s.Grid.NY, s.Grid.NZ, maxGridPoints)
+		}
+	}
+	if _, err := sampling.ByName(s.Sampler, 0); err != nil {
+		return fmt.Errorf("jobs: unknown sampler %q", s.Sampler)
+	}
+	if s.BaseModel != "" {
+		if err := validModelID(s.BaseModel); err != nil {
+			return fmt.Errorf("jobs: bad base_model %q", s.BaseModel)
+		}
+		switch s.FineTuneMode {
+		case core.FineTuneAll, core.FineTuneLastTwo:
+		default:
+			return fmt.Errorf("jobs: unknown fine-tune mode %v", s.FineTuneMode)
+		}
+		if s.FineTuneEpochs < 0 || s.FineTuneEpochs > MaxEpochs {
+			return fmt.Errorf("jobs: fine_tune_epochs %d out of range [0, %d]", s.FineTuneEpochs, MaxEpochs)
+		}
+	}
+	o := s.Opts
+	if o.Epochs < 1 || o.Epochs > MaxEpochs {
+		return fmt.Errorf("jobs: epochs %d out of range [1, %d]", o.Epochs, MaxEpochs)
+	}
+	if len(o.Hidden) > MaxHiddenLayers {
+		return fmt.Errorf("jobs: %d hidden layers exceeds %d", len(o.Hidden), MaxHiddenLayers)
+	}
+	for _, w := range o.Hidden {
+		if w < 1 || w > MaxHiddenWidth {
+			return fmt.Errorf("jobs: hidden width %d out of range [1, %d]", w, MaxHiddenWidth)
+		}
+	}
+	if o.BatchSize < 0 || o.BatchSize > MaxBatchSize {
+		return fmt.Errorf("jobs: batch_size %d out of range [0, %d]", o.BatchSize, MaxBatchSize)
+	}
+	if o.Workers < 0 || o.Workers > MaxWorkers {
+		return fmt.Errorf("jobs: workers %d out of range [0, %d]", o.Workers, MaxWorkers)
+	}
+	if o.MaxTrainRows < 0 || o.MaxTrainRows > MaxTrainRowsCap {
+		return fmt.Errorf("jobs: max_train_rows %d out of range [0, %d]", o.MaxTrainRows, MaxTrainRowsCap)
+	}
+	if len(o.TrainFractions) == 0 {
+		return errors.New("jobs: at least one train fraction is required")
+	}
+	for _, f := range o.TrainFractions {
+		if !(f > 0 && f <= 1) { // also rejects NaN
+			return fmt.Errorf("jobs: train fraction %v out of range (0, 1]", f)
+		}
+	}
+	if o.LearningRate <= 0 || math.IsNaN(o.LearningRate) || math.IsInf(o.LearningRate, 0) {
+		return fmt.Errorf("jobs: learning_rate %v must be a positive finite number", o.LearningRate)
+	}
+	if o.ValidationFraction < 0 || o.ValidationFraction >= 1 || math.IsNaN(o.ValidationFraction) {
+		return fmt.Errorf("jobs: validation_fraction %v out of range [0, 1)", o.ValidationFraction)
+	}
+	if s.CheckpointEvery < 0 || s.CheckpointEvery > MaxEpochs {
+		return fmt.Errorf("jobs: checkpoint_every %d out of range [0, %d]", s.CheckpointEvery, MaxEpochs)
+	}
+	return nil
+}
+
+// IDFor derives the content-addressed job id from the spec: FNV-1a 64
+// over its canonical JSON encoding, printed like cloud and model ids
+// (16 hex digits). Equal specs collide on purpose — that is the
+// idempotency key. JSON, not gob: gob streams embed process-global
+// type ids that shift with whatever the process encoded earlier, so
+// the same spec could mint different job ids in different processes
+// (e.g. before vs after a restart scan); JSON bytes depend only on the
+// values.
+func IDFor(s Spec) string {
+	// JSON of this all-concrete struct cannot fail; a hypothetical
+	// failure would only merge two specs into one job id.
+	//lint:allow errdrop: JSON-encoding an all-concrete struct cannot fail
+	b, _ := json.Marshal(s)
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// VolumeFromCloud rebuilds the full truth volume from a cloud that
+// covers every node of spec exactly once (the in-situ training regime:
+// at train time the full field exists, and uploading it as a cloud
+// reuses the wire format and content-addressed store clouds already
+// have). Each point must sit on a grid node within a 1e-6·spacing
+// tolerance; missing or duplicated nodes are an error. Values pass
+// through bit-exactly, which is what lets a job-trained model be
+// bit-identical to one trained directly on the original volume.
+func VolumeFromCloud(c *pointcloud.Cloud, spec recon.GridSpec) (*grid.Volume, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, errors.New("jobs: empty cloud")
+	}
+	if c.Len() != spec.Len() {
+		return nil, fmt.Errorf("jobs: cloud has %d points but grid %dx%dx%d needs %d (training requires the full field)",
+			c.Len(), spec.NX, spec.NY, spec.NZ, spec.Len())
+	}
+	v := spec.NewVolume()
+	seen := make([]bool, spec.Len())
+	for n, p := range c.Points {
+		i, ok := nodeIndex(p.X, spec.Origin.X, spec.Spacing.X, spec.NX)
+		if !ok {
+			return nil, fmt.Errorf("jobs: point %d (%g, %g, %g) is off-grid on x", n, p.X, p.Y, p.Z)
+		}
+		j, ok := nodeIndex(p.Y, spec.Origin.Y, spec.Spacing.Y, spec.NY)
+		if !ok {
+			return nil, fmt.Errorf("jobs: point %d (%g, %g, %g) is off-grid on y", n, p.X, p.Y, p.Z)
+		}
+		k, ok := nodeIndex(p.Z, spec.Origin.Z, spec.Spacing.Z, spec.NZ)
+		if !ok {
+			return nil, fmt.Errorf("jobs: point %d (%g, %g, %g) is off-grid on z", n, p.X, p.Y, p.Z)
+		}
+		idx := v.Index(i, j, k)
+		if seen[idx] {
+			return nil, fmt.Errorf("jobs: grid node (%d, %d, %d) appears more than once", i, j, k)
+		}
+		seen[idx] = true
+		v.Data[idx] = c.Values[n]
+	}
+	return v, nil
+}
+
+// nodeIndex snaps one coordinate onto its grid axis, tolerating only
+// rounding-level deviation (1e-6 of a spacing step).
+func nodeIndex(x, origin, spacing float64, n int) (int, bool) {
+	if spacing == 0 {
+		if x == origin {
+			return 0, true
+		}
+		return 0, false
+	}
+	f := (x - origin) / spacing
+	i := int(math.Round(f))
+	if i < 0 || i >= n || math.Abs(f-float64(i)) > 1e-6 {
+		return 0, false
+	}
+	return i, true
+}

@@ -1,0 +1,268 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"fillvoid/internal/core"
+	"fillvoid/internal/telemetry"
+)
+
+// ErrModelNotFound reports an unknown model_id.
+var ErrModelNotFound = errors.New("jobs: model not found")
+
+// ModelStore is the content-addressed model artifact store: the
+// model_id is a hash of the serialized weights, so equal models share
+// one entry and an id can never silently point at different weights.
+// It keeps a bounded in-memory cache of decoded models and, when given
+// a directory, persists every model so ids survive restarts (which is
+// what lets a resumed job's clients keep their model_id).
+type ModelStore struct {
+	mu  sync.Mutex
+	max int
+	dir string // "" = memory-only
+	tel *telemetry.Registry
+
+	entries map[string]*modelEntry
+	order   []string // LRU order, most recent last
+}
+
+type modelEntry struct {
+	raw   []byte
+	model *core.FCNN
+}
+
+// NewModelStore builds a store caching up to max decoded models in
+// memory (default 8). dir, when non-empty, is created and used to
+// persist model files.
+func NewModelStore(dir string, max int, tel *telemetry.Registry) (*ModelStore, error) {
+	if max <= 0 {
+		max = 8
+	}
+	if tel == nil {
+		tel = telemetry.Default()
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: model store dir: %w", err)
+		}
+	}
+	return &ModelStore{max: max, dir: dir, tel: tel, entries: make(map[string]*modelEntry)}, nil
+}
+
+// ValidID reports whether id has the shape every content-addressed id
+// in this system has (cloud, model, and job ids alike): 16 lowercase
+// hex digits. Handlers check it before splicing request strings into
+// filesystem or URL paths.
+func ValidID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for _, c := range id {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validModelID maps a malformed id onto ErrModelNotFound.
+func validModelID(id string) error {
+	if !ValidID(id) {
+		return ErrModelNotFound
+	}
+	return nil
+}
+
+// IDForModel is the content address of a model: FNV-1a 64 over its
+// canonical stable serialization (core.FCNN.WriteStable), 16 hex
+// digits (the same shape as cloud ids). The gob bytes Save produces
+// embed process-global type ids that shift with the process's encoding
+// history, so hashing them would mint different ids for the same model
+// in different processes; the stable form hashes only the model's
+// values, which is what lets the id a training process mints verify in
+// every process that later loads the artifact.
+func IDForModel(m *core.FCNN) (string, error) {
+	h := fnv.New64a()
+	if err := m.WriteStable(h); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// Put serializes m and stores it, returning its model_id.
+func (s *ModelStore) Put(m *core.FCNN) (string, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return "", err
+	}
+	return s.putLocked(buf.Bytes(), m)
+}
+
+// PutBytes stores an already-serialized model (e.g. replicated from a
+// peer), validating it decodes before accepting.
+func (s *ModelStore) PutBytes(b []byte) (string, error) {
+	m, err := core.Load(bytes.NewReader(b))
+	if err != nil {
+		return "", fmt.Errorf("jobs: invalid model bytes: %w", err)
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return s.putLocked(cp, m)
+}
+
+func (s *ModelStore) putLocked(raw []byte, m *core.FCNN) (string, error) {
+	id, err := IDForModel(m)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	_, existed := s.entries[id]
+	if !existed {
+		s.entries[id] = &modelEntry{raw: raw, model: m}
+	}
+	s.touch(id)
+	s.evict()
+	s.mu.Unlock()
+	if !existed {
+		s.tel.Counter("jobs.models.stored").Inc()
+	}
+	if s.dir != "" {
+		if err := s.persist(id, raw); err != nil {
+			return "", err
+		}
+	}
+	return id, nil
+}
+
+// persist writes the model file atomically (temp + rename), so a
+// crash mid-write can never leave a torn artifact under a valid id.
+func (s *ModelStore) persist(id string, raw []byte) error {
+	path := s.path(id)
+	if _, err := os.Stat(path); err == nil {
+		return nil // content-addressed: an existing file is already right
+	}
+	tmp, err := os.CreateTemp(s.dir, ".model-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(raw)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		//lint:allow errdrop: best-effort cleanup of a temp file already being reported
+		_ = os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func (s *ModelStore) path(id string) string {
+	return filepath.Join(s.dir, id+".fcnn")
+}
+
+// Get returns the decoded model for id, falling back to the persist
+// directory on a memory miss.
+func (s *ModelStore) Get(id string) (*core.FCNN, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.model, nil
+}
+
+// Bytes returns the serialized model for id (the GET /v1/models body).
+func (s *ModelStore) Bytes(id string) ([]byte, error) {
+	e, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.raw, nil
+}
+
+func (s *ModelStore) lookup(id string) (*modelEntry, error) {
+	id = strings.ToLower(id)
+	if err := validModelID(id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[id]; ok {
+		s.touch(id)
+		s.mu.Unlock()
+		return e, nil
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil, ErrModelNotFound
+	}
+	raw, err := os.ReadFile(s.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrModelNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The file is trusted less than memory: decode it and verify the
+	// content address, so a corrupted artifact reads as missing rather
+	// than as wrong weights (a torn file fails the decode, a tampered
+	// one fails the hash).
+	m, err := core.Load(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("jobs: model file %s does not decode: %w", id, ErrModelNotFound)
+	}
+	if got, err := IDForModel(m); err != nil || got != id {
+		return nil, fmt.Errorf("jobs: model file %s fails its content hash: %w", id, ErrModelNotFound)
+	}
+	e := &modelEntry{raw: raw, model: m}
+	s.mu.Lock()
+	if cur, ok := s.entries[id]; ok {
+		e = cur
+	} else {
+		s.entries[id] = e
+	}
+	s.touch(id)
+	s.evict()
+	s.mu.Unlock()
+	return e, nil
+}
+
+// Len reports the number of models cached in memory.
+func (s *ModelStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// touch moves id to the most-recent end of the LRU order.
+// Callers hold s.mu.
+func (s *ModelStore) touch(id string) {
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.order = append(s.order, id)
+}
+
+// evict drops least-recently-used memory entries over the cap.
+// Persisted files are kept — disk is the durable tier. Callers hold
+// s.mu.
+func (s *ModelStore) evict() {
+	for len(s.entries) > s.max && len(s.order) > 0 {
+		old := s.order[0]
+		s.order = s.order[1:]
+		delete(s.entries, old)
+		s.tel.Counter("jobs.models.evicted").Inc()
+	}
+}

@@ -1,7 +1,9 @@
 package nn
 
 import (
+	"encoding/binary"
 	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -50,6 +52,62 @@ func (n *Network) snapshot() modelFile {
 		mf.Frozen = append(mf.Frozen, l.frozen)
 	}
 	return mf
+}
+
+// WriteStable writes the network's persistent state — the same fields
+// Save encodes — in a canonical byte form: a JSON config header
+// (length-prefixed) followed by little-endian weight/bias/loss arrays.
+// Unlike gob, whose streams embed process-global type ids that shift
+// with whatever the process happened to encode earlier, these bytes
+// depend only on the values, so content addressing can hash them and
+// get the same id for the same network in every process.
+func (n *Network) WriteStable(w io.Writer) error {
+	mf := n.snapshot()
+	cfg, err := json.Marshal(mf.Config)
+	if err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU64 := func(v uint64) error {
+		var b [8]byte
+		le.PutUint64(b[:], v)
+		_, err := w.Write(b[:])
+		return err
+	}
+	writeF64s := func(s []float64) error {
+		if err := writeU64(uint64(len(s))); err != nil {
+			return err
+		}
+		return binary.Write(w, le, s)
+	}
+	if err := writeU64(uint64(mf.Version)); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(len(cfg))); err != nil {
+		return err
+	}
+	if _, err := w.Write(cfg); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(len(mf.Weights))); err != nil {
+		return err
+	}
+	for i := range mf.Weights {
+		if err := writeF64s(mf.Weights[i]); err != nil {
+			return err
+		}
+		if err := writeF64s(mf.Biases[i]); err != nil {
+			return err
+		}
+		var frozen uint64
+		if mf.Frozen[i] {
+			frozen = 1
+		}
+		if err := writeU64(frozen); err != nil {
+			return err
+		}
+	}
+	return writeF64s(mf.Losses)
 }
 
 // Load reads a network previously written by Save.

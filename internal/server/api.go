@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 
+	"fillvoid/internal/core"
+	"fillvoid/internal/jobs"
 	"fillvoid/internal/mathutil"
 	"fillvoid/internal/pointcloud"
 	"fillvoid/internal/recon"
@@ -103,7 +105,8 @@ func (rj RegionJSON) toRegion(spec recon.GridSpec) (recon.Region, error) {
 // previously uploaded cloud (POST /v1/clouds); exactly one must be set.
 type ReconstructRequest struct {
 	// Method names a registered reconstructor ("nearest", "linear",
-	// "fcnn", ...; GET /v1/methods lists them).
+	// "fcnn", ...; GET /v1/methods lists them). Leave empty when
+	// ModelID is set.
 	Method  string     `json:"method"`
 	Cloud   *CloudJSON `json:"cloud,omitempty"`
 	CloudID string     `json:"cloud_id,omitempty"`
@@ -112,6 +115,17 @@ type ReconstructRequest struct {
 	// Quant selects quantized inference ("f16" or "int8") for methods
 	// that support it (currently fcnn); empty means full precision.
 	Quant string `json:"quant,omitempty"`
+	// ModelID reconstructs with a stored model from the model store
+	// (trained via POST /v1/train or fetched from a peer) instead of a
+	// registry method. Method must be empty or "fcnn" alongside it.
+	ModelID string `json:"model_id,omitempty"`
+	// Progressive streams the response as NDJSON: a header line, a
+	// strided coarse preview, then box chunks as the engine completes
+	// them, then a done line. Box and full-grid regions only.
+	Progressive bool `json:"progressive,omitempty"`
+	// ProgressiveChunks overrides the server's chunk count for a
+	// progressive response (clamped to [1, 64]).
+	ProgressiveChunks int64 `json:"progressive_chunks,omitempty"`
 }
 
 // ReconstructResponse carries the reconstructed values in region order
@@ -138,6 +152,9 @@ type ReconstructResponse struct {
 	// Shards is how many sub-box shards a fanned-out query was split
 	// into (0 when the query executed on a single replica).
 	Shards int `json:"shards,omitempty"`
+	// ModelID echoes the stored model the reconstruction used (empty
+	// for registry methods).
+	ModelID string `json:"model_id,omitempty"`
 }
 
 // UploadResponse is the body returned by POST /v1/clouds.
@@ -158,6 +175,11 @@ type HealthResponse struct {
 	Queued   int64  `json:"queued"`
 	Plans    int    `json:"plans_cached"`
 	Clouds   int    `json:"clouds_cached"`
+	Models   int    `json:"models_cached"`
+	// Training reports whether POST /v1/train is enabled (JobsDir set).
+	Training    bool `json:"training"`
+	JobsQueued  int  `json:"jobs_queued"`
+	JobsRunning int  `json:"jobs_running"`
 }
 
 // errorResponse is the JSON error envelope for every non-2xx status.
@@ -166,4 +188,165 @@ type HealthResponse struct {
 type errorResponse struct {
 	Error     string `json:"error"`
 	RequestID string `json:"request_id,omitempty"`
+}
+
+// TrainRequest is the body of POST /v1/train: train a model on an
+// uploaded cloud that carries the full field (one point per node of
+// Grid — the in-situ regime, where ground truth exists at train time).
+// Numeric fields are int64 on the wire and range-checked explicitly, so
+// absurd values are a clean 400 rather than an overflow or a
+// decade-long training run.
+type TrainRequest struct {
+	// CloudID names a previously uploaded cloud (POST /v1/clouds).
+	CloudID string `json:"cloud_id"`
+	// Field is the scalar field name (default "value", matching the
+	// default cloud name).
+	Field string `json:"field,omitempty"`
+	// Grid is the full simulation grid the cloud covers.
+	Grid GridJSON `json:"grid"`
+	// Sampler draws the training fractions from the rebuilt volume
+	// ("importance", "random", "stratified"; default "importance").
+	Sampler     string `json:"sampler,omitempty"`
+	SamplerSeed int64  `json:"sampler_seed,omitempty"`
+	// BaseModel fine-tunes a stored model instead of pretraining.
+	BaseModel string `json:"base_model,omitempty"`
+	// FineTuneMode is "all" (Case 1, default) or "last-two" (Case 2).
+	FineTuneMode   string `json:"fine_tune_mode,omitempty"`
+	FineTuneEpochs int64  `json:"fine_tune_epochs,omitempty"`
+	// Epochs is the pretraining budget (default 200).
+	Epochs int64 `json:"epochs,omitempty"`
+	// Hidden overrides the hidden-layer widths (default: the paper's).
+	Hidden []int64 `json:"hidden,omitempty"`
+	// TrainFractions are the sampling percentages to train on
+	// (default: the paper's 1% + 5%).
+	TrainFractions []float64 `json:"train_fractions,omitempty"`
+	MaxTrainRows   int64     `json:"max_train_rows,omitempty"`
+	BatchSize      int64     `json:"batch_size,omitempty"`
+	Workers        int64     `json:"workers,omitempty"`
+	Seed           int64     `json:"seed,omitempty"`
+	LearningRate   float64   `json:"learning_rate,omitempty"`
+	// CheckpointEvery is the epoch period between crash-safe
+	// checkpoints (default: the server's setting).
+	CheckpointEvery int64 `json:"checkpoint_every,omitempty"`
+}
+
+// toSpec resolves defaults and converts the wire request into the
+// jobs.Spec that becomes the job's identity. Every int64 is bounded
+// before it is narrowed, so the conversion itself can never wrap.
+func (t *TrainRequest) toSpec() (jobs.Spec, error) {
+	spec := jobs.Spec{
+		CloudID:     t.CloudID,
+		Field:       t.Field,
+		Sampler:     t.Sampler,
+		SamplerSeed: t.SamplerSeed,
+		BaseModel:   t.BaseModel,
+	}
+	if spec.Field == "" {
+		spec.Field = "value"
+	}
+	if spec.Sampler == "" {
+		spec.Sampler = "importance"
+	}
+	var err error
+	if spec.Grid, err = t.Grid.toSpec(); err != nil {
+		return spec, err
+	}
+	switch t.FineTuneMode {
+	case "", "all", core.FineTuneAll.String():
+		spec.FineTuneMode = core.FineTuneAll
+	case "last-two", core.FineTuneLastTwo.String():
+		spec.FineTuneMode = core.FineTuneLastTwo
+	default:
+		return spec, fmt.Errorf("unknown fine_tune_mode %q (use \"all\" or \"last-two\")", t.FineTuneMode)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Epochs = 200
+	n, err := intField("epochs", t.Epochs, 0, jobs.MaxEpochs)
+	if err != nil {
+		return spec, err
+	}
+	if n > 0 {
+		opts.Epochs = n
+	}
+	if t.Hidden != nil {
+		if len(t.Hidden) > jobs.MaxHiddenLayers {
+			return spec, fmt.Errorf("hidden has %d layers, limit %d", len(t.Hidden), jobs.MaxHiddenLayers)
+		}
+		opts.Hidden = make([]int, len(t.Hidden))
+		for i, hw := range t.Hidden {
+			if opts.Hidden[i], err = intField("hidden width", hw, 1, jobs.MaxHiddenWidth); err != nil {
+				return spec, err
+			}
+		}
+	}
+	if t.TrainFractions != nil {
+		opts.TrainFractions = t.TrainFractions
+	}
+	if opts.MaxTrainRows, err = intField("max_train_rows", t.MaxTrainRows, 0, jobs.MaxTrainRowsCap); err != nil {
+		return spec, err
+	}
+	if opts.BatchSize, err = intField("batch_size", t.BatchSize, 0, jobs.MaxBatchSize); err != nil {
+		return spec, err
+	}
+	if opts.Workers, err = intField("workers", t.Workers, 0, jobs.MaxWorkers); err != nil {
+		return spec, err
+	}
+	opts.Seed = t.Seed
+	if t.LearningRate != 0 {
+		opts.LearningRate = t.LearningRate
+	}
+	spec.Opts = opts
+	if spec.FineTuneEpochs, err = intField("fine_tune_epochs", t.FineTuneEpochs, 0, jobs.MaxEpochs); err != nil {
+		return spec, err
+	}
+	if spec.CheckpointEvery, err = intField("checkpoint_every", t.CheckpointEvery, 0, jobs.MaxEpochs); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// intField bounds one wire int64 and narrows it.
+func intField(name string, v, lo, hi int64) (int, error) {
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("%s %d out of range [%d, %d]", name, v, lo, hi)
+	}
+	return int(v), nil
+}
+
+// TrainResponse is the body returned by POST /v1/train: 202 when the
+// job was newly queued (or re-queued to resume), 200 when an identical
+// spec already has a live or finished job.
+type TrainResponse struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+	// Created reports whether this request queued work (first
+	// submission, or a resume of a stopped job).
+	Created bool `json:"created"`
+	// EpochsTotal is the lifetime epoch count the job will finish at.
+	EpochsTotal int `json:"epochs_total"`
+	// ModelID is set when the job already finished (idempotent re-POST
+	// of a done spec).
+	ModelID string `json:"model_id,omitempty"`
+	Replica string `json:"replica,omitempty"`
+}
+
+// JobStatusResponse is the body returned by GET /v1/jobs/{id} (and by
+// DELETE on cancel).
+type JobStatusResponse struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+	// Epoch is the number of lifetime epochs completed so far (live
+	// from the training observer while running).
+	Epoch       int     `json:"epoch"`
+	EpochsTotal int     `json:"epochs_total"`
+	Loss        float64 `json:"loss,omitempty"`
+	CloudID     string  `json:"cloud_id"`
+	// ModelID names the finished model (done jobs only).
+	ModelID string `json:"model_id,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// Resumes counts how many times the job continued from a
+	// checkpoint after a restart or resubmission.
+	Resumes int    `json:"resumes"`
+	Replica string `json:"replica,omitempty"`
 }

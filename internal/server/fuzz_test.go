@@ -72,3 +72,98 @@ func FuzzReconstructRequest(f *testing.F) {
 		}
 	})
 }
+
+// fuzzTrainServer is a training-enabled server for FuzzTrainRequest:
+// TrainWorkers -1 runs no workers, so accepted jobs queue without ever
+// training (the fuzz loop probes request validation, not the trainer),
+// and the bounded queue caps how many job directories the corpus can
+// create. One small full-field cloud is preloaded so valid requests
+// reach the Submit path.
+func fuzzTrainServer(tb testing.TB) (*Server, string) {
+	tb.Helper()
+	s, err := New(Config{
+		Registry:      interp.StandardRegistry(1),
+		Telemetry:     telemetry.NewRegistry(),
+		MaxBodyBytes:  1 << 20,
+		MaxGridPoints: 1 << 16,
+		JobsDir:       tb.TempDir(),
+		TrainWorkers:  -1,
+		TrainQueue:    4,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cj := &CloudJSON{Name: "value"}
+	for k := 0; k < 2; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 4; i++ {
+				cj.Points = append(cj.Points, [3]float64{float64(i), float64(j), float64(k)})
+				cj.Values = append(cj.Values, float64(i+j+k))
+			}
+		}
+	}
+	body, err := json.Marshal(cj)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/clouds", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		tb.Fatalf("preloading cloud: %d %s", rec.Code, rec.Body.Bytes())
+	}
+	var up UploadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &up); err != nil {
+		tb.Fatal(err)
+	}
+	return s, up.CloudID
+}
+
+// FuzzTrainRequest throws arbitrary bytes at POST /v1/train. The
+// contract matches the reconstruct fuzzer: never a panic, never a 5xx;
+// every rejection is a 4xx with a JSON error envelope, every acceptance
+// a 200/202 — and nothing the fuzzer sends can start unbounded work,
+// because the server runs with no training workers.
+func FuzzTrainRequest(f *testing.F) {
+	s, cloudID := fuzzTrainServer(f)
+
+	valid, _ := json.Marshal(TrainRequest{
+		CloudID: cloudID,
+		Grid:    GridJSON{Dims: [3]int{4, 4, 2}},
+		Epochs:  5,
+	})
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"cloud_id":"zzz"}`))
+	f.Add([]byte(`{"cloud_id":"0123456789abcdef","grid":{"dims":[4,4,2]}}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[0,0,0]}}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[1073741824,1073741824,1073741824]}}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[4,4,2]},"epochs":-5}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[4,4,2]},"hidden":[99999]}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[4,4,2]},"train_fractions":[2.5]}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[4,4,2]},"learning_rate":-1}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[4,4,2]},"sampler":"psychic"}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[4,4,2]},"base_model":"zz"}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[4,4,2]},"fine_tune_mode":"psychic"}`))
+	f.Add([]byte(`{"cloud_id":"` + cloudID + `","grid":{"dims":[4,4,2],"spacing":[0,0,0]}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`train me`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/train", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+
+		code := rec.Code
+		if code >= 500 {
+			t.Fatalf("train request produced %d: body %q -> %s", code, body, rec.Body.Bytes())
+		}
+		if code >= 300 {
+			var er errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("status %d without JSON error body: %q", code, rec.Body.Bytes())
+			}
+		}
+	})
+}

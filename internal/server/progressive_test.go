@@ -1,0 +1,236 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// progressiveLine is the union of every NDJSON line type in a
+// progressive stream.
+type progressiveLine struct {
+	Type   string    `json:"type"`
+	Method string    `json:"method"`
+	Dims   [3]int    `json:"dims"`
+	Chunks int       `json:"chunks"`
+	Stride int       `json:"stride"`
+	Seq    int       `json:"seq"`
+	Box    [6]int    `json:"box"`
+	Values []float64 `json:"values"`
+	Points int       `json:"points"`
+	Error  string    `json:"error"`
+}
+
+// streamProgressive posts req and parses the NDJSON response.
+func streamProgressive(t *testing.T, base string, req *ReconstructRequest) []progressiveLine {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/reconstruct", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progressive: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+	var lines []progressiveLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var l progressiveLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestProgressiveMatchesNonProgressive is the bit-identity contract of
+// the streaming path: reassembling the chunk lines must reproduce the
+// plain response value for value, with a sane header/coarse/done frame
+// around them.
+func TestProgressiveMatchesNonProgressive(t *testing.T) {
+	_, base := startServer(t, Config{})
+	code, body := postJSON(t, base+"/v1/clouds", testCloud(400, 1))
+	if code != http.StatusOK {
+		t.Fatalf("upload: %d %s", code, body)
+	}
+	var up UploadResponse
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+
+	// Big enough (24*24*12 = 6912 > 4096) that the stream includes a
+	// strided coarse preview.
+	sp := [3]float64{1.0 / 23, 1.0 / 23, 1.0 / 11}
+	grid := GridJSON{Dims: [3]int{24, 24, 12}, Spacing: &sp}
+
+	code, body = postJSON(t, base+"/v1/reconstruct", &ReconstructRequest{
+		Method: "linear", CloudID: up.CloudID, Grid: grid,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("plain reconstruct: %d %s", code, body)
+	}
+	var plain ReconstructResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := streamProgressive(t, base, &ReconstructRequest{
+		Method: "linear", CloudID: up.CloudID, Grid: grid,
+		Progressive: true, ProgressiveChunks: 5,
+	})
+	if len(lines) < 3 {
+		t.Fatalf("stream has %d lines", len(lines))
+	}
+	header := lines[0]
+	if header.Type != "header" || header.Method != "linear" {
+		t.Fatalf("first line: %+v", header)
+	}
+	if header.Dims != [3]int{24, 24, 12} {
+		t.Fatalf("header dims %v", header.Dims)
+	}
+	if header.Stride < 2 {
+		t.Fatalf("header stride %d, want a strided preview for this grid", header.Stride)
+	}
+	done := lines[len(lines)-1]
+	if done.Type != "done" || done.Chunks != header.Chunks || done.Points != len(plain.Values) {
+		t.Fatalf("done line: %+v", done)
+	}
+
+	nx, ny := header.Dims[0], header.Dims[1]
+	got := make([]float64, len(plain.Values))
+	filled := make([]bool, len(plain.Values))
+	sawCoarse, chunks := false, 0
+	for _, l := range lines[1 : len(lines)-1] {
+		switch l.Type {
+		case "coarse":
+			sawCoarse = true
+			if len(l.Values) != l.Dims[0]*l.Dims[1]*l.Dims[2] {
+				t.Fatalf("coarse: %d values for dims %v", len(l.Values), l.Dims)
+			}
+		case "chunk":
+			if l.Seq != chunks {
+				t.Fatalf("chunk seq %d, want %d (chunks must arrive in order)", l.Seq, chunks)
+			}
+			chunks++
+			n := 0
+			for k := l.Box[2]; k < l.Box[5]; k++ {
+				for j := l.Box[1]; j < l.Box[4]; j++ {
+					for i := l.Box[0]; i < l.Box[3]; i++ {
+						idx := i + nx*(j+ny*k)
+						if filled[idx] {
+							t.Fatalf("node %d covered by two chunks", idx)
+						}
+						filled[idx] = true
+						got[idx] = l.Values[n]
+						n++
+					}
+				}
+			}
+			if n != len(l.Values) {
+				t.Fatalf("chunk %d: box holds %d nodes but carries %d values", l.Seq, n, len(l.Values))
+			}
+		default:
+			t.Fatalf("unexpected line type %q", l.Type)
+		}
+	}
+	if !sawCoarse {
+		t.Fatal("no coarse preview line")
+	}
+	if chunks != header.Chunks {
+		t.Fatalf("%d chunk lines, header promised %d", chunks, header.Chunks)
+	}
+	for i := range filled {
+		if !filled[i] {
+			t.Fatalf("node %d never covered by any chunk", i)
+		}
+	}
+	for i := range got {
+		if got[i] != plain.Values[i] {
+			t.Fatalf("value %d: progressive %v != plain %v (must be bit-identical)", i, got[i], plain.Values[i])
+		}
+	}
+}
+
+// TestProgressiveBoxRegion streams a sub-box and checks it against the
+// plain response for the same box.
+func TestProgressiveBoxRegion(t *testing.T) {
+	_, base := startServer(t, Config{})
+	code, body := postJSON(t, base+"/v1/clouds", testCloud(300, 2))
+	if code != http.StatusOK {
+		t.Fatalf("upload: %d %s", code, body)
+	}
+	var up UploadResponse
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	box := [6]int{2, 3, 1, 14, 13, 7}
+	req := &ReconstructRequest{
+		Method: "nearest", CloudID: up.CloudID, Grid: testGrid(),
+		Region: RegionJSON{Box: &box},
+	}
+	code, body = postJSON(t, base+"/v1/reconstruct", req)
+	if code != http.StatusOK {
+		t.Fatalf("plain: %d %s", code, body)
+	}
+	var plain ReconstructResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	preq := *req
+	preq.Progressive = true
+	preq.ProgressiveChunks = 3
+	lines := streamProgressive(t, base, &preq)
+	var got []float64
+	for _, l := range lines {
+		if l.Type == "chunk" {
+			got = append(got, l.Values...)
+		}
+		if l.Type == "error" {
+			t.Fatalf("stream error: %s", l.Error)
+		}
+	}
+	// Chunks split along the largest axis (x here: 12 ≥ 10 ≥ 6)...
+	// whichever axis was cut, chunk-order concatenation only equals
+	// x-fastest box order when the cut axis is the slowest-varying one
+	// (z), so reassemble via the boxes instead of concatenation when
+	// they differ.
+	if len(got) != len(plain.Values) {
+		t.Fatalf("progressive carried %d values, plain %d", len(got), len(plain.Values))
+	}
+	vals := make([]float64, len(plain.Values))
+	bnx, bny := box[3]-box[0], box[4]-box[1]
+	for _, l := range lines {
+		if l.Type != "chunk" {
+			continue
+		}
+		n := 0
+		for k := l.Box[2]; k < l.Box[5]; k++ {
+			for j := l.Box[1]; j < l.Box[4]; j++ {
+				for i := l.Box[0]; i < l.Box[3]; i++ {
+					vals[(i-box[0])+bnx*((j-box[1])+bny*(k-box[2]))] = l.Values[n]
+					n++
+				}
+			}
+		}
+	}
+	for i := range vals {
+		if vals[i] != plain.Values[i] {
+			t.Fatalf("value %d: progressive %v != plain %v", i, vals[i], plain.Values[i])
+		}
+	}
+}

@@ -51,12 +51,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"fillvoid/internal/checkpoint"
 	"fillvoid/internal/cluster"
+	"fillvoid/internal/jobs"
 	"fillvoid/internal/pointcloud"
 	"fillvoid/internal/recon"
 	"fillvoid/internal/telemetry"
@@ -106,6 +109,30 @@ type Config struct {
 	// consistent hash, large box queries fan out as shards. Nil serves
 	// standalone.
 	Cluster *cluster.Cluster
+	// JobsDir enables the training service (POST /v1/train): per-job
+	// durable state, checkpoints, and the persisted model tier live
+	// under it, and unfinished jobs found there at startup resume from
+	// their last checkpoint. Empty disables the training endpoints
+	// (503); the model store still serves, memory-only.
+	JobsDir string
+	// TrainWorkers is the training worker pool size (default 1;
+	// negative: none). It is separate from MaxConcurrent on purpose —
+	// training must never starve reconstruction slots.
+	TrainWorkers int
+	// TrainQueue bounds queued training jobs; beyond it POST /v1/train
+	// returns 429 (default 16).
+	TrainQueue int
+	// TrainCheckpointEvery is the default epoch period between job
+	// checkpoints (default 25).
+	TrainCheckpointEvery int
+	// TrainFS overrides the checkpoint filesystem for training jobs
+	// (default OS). The fault-injection tests arm failures through it.
+	TrainFS checkpoint.FS
+	// ModelCacheSize bounds decoded models held in memory (default 8).
+	ModelCacheSize int
+	// ProgressiveChunks is the default chunk count for progressive
+	// reconstruction streams (default 8).
+	ProgressiveChunks int
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +166,12 @@ func (c Config) withDefaults() Config {
 	if c.Tracer == nil {
 		c.Tracer = trace.Default()
 	}
+	if c.ModelCacheSize <= 0 {
+		c.ModelCacheSize = 8
+	}
+	if c.ProgressiveChunks <= 0 {
+		c.ProgressiveChunks = 8
+	}
 	return c
 }
 
@@ -151,6 +184,8 @@ type Server struct {
 	tracer  *trace.Tracer
 	plans   *planCache
 	clouds  *cloudStore
+	models  *jobs.ModelStore
+	jobs    *jobs.Manager
 	cluster *cluster.Cluster
 	mux     *http.ServeMux
 
@@ -182,6 +217,33 @@ func New(cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		queue:   make(chan struct{}, cfg.MaxQueue),
 	}
+	// The model store always exists (reconstruct-by-model_id and model
+	// replication work standalone); it only gains a durable tier when a
+	// jobs directory is configured.
+	modelDir := ""
+	if cfg.JobsDir != "" {
+		modelDir = filepath.Join(cfg.JobsDir, "models")
+	}
+	models, err := jobs.NewModelStore(modelDir, cfg.ModelCacheSize, cfg.Telemetry)
+	if err != nil {
+		return nil, err
+	}
+	s.models = models
+	if cfg.JobsDir != "" {
+		jm, err := jobs.New(jobs.Config{
+			Dir:             filepath.Join(cfg.JobsDir, "jobs"),
+			Workers:         cfg.TrainWorkers,
+			Queue:           cfg.TrainQueue,
+			CheckpointEvery: cfg.TrainCheckpointEvery,
+			Models:          models,
+			FS:              cfg.TrainFS,
+			Telemetry:       cfg.Telemetry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = jm
+	}
 	// Serving without traces is flying blind: turn the tracer on and
 	// bridge the engine's telemetry spans into it so every request tree
 	// includes plan build, cache, and execute stages.
@@ -198,6 +260,10 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/reconstruct", s.instrument("reconstruct", s.handleReconstruct))
 	mux.HandleFunc("POST /v1/clouds", s.instrument("clouds", s.handleClouds))
+	mux.HandleFunc("POST /v1/train", s.instrument("train", s.handleTrain))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs", s.handleJobCancel))
+	mux.HandleFunc("GET /v1/models/{id}", s.instrument("models", s.handleModelGet))
 	mux.HandleFunc("GET /v1/methods", s.instrument("methods", s.handleMethods))
 	mux.HandleFunc("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -251,24 +317,40 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown gracefully stops the server: the listener closes so no new
-// requests are admitted, then in-flight reconstructions drain (bounded
-// by ctx) before Shutdown returns.
+// Shutdown gracefully stops the server. Training jobs stop first —
+// each running job cancels at its next epoch boundary, writes a final
+// checkpoint, and persists as interrupted so the next process resumes
+// it — then the listener closes and in-flight reconstructions drain
+// (bounded by ctx).
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopSampler()
+	if s.jobs != nil {
+		if err := s.jobs.Close(ctx); err != nil {
+			telemetry.Warnf("training jobs did not drain", "err", err)
+		}
+	}
 	if s.httpSrv == nil {
 		return nil
 	}
-	s.stopSampler()
 	telemetry.Infof("fillvoid server draining", "in_flight", s.inFlight.Load())
 	return s.httpSrv.Shutdown(ctx)
 }
 
 // Close stops the server immediately, abandoning in-flight requests.
+// Running training jobs still get a short grace to checkpoint — losing
+// at most an epoch of work, like the crash Close simulates.
 func (s *Server) Close() error {
+	s.stopSampler()
+	if s.jobs != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.jobs.Close(ctx); err != nil {
+			telemetry.Warnf("training jobs did not stop before close", "err", err)
+		}
+		cancel()
+	}
 	if s.httpSrv == nil {
 		return nil
 	}
-	s.stopSampler()
 	return s.httpSrv.Close()
 }
 
@@ -293,6 +375,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the underlying writer so progressive NDJSON chunks
+// reach the client as they complete instead of buffering to the end.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // setCacheNote records a cache outcome ("hit"/"miss") on the request,
@@ -515,9 +605,9 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req, "request") {
 		return
 	}
-	m, err := s.reg.Get(req.Method)
+	m, method, status, err := s.resolveMethod(ctx, &req, r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, status, "%v", err)
 		return
 	}
 	if req.Quant != "" {
@@ -528,7 +618,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 			WithQuant(string) (recon.Reconstructor, error)
 		})
 		if !ok {
-			s.writeError(w, http.StatusBadRequest, "method %q does not support quantized inference", req.Method)
+			s.writeError(w, http.StatusBadRequest, "method %q does not support quantized inference", method)
 			return
 		}
 		if m, err = qm.WithQuant(req.Quant); err != nil {
@@ -560,12 +650,19 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Progressive && region.IsPoints() {
+		s.writeError(w, http.StatusBadRequest, "progressive responses need a box or full-grid region, not points")
+		return
+	}
 	key := recon.PlanKey{Cloud: hash, Spec: spec}
 
 	// Cluster routing applies to external queries only: internal
 	// sub-requests carry X-Fillvoid-Internal and always execute locally,
-	// which terminates the recursion.
-	if s.cluster != nil && !cluster.IsInternal(r) {
+	// which terminates the recursion. Progressive streams and stored-
+	// model queries also execute locally: a proxied stream would buffer
+	// at the coordinator, and peers are not guaranteed to hold the model
+	// (the model store pulls on demand instead).
+	if s.cluster != nil && !cluster.IsInternal(r) && !req.Progressive && req.ModelID == "" {
 		route, owner, width := s.cluster.Plan(key.Hash(), region)
 		switch route {
 		case cluster.RouteProxy:
@@ -607,6 +704,14 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	if req.Progressive {
+		// One admission slot covers the whole stream: chunks run
+		// sequentially, so the stream costs what one reconstruction
+		// costs, just delivered incrementally.
+		s.progressiveReconstruct(ctx, w, m, method, plan, spec, region, hash, &req)
+		return
+	}
+
 	start := time.Now()
 	vol, err := recon.Reconstruct(ctx, m, plan, region)
 	if err != nil {
@@ -626,7 +731,7 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	}
 	s.tel.Counter("server.reconstruct.points").Add(int64(region.Len()))
 	s.writeJSON(w, http.StatusOK, &ReconstructResponse{
-		Method:     req.Method,
+		Method:     method,
 		Dims:       [3]int{vol.NX, vol.NY, vol.NZ},
 		Origin:     [3]float64{vol.Origin.X, vol.Origin.Y, vol.Origin.Z},
 		Spacing:    [3]float64{vol.Spacing.X, vol.Spacing.Y, vol.Spacing.Z},
@@ -636,7 +741,55 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
 		Quant:      req.Quant,
 		Replica:    s.replicaID(),
+		ModelID:    req.ModelID,
 	})
+}
+
+// resolveMethod picks the reconstructor for a request: a stored model
+// when model_id is set (fetched from a peer on a local miss), else the
+// named registry method.
+func (s *Server) resolveMethod(ctx context.Context, req *ReconstructRequest, r *http.Request) (recon.Reconstructor, string, int, error) {
+	if req.ModelID == "" {
+		m, err := s.reg.Get(req.Method)
+		if err != nil {
+			return nil, "", http.StatusBadRequest, err
+		}
+		return m, req.Method, 0, nil
+	}
+	if req.Method != "" && req.Method != "fcnn" {
+		return nil, "", http.StatusBadRequest,
+			fmt.Errorf("model_id selects a stored fcnn model; method must be empty or \"fcnn\", not %q", req.Method)
+	}
+	m, err := s.getModel(ctx, req.ModelID, r)
+	if err != nil {
+		if errors.Is(err, jobs.ErrModelNotFound) {
+			return nil, "", http.StatusNotFound,
+				fmt.Errorf("model %s not in store (train via /v1/train)", req.ModelID)
+		}
+		return nil, "", http.StatusInternalServerError, err
+	}
+	return m, "fcnn", 0, nil
+}
+
+// getModel resolves a model id locally, pulling from cluster peers on a
+// miss (the fetched bytes are cached, so the next query is local).
+func (s *Server) getModel(ctx context.Context, id string, r *http.Request) (recon.Reconstructor, error) {
+	m, err := s.models.Get(id)
+	if err == nil {
+		return m, nil
+	}
+	if !errors.Is(err, jobs.ErrModelNotFound) || s.cluster == nil || cluster.IsInternal(r) || !jobs.ValidID(id) {
+		return nil, err
+	}
+	status, body, found := s.cluster.QueryPeers(ctx, http.MethodGet, "/v1/models/"+id)
+	if !found || status != http.StatusOK {
+		return nil, err
+	}
+	if _, perr := s.models.PutBytes(body); perr != nil {
+		telemetry.Warnf("peer model fetch returned invalid bytes", "model", id, "err", perr)
+		return nil, err
+	}
+	return s.models.Get(id)
 }
 
 // replicaID names this replica in clustered responses; empty (and
@@ -755,11 +908,17 @@ func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, &HealthResponse{
+	resp := &HealthResponse{
 		Status:   "ok",
 		InFlight: s.inFlight.Load(),
 		Queued:   s.queued.Load(),
 		Plans:    s.plans.len(),
 		Clouds:   s.clouds.len(),
-	})
+		Models:   s.models.Len(),
+		Training: s.jobs != nil,
+	}
+	if s.jobs != nil {
+		resp.JobsQueued, resp.JobsRunning = s.jobs.Depth()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }

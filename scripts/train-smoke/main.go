@@ -1,0 +1,439 @@
+// Command train-smoke is the `make train-smoke` driver: it exercises
+// the async training service end-to-end against a real fillvoid binary.
+// A reference server trains a fixed-seed job to completion and records
+// the content-addressed model id; a second server starts the same job
+// in a fresh jobs directory, gets SIGTERMed mid-training, and a third
+// server on that directory must resume from the last checkpoint and
+// finish with the *same* model id — the bit-identity proof that crash
+// recovery changes nothing. Finally the model is used in a
+// /v1/reconstruct by model_id. Any failure exits non-zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// trainReq is the shared fixed-seed job spec. Epochs is high enough
+// that the interrupt run reliably catches the job mid-flight; the tiny
+// network keeps each epoch fast so the whole smoke stays in seconds.
+var trainReq = map[string]any{
+	"field": "pressure",
+	"grid": map[string]any{
+		"dims":    [3]int{16, 16, 8},
+		"spacing": [3]float64{1.0 / 15, 1.0 / 15, 1.0 / 7},
+	},
+	"sampler":          "importance",
+	"sampler_seed":     3,
+	"epochs":           400,
+	"hidden":           []int{24, 12},
+	"train_fractions":  []float64{0.05},
+	"max_train_rows":   1500,
+	"batch_size":       64,
+	"workers":          2,
+	"seed":             5,
+	"checkpoint_every": 4,
+}
+
+func main() {
+	bin := flag.String("bin", "./fillvoid", "fillvoid binary to exercise")
+	flag.Parse()
+	if err := run(*bin); err != nil {
+		fmt.Fprintf(os.Stderr, "train-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("train-smoke: PASS")
+}
+
+func run(bin string) error {
+	refDir, err := os.MkdirTemp("", "train-smoke-ref-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(refDir)
+	jobsDir, err := os.MkdirTemp("", "train-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(jobsDir)
+
+	// Reference: train the job to completion uninterrupted.
+	ref, err := startServe(bin, refDir)
+	if err != nil {
+		return err
+	}
+	defer ref.kill()
+	cloudID, err := uploadCloud(ref.base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("train-smoke: uploaded cloud %s\n", cloudID)
+	jobID, err := submitJob(ref.base, cloudID)
+	if err != nil {
+		return err
+	}
+	refStatus, err := waitState(ref.base, jobID, "done", 120*time.Second)
+	if err != nil {
+		return fmt.Errorf("reference job: %w", err)
+	}
+	if refStatus.ModelID == "" {
+		return fmt.Errorf("reference job finished without a model id: %+v", refStatus)
+	}
+	fmt.Printf("train-smoke: reference job done, model %s\n", refStatus.ModelID)
+	if err := ref.stop(); err != nil {
+		return err
+	}
+
+	// Interrupt run: same spec in a fresh jobs dir, SIGTERM mid-job.
+	s2, err := startServe(bin, jobsDir)
+	if err != nil {
+		return err
+	}
+	defer s2.kill()
+	cloudID2, err := uploadCloud(s2.base)
+	if err != nil {
+		return err
+	}
+	if cloudID2 != cloudID {
+		return fmt.Errorf("cloud id drifted across servers: %s vs %s", cloudID2, cloudID)
+	}
+	jobID2, err := submitJob(s2.base, cloudID)
+	if err != nil {
+		return err
+	}
+	if jobID2 != jobID {
+		return fmt.Errorf("job id drifted for identical spec: %s vs %s", jobID2, jobID)
+	}
+	// Wait until at least two checkpoints exist, then pull the plug.
+	if _, err := waitEpoch(s2.base, jobID, 8, 60*time.Second); err != nil {
+		return fmt.Errorf("waiting for mid-job progress: %w", err)
+	}
+	fmt.Println("train-smoke: job mid-flight, sending SIGTERM")
+	if err := s2.stop(); err != nil {
+		return err
+	}
+
+	// Restart on the same jobs dir: the job must resume and finish with
+	// the reference model id.
+	s3, err := startServe(bin, jobsDir)
+	if err != nil {
+		return err
+	}
+	defer s3.kill()
+	resumed, err := waitState(s3.base, jobID, "done", 120*time.Second)
+	if err != nil {
+		return fmt.Errorf("resumed job: %w", err)
+	}
+	if resumed.Resumes < 1 {
+		return fmt.Errorf("job finished without resuming (resumes=%d)", resumed.Resumes)
+	}
+	if resumed.ModelID != refStatus.ModelID {
+		return fmt.Errorf("resumed model %s != reference %s (resume broke bit-identity)",
+			resumed.ModelID, refStatus.ModelID)
+	}
+	fmt.Printf("train-smoke: resumed after %d restart(s), model bit-identical\n", resumed.Resumes)
+
+	// The trained model serves reconstructions by model_id. The cloud
+	// store is an in-memory LRU, so the restarted server needs the
+	// query cloud re-uploaded first.
+	if _, err := uploadCloud(s3.base); err != nil {
+		return err
+	}
+	if err := reconstructByModel(s3.base, cloudID, resumed.ModelID); err != nil {
+		return err
+	}
+	fmt.Println("train-smoke: reconstruct by model_id ok")
+	return s3.stop()
+}
+
+// serveProc wraps one running `fillvoid serve -jobs-dir ...` child.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func startServe(bin, jobsDir string) (*serveProc, error) {
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0",
+		"-jobs-dir", jobsDir, "-train-checkpoint-every", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s serve: %w", bin, err)
+	}
+	base, err := scanAddr(stdout)
+	if err != nil {
+		//lint:allow errdrop: best-effort kill of a child that never printed its banner
+		cmd.Process.Kill()
+		return nil, err
+	}
+	//lint:allow rawgoroutine: child-stdout drain; exits when the pipe closes with the process
+	go io.Copy(io.Discard, stdout)
+	if err := waitHealthy(base, 5*time.Second); err != nil {
+		//lint:allow errdrop: best-effort kill of a child that never became healthy
+		cmd.Process.Kill()
+		return nil, err
+	}
+	return &serveProc{cmd: cmd, base: base}, nil
+}
+
+// stop SIGTERMs the child and waits for a clean exit.
+func (p *serveProc) stop() error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	//lint:allow rawgoroutine: process waiter feeding the SIGTERM-timeout select; exits with the child
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("serve exited uncleanly after SIGTERM: %w", err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("serve did not exit within 30s of SIGTERM")
+	}
+}
+
+// kill is the deferred safety net; harmless after a clean stop.
+func (p *serveProc) kill() {
+	//lint:allow errdrop: deferred safety-net kill; already-exited children error harmlessly
+	p.cmd.Process.Kill()
+}
+
+// scanAddr extracts the listen address from the serve banner line
+// ("fillvoid serve: listening on http://127.0.0.1:PORT ...").
+func scanAddr(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	//lint:allow rawgoroutine: banner scanner bounded by the deadline select; exits when the pipe closes
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return "", fmt.Errorf("serve exited before printing its address")
+			}
+			if i := strings.Index(line, "http://"); i >= 0 {
+				addr := line[i:]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				return addr, nil
+			}
+		case <-deadline:
+			return "", fmt.Errorf("timed out waiting for the serve banner")
+		}
+	}
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			//lint:allow errdrop: best-effort close of a health-poll response body
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not healthy within %s: %v", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// uploadCloud pushes the full 16x16x8 lattice of a synthetic pressure
+// field — the training service requires one value per grid node.
+func uploadCloud(base string) (string, error) {
+	cloud := map[string]any{"name": "pressure"}
+	var pts [][3]float64
+	var vals []float64
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 16; j++ {
+			for i := 0; i < 16; i++ {
+				x := float64(i) / 15
+				y := float64(j) / 15
+				z := float64(k) / 7
+				pts = append(pts, [3]float64{x, y, z})
+				vals = append(vals, math.Sin(3*x)*math.Cos(2*y)+z*z)
+			}
+		}
+	}
+	cloud["points"], cloud["values"] = pts, vals
+	var resp struct {
+		CloudID string `json:"cloud_id"`
+		Points  int    `json:"points"`
+	}
+	if err := postJSON(base+"/v1/clouds", cloud, http.StatusOK, &resp); err != nil {
+		return "", fmt.Errorf("uploading cloud: %w", err)
+	}
+	if resp.CloudID == "" || resp.Points != 16*16*8 {
+		return "", fmt.Errorf("bad upload response: %+v", resp)
+	}
+	return resp.CloudID, nil
+}
+
+func submitJob(base, cloudID string) (string, error) {
+	req := map[string]any{"cloud_id": cloudID}
+	for k, v := range trainReq {
+		req[k] = v
+	}
+	var resp struct {
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+	}
+	// First submission answers 202; an idempotent re-POST of a finished
+	// or queued spec answers 200 — both are fine here.
+	if err := postJSON(base+"/v1/train", req, 0, &resp); err != nil {
+		return "", fmt.Errorf("submitting job: %w", err)
+	}
+	if resp.JobID == "" {
+		return "", fmt.Errorf("train response carried no job id: %+v", resp)
+	}
+	return resp.JobID, nil
+}
+
+type jobStatus struct {
+	State   string  `json:"state"`
+	Epoch   int     `json:"epoch"`
+	Loss    float64 `json:"loss"`
+	ModelID string  `json:"model_id"`
+	Error   string  `json:"error"`
+	Resumes int     `json:"resumes"`
+}
+
+func getStatus(base, jobID string) (jobStatus, error) {
+	var st jobStatus
+	resp, err := http.Get(base + "/v1/jobs/" + jobID)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("job status: %d %s", resp.StatusCode, body)
+	}
+	return st, json.Unmarshal(body, &st)
+}
+
+// waitState polls until the job reaches want (a terminal mismatch is an
+// immediate failure).
+func waitState(base, jobID, want string, timeout time.Duration) (jobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := getStatus(base, jobID)
+		if err != nil {
+			return st, err
+		}
+		if st.State == want {
+			return st, nil
+		}
+		switch st.State {
+		case "failed", "cancelled":
+			return st, fmt.Errorf("job reached %s (%s), want %s", st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job stuck in %s (epoch %d) after %s", st.State, st.Epoch, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// waitEpoch polls until the running job reports at least epoch n.
+func waitEpoch(base, jobID string, n int, timeout time.Duration) (jobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := getStatus(base, jobID)
+		if err != nil {
+			return st, err
+		}
+		if st.Epoch >= n {
+			return st, nil
+		}
+		if st.State != "queued" && st.State != "running" {
+			return st, fmt.Errorf("job reached %s at epoch %d, before epoch %d", st.State, st.Epoch, n)
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job at epoch %d (< %d) after %s", st.Epoch, n, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func reconstructByModel(base, cloudID, modelID string) error {
+	req := map[string]any{
+		"cloud_id": cloudID,
+		"model_id": modelID,
+		"grid":     trainReq["grid"],
+		"region":   map[string]any{"box": [6]int{4, 4, 2, 12, 12, 6}},
+	}
+	var resp struct {
+		Method  string    `json:"method"`
+		ModelID string    `json:"model_id"`
+		Values  []float64 `json:"values"`
+	}
+	if err := postJSON(base+"/v1/reconstruct", req, http.StatusOK, &resp); err != nil {
+		return fmt.Errorf("reconstruct by model_id: %w", err)
+	}
+	if resp.Method != "fcnn" || resp.ModelID != modelID {
+		return fmt.Errorf("reconstruct answered method=%q model=%q, want fcnn/%s", resp.Method, resp.ModelID, modelID)
+	}
+	if n := len(resp.Values); n != 8*8*4 {
+		return fmt.Errorf("reconstruct returned %d values, want %d", n, 8*8*4)
+	}
+	for i, v := range resp.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("reconstruct value %d is %v", i, v)
+		}
+	}
+	return nil
+}
+
+// postJSON posts body and decodes the response; wantCode 0 accepts any
+// 2xx status.
+func postJSON(url string, body any, wantCode int, into any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if wantCode == 0 && (resp.StatusCode < 200 || resp.StatusCode > 299) ||
+		wantCode != 0 && resp.StatusCode != wantCode {
+		return fmt.Errorf("%s: %d %s", url, resp.StatusCode, out)
+	}
+	return json.Unmarshal(out, into)
+}
