@@ -4,13 +4,14 @@
 // and serving paths depend on. See README "Static analysis".
 //
 // Exit status: 0 when clean (modulo annotations and baseline), 1 when
-// there are findings, 2 when the module cannot be loaded or
-// type-checked.
+// there are findings or the -max-wall budget is exceeded, 2 when the
+// module cannot be loaded or type-checked.
 //
 // Usage:
 //
-//	fillvoid-lint [-dir .] [-checks a,b,...] [-json] [-baseline file]
-//	              [-write-baseline] [-list]
+//	fillvoid-lint [-dir .] [-checks a,b,...] [-json | -sarif]
+//	              [-baseline file] [-write-baseline] [-max-wall 30s]
+//	              [-list]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"fillvoid/internal/analysis"
 )
@@ -34,24 +36,36 @@ type report struct {
 	Findings      []analysis.Finding `json:"findings"`
 	Grandfathered int                `json:"grandfathered"`
 	Stale         []string           `json:"stale_baseline_entries,omitempty"`
+	// Wall-clock accounting, for the CI timing guard: total run time
+	// and its two dominant phases (parse+type-check, then analysis).
+	ElapsedMS int64 `json:"elapsed_ms"`
+	LoadMS    int64 `json:"load_ms"`
+	AnalyzeMS int64 `json:"analyze_ms"`
 }
 
 func run(args []string) int {
+	start := time.Now()
 	fs := flag.NewFlagSet("fillvoid-lint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	dir := fs.String("dir", ".", "directory inside the module to lint (the whole module is analyzed)")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all; see -list)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report on stdout instead of text lines")
+	sarifOut := fs.Bool("sarif", false, "emit a SARIF 2.1.0 log on stdout (for code-review upload)")
 	baselinePath := fs.String("baseline", "", "baseline file of grandfathered findings (missing file = empty baseline)")
 	writeBaseline := fs.Bool("write-baseline", false, "write current findings to -baseline and exit 0 (adopting the gate)")
+	maxWall := fs.Duration("max-wall", 0, "fail (exit 1) when the whole run takes longer than this (0 = no budget)")
 	list := fs.Bool("list", false, "list the registered checks and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "fillvoid-lint: typed static analysis for the fillvoid repo\n\n")
 		fmt.Fprintf(os.Stderr, "usage: fillvoid-lint [flags]\n\nflags:\n")
 		fs.PrintDefaults()
-		fmt.Fprintf(os.Stderr, "\nFindings print as file:line:col: [check] message. Suppress one finding\nwith an audited annotation on (or directly above) the offending line:\n\n\t//lint:allow <check>: <reason>\n\nexit status: 0 clean, 1 findings, 2 load/type-check failure\n")
+		fmt.Fprintf(os.Stderr, "\nFindings print as file:line:col: [check] message. Suppress one finding\nwith an audited annotation on (or directly above) the offending line:\n\n\t//lint:allow <check>: <reason>\n\n-json adds elapsed_ms/load_ms/analyze_ms for the CI timing guard;\n-sarif emits the same findings as a SARIF 2.1.0 log for upload.\nWith the staleallow check selected, baseline entries that no longer\nmatch any finding are themselves reported as staleallow findings.\n\nexit status: 0 clean, 1 findings or -max-wall exceeded, 2 load/type-check failure\n")
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: -json and -sarif are mutually exclusive\n")
 		return 2
 	}
 
@@ -90,8 +104,10 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
 		return 2
 	}
+	loadDone := time.Now()
 
 	findings := suite.Run(loader.Fset, pkgs, root)
+	analyzeDone := time.Now()
 
 	if *writeBaseline {
 		if err := analysis.WriteBaseline(*baselinePath, findings); err != nil {
@@ -100,6 +116,13 @@ func run(args []string) int {
 		}
 		fmt.Fprintf(os.Stderr, "fillvoid-lint: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
 		return 0
+	}
+
+	staleSelected := false
+	for _, name := range suite.Names() {
+		if name == "staleallow" {
+			staleSelected = true
+		}
 	}
 
 	grandfathered := 0
@@ -111,14 +134,45 @@ func run(args []string) int {
 			return 2
 		}
 		findings, grandfathered, stale = bl.Filter(findings)
+		if n := len(bl.Entries); n > 0 {
+			// The baseline exists to shrink: every entry is a finding the
+			// gate is not enforcing yet. Surface that on every run.
+			fmt.Fprintf(os.Stderr, "fillvoid-lint: warning: baseline grandfathers %d finding(s); burn it down to empty\n", n)
+		}
+		if staleSelected {
+			// The suite-level staleallow check covers //lint:allow
+			// directives; the CLI extends it to the baseline, which the
+			// suite never sees: an entry that filtered nothing is the same
+			// rot one file over.
+			for _, e := range stale {
+				findings = append(findings, analysis.Finding{
+					Check:   "staleallow",
+					File:    e.File,
+					Line:    1,
+					Col:     1,
+					Message: fmt.Sprintf("baseline entry [%s] %q no longer matches any finding; delete it from the baseline", e.Check, e.Message),
+				})
+			}
+			stale = nil
+		}
 	}
 
-	if *jsonOut {
+	elapsed := time.Since(start)
+	switch {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(os.Stdout, suite, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		rep := report{
 			Module:        loader.ModulePath,
 			Checks:        suite.Names(),
 			Findings:      findings,
 			Grandfathered: grandfathered,
+			ElapsedMS:     elapsed.Milliseconds(),
+			LoadMS:        loadDone.Sub(start).Milliseconds(),
+			AnalyzeMS:     analyzeDone.Sub(loadDone).Milliseconds(),
 		}
 		if rep.Findings == nil {
 			rep.Findings = []analysis.Finding{}
@@ -132,15 +186,20 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "fillvoid-lint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(os.Stdout, f.String())
 		}
 		for _, e := range stale {
 			fmt.Fprintf(os.Stderr, "fillvoid-lint: stale baseline entry (finding fixed — delete it): %s [%s] %s\n", e.File, e.Check, e.Message)
 		}
-		fmt.Fprintf(os.Stderr, "fillvoid-lint: %d package(s), %d check(s), %d finding(s), %d grandfathered\n",
-			len(pkgs), len(suite.Analyzers), len(findings), grandfathered)
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: %d package(s), %d check(s), %d finding(s), %d grandfathered in %s\n",
+			len(pkgs), len(suite.Analyzers), len(findings), grandfathered, elapsed.Round(time.Millisecond))
+	}
+	if *maxWall > 0 && elapsed > *maxWall {
+		fmt.Fprintf(os.Stderr, "fillvoid-lint: run took %s, over the -max-wall budget of %s\n",
+			elapsed.Round(time.Millisecond), *maxWall)
+		return 1
 	}
 	if len(findings) > 0 {
 		return 1

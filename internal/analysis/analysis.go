@@ -66,6 +66,10 @@ type Pass struct {
 	Check string
 	Fset  *token.FileSet
 	Pkg   *Package
+	// Prog is the whole-run interprocedural context (call graph and
+	// function-summary caches) shared by every pass of a Suite.Run. The
+	// dataflow checks resolve cross-function facts through it.
+	Prog *Program
 
 	findings *[]Finding
 	relRoot  string
@@ -111,6 +115,12 @@ type Analyzer struct {
 // packages.
 type Suite struct {
 	Analyzers []*Analyzer
+	// registry lists every check name the full suite knows, even when
+	// this is a Select sub-suite. //lint:allow directives are validated
+	// against the registry, not the selected subset, so a partial run
+	// (-checks a,b) never misreads an annotation for an unselected
+	// check as unknown.
+	registry []string
 }
 
 // Names returns the analyzer names in registration order.
@@ -129,7 +139,7 @@ func (s *Suite) Select(names []string) (*Suite, error) {
 	for _, a := range s.Analyzers {
 		byName[a.Name] = a
 	}
-	out := &Suite{}
+	out := &Suite{registry: s.knownChecks()}
 	for _, n := range names {
 		n = strings.TrimSpace(n)
 		if n == "" {
@@ -155,12 +165,14 @@ func (s *Suite) Select(names []string) (*Suite, error) {
 // name "lint".
 func (s *Suite) Run(fset *token.FileSet, pkgs []*Package, relRoot string) []Finding {
 	var findings []Finding
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range s.Analyzers {
 			pass := &Pass{
 				Check:    a.Name,
 				Fset:     fset,
 				Pkg:      pkg,
+				Prog:     prog,
 				findings: &findings,
 				relRoot:  relRoot,
 			}
@@ -168,9 +180,10 @@ func (s *Suite) Run(fset *token.FileSet, pkgs []*Package, relRoot string) []Find
 		}
 	}
 
-	allows, bad := collectAllows(fset, pkgs, s.Names())
+	allows, bad := collectAllows(fset, pkgs, s.knownChecks())
 	findings = append(findings, relocate(bad, relRoot)...)
 	findings = suppress(findings, allows, fset, relRoot)
+	findings = append(findings, s.staleAllows(allows, relRoot)...)
 
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -186,6 +199,59 @@ func (s *Suite) Run(fset *token.FileSet, pkgs []*Package, relRoot string) []Find
 		return a.Check < b.Check
 	})
 	return findings
+}
+
+// knownChecks returns the names //lint:allow directives may reference:
+// the full registry when this is a Select sub-suite, the analyzer
+// names otherwise.
+func (s *Suite) knownChecks() []string {
+	if len(s.registry) > 0 {
+		return s.registry
+	}
+	return s.Names()
+}
+
+// staleAllows implements the suite-level half of the staleallow check:
+// after suppression has marked every directive that matched a finding,
+// any directive for a check that actually ran in this suite and still
+// suppressed nothing is dead weight — the finding it was written for
+// has been fixed (or the annotation drifted off its line), and keeping
+// it would silently swallow a future regression. Only runs when the
+// "staleallow" analyzer is selected, and only judges directives for
+// selected checks, so partial runs (-checks a,b) never call a live
+// directive stale. Stale-allow findings are themselves not
+// //lint:allow-suppressible — an allow for a dead allow is two layers
+// of rot — but the baseline can grandfather them.
+func (s *Suite) staleAllows(allows allowIndex, relRoot string) []Finding {
+	selected := false
+	ran := make(map[string]bool, len(s.Analyzers))
+	for _, a := range s.Analyzers {
+		ran[a.Name] = true
+		if a.Name == "staleallow" {
+			selected = true
+		}
+	}
+	if !selected {
+		return nil
+	}
+	var out []Finding
+	for _, byLine := range allows {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if d.used || !ran[d.check] {
+					continue
+				}
+				out = append(out, Finding{
+					Check:   "staleallow",
+					File:    d.file,
+					Line:    d.line,
+					Col:     1,
+					Message: fmt.Sprintf("//lint:allow %s directive suppresses nothing — the finding it was written for is gone; delete the annotation", d.check),
+				})
+			}
+		}
+	}
+	return relocate(out, relRoot)
 }
 
 // relocate rewrites absolute finding paths relative to root.

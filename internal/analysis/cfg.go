@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// This file builds per-function control-flow graphs directly from the
+// AST — no SSA. A block's instruction list interleaves statements with
+// the condition expressions evaluated on entry to branches, so a
+// forward transfer function sees `if n > max` as an instruction and
+// can kill taint facts at the comparison. Function literals are not
+// descended into: a closure body runs at an unknown time on an unknown
+// goroutine, so its facts do not belong in the enclosing flow.
+
+// cfgBlock is one basic block: straight-line instructions plus edges
+// to every possible successor.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+	// selectComms maps each comm-clause statement (the SendStmt or the
+	// receive in `case v := <-ch:`) to its enclosing select. Checks
+	// that classify blocking operations consult it so a comm op is
+	// attributed to the select (which may have a default clause and
+	// therefore not block), not misread as a bare send/receive.
+	selectComms map[ast.Node]*ast.SelectStmt
+}
+
+// branchTarget is one entry of the break/continue resolution stacks.
+type branchTarget struct {
+	label  string
+	target *cfgBlock
+}
+
+type cfgBuilder struct {
+	g            *funcCFG
+	cur          *cfgBlock
+	breaks       []branchTarget
+	continues    []branchTarget
+	pendingLabel string
+}
+
+// buildCFG constructs the CFG for a function body. The graph
+// over-approximates: loops always have an exit edge, gotos terminate
+// their block, and unreachable code keeps empty-fact blocks — all safe
+// directions for may-analyses.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{selectComms: make(map[ast.Node]*ast.SelectStmt)}}
+	b.cur = b.newBlock()
+	b.g.entry = b.cur
+	b.stmtList(body.List)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func link(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// add appends an instruction to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the label recorded by the enclosing LabeledStmt,
+// so it attaches to exactly the loop or switch it names.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = b.newBlock() // dead block for anything following
+	default:
+		// Straight-line statements (assignments, calls, sends, go,
+		// defer, declarations) are single instructions.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+
+	b.cur = b.newBlock()
+	link(cond, b.cur)
+	b.stmt(s.Body)
+	link(b.cur, after)
+
+	if s.Else != nil {
+		b.cur = b.newBlock()
+		link(cond, b.cur)
+		b.stmt(s.Else)
+		link(b.cur, after)
+	} else {
+		link(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	link(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	link(head, after)
+
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+
+	b.cur = b.newBlock()
+	link(head, b.cur)
+	b.pushTargets(label, after, post)
+	b.stmt(s.Body)
+	b.popTargets()
+	link(b.cur, post)
+	if s.Post != nil {
+		b.cur = post
+		b.add(s.Post)
+		link(b.cur, head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	link(b.cur, head)
+	b.cur = head
+	b.add(s) // the range header: X evaluation + key/value binding
+	after := b.newBlock()
+	link(head, after)
+
+	b.cur = b.newBlock()
+	link(head, b.cur)
+	b.pushTargets(label, after, head)
+	b.stmt(s.Body)
+	b.popTargets()
+	link(b.cur, head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	tag := b.cur
+	after := b.newBlock()
+	b.buildClauses(label, tag, after, s.Body.List, func(clause ast.Stmt) []ast.Stmt {
+		cc := clause.(*ast.CaseClause)
+		return cc.Body
+	})
+	b.cur = after
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	tag := b.cur
+	after := b.newBlock()
+	b.buildClauses(label, tag, after, s.Body.List, func(clause ast.Stmt) []ast.Stmt {
+		cc := clause.(*ast.CaseClause)
+		return cc.Body
+	})
+	b.cur = after
+}
+
+// buildClauses builds one block per case clause, all branching from
+// tag and joining at after, with fallthrough edges between adjacent
+// clause blocks. A switch with no default also has a tag→after edge.
+func (b *cfgBuilder) buildClauses(label string, tag, after *cfgBlock, clauses []ast.Stmt, bodyOf func(ast.Stmt) []ast.Stmt) {
+	hasDefault := false
+	var clauseBlocks []*cfgBlock
+	var clauseEnds []*cfgBlock
+	for _, clause := range clauses {
+		if cc, ok := clause.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		link(tag, blk)
+		b.cur = blk
+		b.pushTargets(label, after, nil)
+		b.stmtList(bodyOf(clause))
+		b.popTargets()
+		link(b.cur, after)
+		clauseBlocks = append(clauseBlocks, blk)
+		clauseEnds = append(clauseEnds, b.cur)
+	}
+	// Fallthrough over-approximation: link each clause end to the next
+	// clause head. Precise fallthrough tracking buys nothing for
+	// may-analyses, and the spurious edge only widens facts.
+	for i := 0; i+1 < len(clauseEnds); i++ {
+		link(clauseEnds[i], clauseBlocks[i+1])
+	}
+	if !hasDefault {
+		link(tag, after)
+	}
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	b.add(s) // the select itself is the (possibly) blocking instruction
+	head := b.cur
+	after := b.newBlock()
+	for _, clause := range s.Body.List {
+		cc := clause.(*ast.CommClause)
+		blk := b.newBlock()
+		link(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.g.selectComms[cc.Comm] = s
+			b.add(cc.Comm)
+		}
+		b.pushTargets(label, after, nil)
+		b.stmtList(cc.Body)
+		b.popTargets()
+		link(b.cur, after)
+	}
+	if len(s.Body.List) == 0 {
+		link(head, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := resolve(b.breaks, label); t != nil {
+			link(b.cur, t)
+		}
+	case "continue":
+		if t := resolve(b.continues, label); t != nil {
+			link(b.cur, t)
+		}
+	case "fallthrough":
+		return // edge added by buildClauses; block continues below
+	case "goto":
+		// No label-resolution pass; the block just ends. Facts flowing
+		// through a goto are lost, which under-approximates — accepted,
+		// the repo has no gotos in analyzed code.
+	}
+	b.cur = b.newBlock() // code after an unconditional branch is dead
+}
+
+// pushTargets enters a breakable construct. cont is nil for switches
+// and selects (continue passes through to the enclosing loop).
+func (b *cfgBuilder) pushTargets(label string, brk, cont *cfgBlock) {
+	b.breaks = append(b.breaks, branchTarget{label: label, target: brk})
+	if cont != nil {
+		b.continues = append(b.continues, branchTarget{label: label, target: cont})
+	} else {
+		b.continues = append(b.continues, branchTarget{label: "\x00none", target: nil})
+	}
+}
+
+func (b *cfgBuilder) popTargets() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// resolve finds the innermost matching branch target: the nearest one
+// for an unlabeled branch, the one with the matching label otherwise.
+func resolve(stack []branchTarget, label string) *cfgBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		t := stack[i]
+		if t.target == nil {
+			continue // switch/select placeholder on the continue stack
+		}
+		if label == "" || t.label == label {
+			return t.target
+		}
+	}
+	return nil
+}

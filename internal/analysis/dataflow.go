@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// facts is the lattice element of the forward dataflow engine: a map
+// from a variable to a bitmask of per-check facts (taint origin bits,
+// lock-held bits). Join is pointwise OR — the may-union — so every
+// transfer function built from gen (set bits) and kill (delete keys)
+// is monotone and the fixpoint terminates.
+type facts map[types.Object]uint64
+
+func (f facts) clone() facts {
+	out := make(facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto ORs src into dst, reporting whether dst changed.
+func (f facts) joinInto(src facts) bool {
+	changed := false
+	for k, v := range src {
+		if old, ok := f[k]; !ok || old|v != old {
+			f[k] = old | v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// transferFunc mutates f in place with the effect of executing n.
+type transferFunc func(n ast.Node, f facts)
+
+// visitFunc observes the facts holding immediately BEFORE n executes.
+type visitFunc func(n ast.Node, f facts)
+
+// maxDataflowPasses bounds worklist iterations per CFG as a backstop
+// against a non-monotone transfer bug; ordinary fixpoints converge in
+// a handful of passes.
+const maxDataflowPasses = 4096
+
+// forward runs transfer to fixpoint over the CFG and then replays each
+// block once, calling visit with the facts in force at every
+// instruction. Entry starts with init (may be nil = no facts).
+func (g *funcCFG) forward(init facts, transfer transferFunc, visit visitFunc) {
+	in := make(map[*cfgBlock]facts, len(g.blocks))
+	for _, blk := range g.blocks {
+		in[blk] = make(facts)
+	}
+	if init != nil {
+		in[g.entry].joinInto(init)
+	}
+
+	// Every block is seeded into the worklist (not just the entry):
+	// a block whose out-facts happen to equal its successors' current
+	// in-facts still has to run once so its own gens propagate.
+	work := make([]*cfgBlock, len(g.blocks))
+	copy(work, g.blocks)
+	queued := make(map[*cfgBlock]bool, len(g.blocks))
+	for _, blk := range g.blocks {
+		queued[blk] = true
+	}
+	for passes := 0; len(work) > 0 && passes < maxDataflowPasses; passes++ {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := in[blk].clone()
+		for _, n := range blk.nodes {
+			transfer(n, out)
+		}
+		for _, succ := range blk.succs {
+			if in[succ].joinInto(out) && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	if visit == nil {
+		return
+	}
+	for _, blk := range g.blocks {
+		f := in[blk].clone()
+		for _, n := range blk.nodes {
+			visit(n, f)
+			transfer(n, f)
+		}
+	}
+}
+
+// rootObj resolves the variable a fact should attach to: the object of
+// a plain identifier, or of the RIGHTMOST selector field for
+// `m.mu`-style expressions (facts key on the field, so two receivers'
+// locks of the same field conflate — acceptable for a lint, methods
+// rarely juggle two instances' locks). Index/star/paren expressions
+// unwrap to their base.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := info.ObjectOf(x); obj != nil {
+				return obj
+			}
+			return nil
+		case *ast.SelectorExpr:
+			if obj := info.ObjectOf(x.Sel); obj != nil {
+				return obj
+			}
+			return nil
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identsIn collects the object of every identifier mentioned in expr
+// (including through selectors), for gen/kill sets that need "any
+// variable this expression reads".
+func identsIn(info *types.Info, expr ast.Expr, visit func(types.Object)) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				visit(obj)
+			}
+		}
+		return true
+	})
+}

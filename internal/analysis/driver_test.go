@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Check: "errdrop", File: "internal/x/x.go", Line: 12, Col: 3, Message: "dropped"}
+	want := "internal/x/x.go:12:3: [errdrop] dropped"
+	if got := f.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSuiteSelect(t *testing.T) {
+	full := DefaultSuite()
+
+	sub, err := full.Select([]string{"errdrop", "lockheld"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(sub.Names(), ","); got != "errdrop,lockheld" {
+		t.Fatalf("selected %q", got)
+	}
+	// The sub-suite keeps the full registry, so //lint:allow directives
+	// for unselected checks stay valid in partial runs.
+	if got, want := len(sub.knownChecks()), len(full.Names()); got != want {
+		t.Fatalf("registry has %d checks, want %d", got, want)
+	}
+
+	if _, err := full.Select([]string{"nosuchcheck"}); err == nil {
+		t.Fatal("unknown check did not error")
+	}
+	if _, err := full.Select([]string{" ", ""}); err == nil {
+		t.Fatal("empty selection did not error")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	findings := []Finding{
+		{Check: "errdrop", File: "a.go", Line: 3, Col: 1, Message: "dropped"},
+		{Check: "errdrop", File: "a.go", Line: 9, Col: 1, Message: "dropped"},
+		{Check: "floateq", File: "b.go", Line: 5, Col: 2, Message: "compared"},
+	}
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (duplicates merged)", len(bl.Entries))
+	}
+
+	// The two a.go findings are grandfathered; the b.go entry matches
+	// nothing (stale); a new finding passes through.
+	current := []Finding{
+		findings[0], findings[1],
+		{Check: "ctxfirst", File: "c.go", Line: 1, Col: 1, Message: "ctx last"},
+	}
+	fresh, grandfathered, stale := bl.Filter(current)
+	if len(fresh) != 1 || fresh[0].Check != "ctxfirst" {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	if grandfathered != 2 {
+		t.Fatalf("grandfathered = %d, want 2", grandfathered)
+	}
+	if len(stale) != 1 || stale[0].File != "b.go" {
+		t.Fatalf("stale = %v", stale)
+	}
+
+	// A missing file is an empty baseline, not an error.
+	empty, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || len(empty.Entries) != 0 {
+		t.Fatalf("missing baseline: %v, %v", empty, err)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	suite := DefaultSuite()
+	findings := []Finding{
+		{Check: "lockheld", File: "internal/jobs/jobs.go", Line: 42, Col: 7, Message: "mu held across an fsync"},
+		{Check: "lint", File: "internal/x/x.go", Line: 0, Col: 0, Message: "malformed annotation"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, suite, findings); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, runs %d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "fillvoid-lint" {
+		t.Fatalf("driver name %q", run.Tool.Driver.Name)
+	}
+	rules := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, want := range append(suite.Names(), "lint") {
+		if !rules[want] {
+			t.Errorf("rule %q missing from driver", want)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "lockheld" ||
+		first.Locations[0].PhysicalLocation.ArtifactLocation.URI != "internal/jobs/jobs.go" ||
+		first.Locations[0].PhysicalLocation.Region.StartLine != 42 {
+		t.Fatalf("first result mangled: %+v", first)
+	}
+	// Line 0 findings are clamped to SARIF's 1-based minimum.
+	if got := run.Results[1].Locations[0].PhysicalLocation.Region.StartLine; got != 1 {
+		t.Fatalf("line-0 finding emitted startLine %d, want 1", got)
+	}
+}

@@ -116,6 +116,9 @@ func TestGoldenFixtures(t *testing.T) {
 		{"ctxfirst", func(string) *Analyzer { return CtxFirst() }},
 		{"floateq", func(p string) *Analyzer { return FloatEq([]string{p}) }},
 		{"errdrop", func(string) *Analyzer { return ErrDrop(nil) }},
+		{"taintalloc", func(p string) *Analyzer { return TaintAlloc([]string{p}) }},
+		{"lockheld", func(p string) *Analyzer { return LockHeld([]string{p}) }},
+		{"goroleak", func(p string) *Analyzer { return GoroLeak([]string{p}) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -153,6 +156,39 @@ func TestAllowSuppression(t *testing.T) {
 		if f.Check == "lint" && !strings.Contains(f.Message, "reason") {
 			t.Errorf("lint finding should demand a reason: %s", f.Message)
 		}
+	}
+}
+
+// TestStaleAllowGolden drives the suite-level staleallow detection.
+// The fixture needs a multi-check suite (a directive is stale only
+// relative to a check that ran) and a registry wider than the
+// selection (a known-but-unselected check's directive must survive),
+// so it cannot ride the single-analyzer golden table.
+func TestStaleAllowGolden(t *testing.T) {
+	l, src := fixtureLoader(t)
+	suite := &Suite{
+		Analyzers: []*Analyzer{ErrDrop(nil), StaleAllow()},
+		registry:  []string{"errdrop", "floateq", "staleallow"},
+	}
+	checkGolden(t, l, filepath.Join(src, "staleallow"), "fixture/staleallow", suite)
+}
+
+// TestStaleAllowUnselected proves partial runs never call a directive
+// stale: the same fixture with staleallow NOT selected yields no
+// findings at all.
+func TestStaleAllowUnselected(t *testing.T) {
+	l, src := fixtureLoader(t)
+	pkg, err := l.LoadDir(filepath.Join(src, "staleallow"), "fixture/staleallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := &Suite{
+		Analyzers: []*Analyzer{ErrDrop(nil)},
+		registry:  []string{"errdrop", "floateq", "staleallow"},
+	}
+	findings := suite.Run(l.Fset, []*Package{pkg}, l.ModuleRoot)
+	for _, f := range findings {
+		t.Errorf("unexpected finding without staleallow selected: %s", f)
 	}
 }
 

@@ -1,0 +1,394 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak reports goroutines that can park forever on an unbuffered
+// channel: the goroutine's only exit is a bare send or receive on a
+// channel made in the spawning function, and the spawning side either
+// never touches the channel or only touches it inside a select that
+// can abandon it (a deadline/ctx.Done branch). The classic shape is a
+// scanner goroutine feeding `lines <- sc.Text()` while the parent
+// selects between the line and a timeout — once the timeout fires the
+// goroutine is parked until process exit.
+//
+// A goroutine is exempt when its channel op sits in a select with a
+// second case or a default (it has an escape), when the parent's use
+// is an unconditional bare send/receive or a range (a committed
+// counterpart), or when the channel escapes to another function, since
+// then the other side is out of view. Bodies spawned via `go f(ch)`
+// resolve through a per-function park summary, so the two-hop spawn of
+// a declared worker is seen too. parallel.Fork's closure arguments are
+// goroutine bodies.
+func GoroLeak(scope []string) *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "no goroutine whose only exit is a bare unbuffered-channel op the spawner can abandon",
+		Run: func(pass *Pass) {
+			if !inScope(scope, pass.Pkg.Path) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				funcBodies(f, func(name string, body *ast.BlockStmt) {
+					checkGoroLeak(pass, name, body)
+				})
+			}
+		},
+	}
+}
+
+// parkSummary marks which channel-typed parameters a function
+// bare-sends or bare-receives on (its goroutine-exit channels when
+// spawned via `go f(ch)`).
+type parkSummary struct {
+	parks []bool
+}
+
+// parkSummaryOf computes (and caches) the park summary of a
+// module-local function.
+func (p *Program) parkSummaryOf(fn *types.Func) *parkSummary {
+	if s, ok := p.parkSums[fn]; ok {
+		return s
+	}
+	empty := &parkSummary{}
+	d, ok := p.declOf(fn)
+	if !ok || p.parkActive[fn] {
+		return empty
+	}
+	p.parkActive[fn] = true
+	defer delete(p.parkActive, fn)
+
+	var params []types.Object
+	for _, field := range d.decl.Type.Params.List {
+		for _, name := range field.Names {
+			params = append(params, d.pkg.Info.ObjectOf(name))
+		}
+		if len(field.Names) == 0 {
+			params = append(params, nil)
+		}
+	}
+	s := &parkSummary{parks: make([]bool, len(params))}
+	sel := selectOps(d.decl.Body)
+	for i, obj := range params {
+		if obj == nil {
+			continue
+		}
+		if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+			continue
+		}
+		if pos := parkSiteOn(d.pkg.Info, d.decl.Body, obj, sel); pos != token.NoPos {
+			s.parks[i] = true
+		}
+	}
+	p.parkSums[fn] = s
+	return s
+}
+
+// selectUse describes the select a channel op sits in.
+type selectUse struct {
+	cases      int
+	hasDefault bool
+}
+
+// selectOps maps every send/receive that is a select comm operation to
+// its select's shape.
+func selectOps(body ast.Node) map[ast.Node]selectUse {
+	out := make(map[ast.Node]selectUse)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		use := selectUse{}
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm == nil {
+				use.hasDefault = true
+			} else {
+				use.cases++
+			}
+		}
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.SendStmt:
+					out[x] = use
+				case *ast.UnaryExpr:
+					if x.Op == token.ARROW {
+						out[x] = use
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// parkSiteOn returns the position of a bare send/receive on ch inside
+// body — an op outside any select, or inside a single-case select with
+// no default (same thing: no escape). Nested function literals and
+// go statements are someone else's goroutine.
+func parkSiteOn(info *types.Info, body ast.Node, ch types.Object, sel map[ast.Node]selectUse) token.Pos {
+	pos := token.NoPos
+	bare := func(n ast.Node) bool {
+		u, ok := sel[n]
+		return !ok || (u.cases == 1 && !u.hasDefault)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			if n != body {
+				return false
+			}
+		case *ast.SendStmt:
+			if rootObj(info, x.Chan) == ch && bare(x) {
+				pos = x.Arrow
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && rootObj(info, x.X) == ch && bare(x) {
+				pos = x.OpPos
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+// chanUsage aggregates how the spawning function treats one channel.
+type chanUsage struct {
+	parentSafe bool // unconditional bare send/recv or range: a committed counterpart
+	escapes    bool // passed/stored/returned beyond this function's view
+}
+
+func checkGoroLeak(pass *Pass, fname string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Unbuffered channels made directly in this function.
+	unbuffered := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if !isUnbufferedMake(info, rhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					unbuffered[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+
+	// Goroutine bodies spawned here: `go func(){...}()`, parallel.Fork
+	// closures, and (via park summaries) `go f(ch)`.
+	type spawn struct {
+		pos  token.Pos
+		lit  *ast.FuncLit // nil when resolved through a summary
+		fn   *types.Func
+		call *ast.CallExpr
+	}
+	var spawns []spawn
+	goroLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				spawns = append(spawns, spawn{pos: x.Pos(), lit: lit})
+				goroLits[lit] = true
+			} else if fn := calleeFunc(info, x.Call); fn != nil {
+				spawns = append(spawns, spawn{pos: x.Pos(), fn: fn, call: x.Call})
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); isPkgFunc(fn, "fillvoid/internal/parallel", "Fork") {
+				for _, arg := range x.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						spawns = append(spawns, spawn{pos: x.Pos(), lit: lit})
+						goroLits[lit] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+
+	sel := selectOps(body)
+	usage := classifyParentUses(info, body, unbuffered, goroLits, sel)
+
+	for ch := range unbuffered {
+		u := usage[ch]
+		if u.parentSafe || u.escapes {
+			continue
+		}
+		for _, sp := range spawns {
+			parked := token.NoPos
+			if sp.lit != nil {
+				parked = parkSiteOn(info, sp.lit.Body, ch, sel)
+			} else if sp.fn != nil && pass.Prog.moduleFunc(sp.fn) {
+				sum := pass.Prog.parkSummaryOf(sp.fn)
+				for i, parks := range sum.parks {
+					if parks && i < len(sp.call.Args) && rootObj(info, sp.call.Args[i]) == ch {
+						parked = sp.pos
+						break
+					}
+				}
+			}
+			if parked != token.NoPos {
+				pass.Reportf(sp.pos, "goroutine in %s parks forever on unbuffered channel %q if the spawner abandons it; give the channel op a select escape (quit/ctx.Done) or buffer the channel", fname, ch.Name())
+				break
+			}
+		}
+	}
+}
+
+// isUnbufferedMake matches make(chan T) and make(chan T, 0).
+func isUnbufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	if t := info.TypeOf(call.Args[0]); t == nil {
+		return false
+	} else if _, ok := t.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	tv, ok := info.Types[call.Args[1]]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}
+
+// classifyParentUses walks the spawning function (goroutine bodies
+// excluded) and records, per channel, whether the parent commits to a
+// bare op / range (safe) or lets the channel escape. Select uses with
+// an alternative branch count as neither: they are the abandonment
+// risk the check exists for.
+func classifyParentUses(info *types.Info, body *ast.BlockStmt, chans map[types.Object]bool, goroLits map[*ast.FuncLit]bool, sel map[ast.Node]selectUse) map[types.Object]*chanUsage {
+	usage := make(map[types.Object]*chanUsage, len(chans))
+	for ch := range chans {
+		usage[ch] = &chanUsage{}
+	}
+	chanOf := func(e ast.Expr) *chanUsage {
+		if obj := rootObj(info, e); obj != nil && chans[obj] {
+			return usage[obj]
+		}
+		return nil
+	}
+	bare := func(n ast.Node) bool {
+		u, ok := sel[n]
+		return !ok || (u.cases == 1 && !u.hasDefault)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if goroLits[x] {
+				return false
+			}
+		case *ast.GoStmt:
+			// `go f(ch)` args are the spawn, not an escape; handled via
+			// park summaries.
+			return false
+		case *ast.SendStmt:
+			if u := chanOf(x.Chan); u != nil && bare(x) {
+				u.parentSafe = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if u := chanOf(x.X); u != nil && bare(x) {
+					u.parentSafe = true
+				}
+			}
+		case *ast.RangeStmt:
+			if u := chanOf(x.X); u != nil {
+				if t := info.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						u.parentSafe = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Passing the channel anywhere except close/len/cap loses
+			// track of the other side.
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			for _, arg := range x.Args {
+				if u := chanOf(arg); u != nil {
+					u.escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if u := chanOf(res); u != nil {
+					u.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+					if u := chanOf(id); u != nil {
+						u.escapes = true // aliased: the alias's uses are not tracked
+					}
+				}
+			}
+			for _, lhs := range x.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+					if u := chanOf(lhs); u != nil {
+						u.escapes = true // stored into a field/element
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				e := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+					if u := chanOf(id); u != nil {
+						u.escapes = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return usage
+}

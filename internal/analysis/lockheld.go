@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld reports sync.Mutex/RWMutex critical sections that span a
+// blocking operation: a channel send/receive, a blocking select, a
+// range over a channel, or a call that may park the goroutine (HTTP
+// round-trips, WaitGroup/Cond waits, fsyncs, subprocess waits — either
+// directly or through a chain of module-local calls resolved via the
+// program's blocking summaries, including calls dispatched through
+// interfaces). Holding a lock across such an operation serializes
+// every other user of the lock behind an unbounded wait; the
+// coordinator's PR 8 self-query deadlock was exactly this shape.
+//
+// The analysis is flow-sensitive per function: a lock fact is
+// generated at mu.Lock()/RLock() and killed at mu.Unlock()/RUnlock(),
+// except a deferred unlock, which keeps the lock held for the rest of
+// the body (that is what defer means). Locks are keyed on the variable
+// or field holding them, so two instances' `mu` fields conflate —
+// acceptable imprecision for a lint.
+func LockHeld(scope []string) *Analyzer {
+	return &Analyzer{
+		Name: "lockheld",
+		Doc:  "no mutex held across a blocking operation (network, channel, Wait, fsync) in serving-path packages",
+		Run: func(pass *Pass) {
+			if !inScope(scope, pass.Pkg.Path) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				funcBodies(f, func(name string, body *ast.BlockStmt) {
+					checkLockHeld(pass, name, body)
+				})
+			}
+		},
+	}
+}
+
+const lockBit = 1 // the single fact bit: "this lock is held"
+
+func checkLockHeld(pass *Pass, fname string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	g := buildCFG(body)
+
+	transfer := func(n ast.Node, f facts) {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return // the spawned goroutine's lock ops are not this flow's
+		}
+		inDefer := false
+		if d, ok := n.(*ast.DeferStmt); ok {
+			inDefer = true
+			n = d.Call
+		}
+		walkInstr(n, func(sub ast.Node) {
+			call, ok := sub.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			obj, op := lockOp(info, call)
+			if obj == nil {
+				return
+			}
+			switch op {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				if !inDefer {
+					f[obj] |= lockBit
+				}
+			case "Unlock", "RUnlock":
+				// A deferred unlock runs at return: the lock stays held
+				// for the remainder of the body, so no kill.
+				if !inDefer {
+					delete(f, obj)
+				}
+			}
+		})
+	}
+
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, f facts, what string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		held := ""
+		for obj := range f {
+			if held == "" || obj.Name() < held {
+				held = obj.Name()
+			}
+		}
+		pass.Reportf(pos, "%s held across %s in %s; narrow the critical section so the lock is released first", held, what, fname)
+	}
+
+	visit := func(n ast.Node, f facts) {
+		if len(f) == 0 {
+			return
+		}
+		switch node := n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return // runs later / elsewhere; the spawn itself does not block
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				report(node.Pos(), f, "a blocking select")
+			}
+			return
+		case *ast.RangeStmt:
+			if t := info.TypeOf(node.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(node.Pos(), f, "a range over a channel")
+				}
+			}
+			return
+		}
+		if g.selectComms[n] != nil {
+			// A comm op belongs to its select, which was classified as a
+			// unit (a select with default never blocks).
+			return
+		}
+		walkInstr(n, func(sub ast.Node) {
+			switch x := sub.(type) {
+			case *ast.SendStmt:
+				report(x.Arrow, f, "a channel send")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					report(x.OpPos, f, "a channel receive")
+				}
+			case *ast.CallExpr:
+				if obj, _ := lockOp(info, x); obj != nil {
+					return // lock/unlock calls are the facts, not blocking ops
+				}
+				if blocks, via := pass.Prog.callBlocks(info, x); blocks {
+					report(x.Pos(), f, via)
+				}
+			}
+		})
+	}
+
+	g.forward(nil, transfer, visit)
+}
+
+// lockOp matches a call of the form <expr>.Lock / Unlock / RLock /
+// RUnlock / TryLock / TryRLock on a sync.Mutex or sync.RWMutex
+// (directly or embedded) and returns the lock's root object and the
+// method name.
+func lockOp(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil, ""
+	}
+	key := funcKey(fn)
+	switch key {
+	case "sync.Mutex.Lock", "sync.Mutex.Unlock", "sync.Mutex.TryLock",
+		"sync.RWMutex.Lock", "sync.RWMutex.Unlock", "sync.RWMutex.TryLock",
+		"sync.RWMutex.RLock", "sync.RWMutex.RUnlock", "sync.RWMutex.TryRLock":
+	default:
+		return nil, ""
+	}
+	return rootObj(info, sel.X), fn.Name()
+}
+
+// walkInstr visits every node of one CFG instruction without crossing
+// into function-literal bodies (a closure's operations happen when the
+// closure runs, not here).
+func walkInstr(n ast.Node, visit func(ast.Node)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			return false
+		}
+		if sub != nil {
+			visit(sub)
+		}
+		return true
+	})
+}

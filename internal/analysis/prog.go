@@ -1,0 +1,353 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Program is the whole-module interprocedural context the dataflow
+// checks share: an index from *types.Func to its declaration (the call
+// graph's edges are resolved lazily through it), method-set resolution
+// for calls through interfaces (Predictor, Reconstructor, ...), and
+// per-function summary caches so facts propagate across calls without
+// re-analyzing a callee at every call site.
+//
+// Summaries are deliberately small: a function is reduced to "may it
+// block, and on what" (lockheld), "which params flow to results, sinks,
+// or bounds checks" (taintalloc), and "which channel params does it
+// park on" (goroleak). That keeps whole-module analysis linear in
+// practice — each function body is visited once per summary kind — at
+// the cost of path-insensitivity across calls, which the checks accept.
+type Program struct {
+	pkgs  []*Package
+	decls map[*types.Func]*funcDecl
+
+	ifaceImpls map[*types.Func][]*types.Func
+
+	// Summary caches, keyed by the declared function. The *Active maps
+	// break recursion cycles: a query for a function already on the
+	// stack answers optimistically (no facts), which under-approximates
+	// mutually recursive blocking but terminates.
+	blockInfo   map[*types.Func]*blockSummary
+	blockActive map[*types.Func]bool
+	taintSums   map[*types.Func]*taintSummary
+	taintActive map[*types.Func]bool
+	parkSums    map[*types.Func]*parkSummary
+	parkActive  map[*types.Func]bool
+}
+
+// funcDecl pairs a declaration with the package whose type info
+// resolves its body.
+type funcDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// NewProgram indexes every function declaration in the packages.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		pkgs:        pkgs,
+		decls:       make(map[*types.Func]*funcDecl),
+		ifaceImpls:  make(map[*types.Func][]*types.Func),
+		blockInfo:   make(map[*types.Func]*blockSummary),
+		blockActive: make(map[*types.Func]bool),
+		taintSums:   make(map[*types.Func]*taintSummary),
+		taintActive: make(map[*types.Func]bool),
+		parkSums:    make(map[*types.Func]*parkSummary),
+		parkActive:  make(map[*types.Func]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.decls[fn] = &funcDecl{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// declOf returns the analyzed declaration of fn, if fn is declared in
+// one of the program's packages.
+func (p *Program) declOf(fn *types.Func) (*funcDecl, bool) {
+	d, ok := p.decls[fn]
+	return d, ok
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface
+// (a dynamic call site).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// implementationsOf resolves an interface method to the concrete
+// methods of every named type in the analyzed packages whose method
+// set satisfies the interface — the static approximation of dynamic
+// dispatch through recon.Reconstructor, nn.Predictor, and friends.
+func (p *Program) implementationsOf(fn *types.Func) []*types.Func {
+	if impls, ok := p.ifaceImpls[fn]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	sig := fn.Type().(*types.Signature)
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if ok {
+		for _, pkg := range p.pkgs {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok || types.IsInterface(named) {
+					continue
+				}
+				var recv types.Type = named
+				if !types.Implements(recv, iface) {
+					recv = types.NewPointer(named)
+					if !types.Implements(recv, iface) {
+						continue
+					}
+				}
+				obj, _, _ := types.LookupFieldOrMethod(recv, true, fn.Pkg(), fn.Name())
+				if m, ok := obj.(*types.Func); ok {
+					impls = append(impls, m)
+				}
+			}
+		}
+	}
+	p.ifaceImpls[fn] = impls
+	return impls
+}
+
+// moduleFunc reports whether fn belongs to one of the analyzed
+// packages (by package path prefix match against the loaded set).
+func (p *Program) moduleFunc(fn *types.Func) bool {
+	_, ok := p.decls[fn]
+	if ok {
+		return true
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	for _, pkg := range p.pkgs {
+		if pkg.Path == fn.Pkg().Path() {
+			return true
+		}
+	}
+	return false
+}
+
+// funcKey renders fn as "pkgpath.Recv.Name" or "pkgpath.Name" for the
+// blocking-call and taint-source tables.
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(fn.Pkg().Path())
+	b.WriteByte('.')
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, name := namedOf(sig.Recv().Type()); name != "" {
+			b.WriteString(name)
+			b.WriteByte('.')
+		}
+	}
+	b.WriteString(fn.Name())
+	return b.String()
+}
+
+// ---- blocking summaries (lockheld) --------------------------------
+
+// blockSummary records whether calling a function may block the
+// calling goroutine, and a human-readable chain of why.
+type blockSummary struct {
+	blocks bool
+	// via is a "f → g → (*os.File).Sync"-style chain naming the path to
+	// the primitive blocking operation, for finding messages.
+	via string
+}
+
+// blockingStdlib maps stdlib calls that park or perform I/O waits the
+// caller cannot bound: network round-trips, channel-shaped waits, and
+// fsyncs. Keys are funcKey() strings.
+var blockingStdlib = map[string]string{
+	"net/http.Client.Do":         "an HTTP round-trip",
+	"net/http.Client.Get":        "an HTTP round-trip",
+	"net/http.Client.Post":       "an HTTP round-trip",
+	"net/http.Client.PostForm":   "an HTTP round-trip",
+	"net/http.Client.Head":       "an HTTP round-trip",
+	"net/http.Get":               "an HTTP round-trip",
+	"net/http.Post":              "an HTTP round-trip",
+	"net/http.PostForm":          "an HTTP round-trip",
+	"net/http.Head":              "an HTTP round-trip",
+	"net.Dial":                   "a network dial",
+	"net.DialTimeout":            "a network dial",
+	"net.Dialer.Dial":            "a network dial",
+	"net.Dialer.DialContext":     "a network dial",
+	"sync.WaitGroup.Wait":        "a WaitGroup wait",
+	"sync.Cond.Wait":             "a condition wait",
+	"time.Sleep":                 "a sleep",
+	"os/exec.Cmd.Run":            "a subprocess wait",
+	"os/exec.Cmd.Wait":           "a subprocess wait",
+	"os/exec.Cmd.Output":         "a subprocess wait",
+	"os/exec.Cmd.CombinedOutput": "a subprocess wait",
+	"os.File.Sync":               "an fsync",
+}
+
+// callBlocks reports whether the resolved callee of call may block,
+// with a reason chain. Calls through function values and builtins are
+// assumed non-blocking (the analysis is a lint, not a verifier).
+func (p *Program) callBlocks(info *types.Info, call *ast.CallExpr) (bool, string) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false, ""
+	}
+	return p.funcBlocks(fn)
+}
+
+// funcBlocks answers the may-block query for one function, resolving
+// interface methods through the program's method sets and memoizing.
+func (p *Program) funcBlocks(fn *types.Func) (bool, string) {
+	if desc, ok := blockingStdlib[funcKey(fn)]; ok {
+		return true, desc
+	}
+	if s, ok := p.blockInfo[fn]; ok {
+		return s.blocks, s.via
+	}
+	if p.blockActive[fn] {
+		return false, "" // recursion: optimistic
+	}
+	p.blockActive[fn] = true
+	defer delete(p.blockActive, fn)
+
+	s := &blockSummary{}
+	if isInterfaceMethod(fn) {
+		for _, impl := range p.implementationsOf(fn) {
+			if b, via := p.funcBlocks(impl); b {
+				s.blocks = true
+				s.via = impl.Name() + " (via interface " + fn.Name() + ") → " + via
+				break
+			}
+		}
+	} else if d, ok := p.declOf(fn); ok {
+		s.blocks, s.via = p.bodyBlocks(d)
+		if s.blocks {
+			s.via = fn.Name() + " → " + s.via
+		}
+	}
+	p.blockInfo[fn] = s
+	return s.blocks, s.via
+}
+
+// bodyBlocks scans one declaration body for blocking operations:
+// channel sends/receives (outside a select with a default), blocking
+// selects, ranges over channels, and blocking calls (stdlib table or
+// nested summaries). Goroutine and closure bodies are skipped — the
+// spawn itself does not block, and an uninvoked literal never runs.
+func (p *Program) bodyBlocks(d *funcDecl) (bool, string) {
+	info := d.pkg.Info
+	blocks := false
+	via := ""
+	ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			blocks, via = true, "a channel send"
+			return false
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				blocks, via = true, "a channel receive"
+				return false
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				blocks, via = true, "a blocking select"
+				return false
+			}
+			// Non-blocking select: classify nothing inside the comm
+			// clauses, but keep walking clause bodies.
+			for _, clause := range node.Body.List {
+				cc := clause.(*ast.CommClause)
+				for _, s := range cc.Body {
+					if b, v := p.stmtBlocks(info, s); b {
+						blocks, via = true, v
+						return false
+					}
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if t := info.TypeOf(node.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					blocks, via = true, "a range over a channel"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if b, v := p.callBlocks(info, node); b {
+				blocks, via = true, v
+				return false
+			}
+		}
+		return true
+	})
+	return blocks, via
+}
+
+// stmtBlocks applies bodyBlocks' classification to a single statement
+// subtree (used for select clause bodies).
+func (p *Program) stmtBlocks(info *types.Info, s ast.Stmt) (bool, string) {
+	blocks := false
+	via := ""
+	ast.Inspect(s, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			blocks, via = true, "a channel send"
+			return false
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				blocks, via = true, "a channel receive"
+				return false
+			}
+		case *ast.CallExpr:
+			if b, v := p.callBlocks(info, node); b {
+				blocks, via = true, v
+				return false
+			}
+		}
+		return true
+	})
+	return blocks, via
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF output (Static Analysis Results Interchange Format, v2.1.0):
+// the subset of the schema code-review UIs consume — one run, one rule
+// per registered check, one result per finding with a physical
+// location. Everything else in the (large) spec is optional and
+// omitted.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the suite's findings as a SARIF 2.1.0 log. The
+// suite provides the rule metadata (every registered check appears as
+// a rule even when it found nothing, so viewers can show the full
+// gate); findings become warning-level results. File paths are emitted
+// as-is — relative to the module root, the form upload UIs expect.
+func WriteSARIF(w io.Writer, suite *Suite, findings []Finding) error {
+	driver := sarifDriver{Name: "fillvoid-lint"}
+	for _, a := range suite.Analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	// Findings from the reserved "lint" check (malformed annotations)
+	// have no registered analyzer; give them a rule so the log is
+	// self-consistent.
+	seen := make(map[string]bool, len(driver.Rules))
+	for _, r := range driver.Rules {
+		seen[r.ID] = true
+	}
+	for _, f := range findings {
+		if !seen[f.Check] {
+			seen[f.Check] = true
+			driver.Rules = append(driver.Rules, sarifRule{
+				ID:               f.Check,
+				ShortDescription: sarifMessage{Text: "fillvoid-lint driver diagnostic"},
+			})
+		}
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		line := f.Line
+		if line < 1 {
+			line = 1 // SARIF requires startLine >= 1
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

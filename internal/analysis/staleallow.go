@@ -1,0 +1,27 @@
+package analysis
+
+// StaleAllow reports //lint:allow annotations that suppress nothing:
+// the finding the annotation was written for has been fixed (or the
+// comment drifted away from its line), so the annotation is now a
+// blind spot that would swallow the next real regression at that site.
+//
+// The analyzer itself is a no-op per package; the actual detection
+// runs at suite level in Suite.Run, after suppression has marked every
+// directive that matched a finding, because staleness is a property of
+// the whole run: a directive is stale only when its check actually ran
+// over its package and still found nothing to suppress. Partial runs
+// (-checks a,b) therefore never call an unselected check's directive
+// stale. The lint CLI extends the same idea to the baseline: with
+// staleallow selected, baseline entries that no longer match any
+// finding are reported as staleallow findings too.
+//
+// Stale-allow findings cannot themselves be //lint:allow'd (an allow
+// for a dead allow is two layers of rot); the baseline can grandfather
+// them during cleanup.
+func StaleAllow() *Analyzer {
+	return &Analyzer{
+		Name: "staleallow",
+		Doc:  "no committed //lint:allow annotation or baseline entry that no longer suppresses anything",
+		Run:  func(*Pass) {}, // suite-level: see Suite.staleAllows
+	}
+}

@@ -51,6 +51,37 @@ var (
 		"fillvoid/examples/",
 	}
 
+	// taintPkgs decode external input (HTTP bodies, URL params, wire
+	// headers) and must bounds-check every decoded value before it
+	// reaches an allocation size.
+	taintPkgs = []string{
+		"fillvoid/internal/server",
+		"fillvoid/internal/cluster",
+		"fillvoid/internal/jobs",
+		"fillvoid/internal/codec",
+	}
+
+	// lockHeldPkgs are the serving-path packages where a mutex held
+	// across a blocking operation stalls every request behind one slow
+	// peer or fsync.
+	lockHeldPkgs = []string{
+		"fillvoid/internal/cluster",
+		"fillvoid/internal/jobs",
+		"fillvoid/internal/server",
+	}
+
+	// goroLeakPkgs spawn goroutines that talk over channels; the leak
+	// check covers the serving path plus the smoke-test drivers (which
+	// historically leaked scanner goroutines on deadline abandonment).
+	goroLeakPkgs = []string{
+		"fillvoid/internal/server",
+		"fillvoid/internal/cluster",
+		"fillvoid/internal/jobs",
+		"fillvoid/internal/parallel",
+		"fillvoid/scripts/",
+		"fillvoid/cmd/",
+	}
+
 	telemetryPkg = "fillvoid/internal/telemetry"
 	tracePkg     = "fillvoid/internal/trace"
 )
@@ -58,12 +89,18 @@ var (
 // DefaultSuite returns the full fillvoid-lint suite configured with
 // the repo policy above.
 func DefaultSuite() *Suite {
-	return &Suite{Analyzers: []*Analyzer{
+	s := &Suite{Analyzers: []*Analyzer{
 		Nondeterminism(deterministicPkgs),
 		RawGoroutine(goroutinePkgs),
 		SpanPair(telemetryPkg, tracePkg),
 		CtxFirst(),
 		FloatEq(numericPkgs),
 		ErrDrop(errDropExclude),
+		TaintAlloc(taintPkgs),
+		LockHeld(lockHeldPkgs),
+		GoroLeak(goroLeakPkgs),
+		StaleAllow(),
 	}}
+	s.registry = s.Names()
+	return s
 }

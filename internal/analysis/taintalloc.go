@@ -1,0 +1,634 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TaintAlloc reports request-derived integers reaching allocation-size
+// positions without an intervening bounds check: the PR 4 codec bug
+// class (a wire-encoded count fed straight into make) generalized to
+// every serving-path package. A value is tainted when it originates
+// from decoding external input — a JSON/gob body, a binary header
+// varint, a URL or form parameter — and the taint propagates through
+// assignments, arithmetic, conversions, and module-local calls (via
+// function summaries), until a comparison mentioning the value kills
+// it. Sinks are make's size/cap arguments, strings.Repeat and
+// bytes.Repeat counts, and bufio.NewReaderSize/NewWriterSize sizes.
+//
+// Two deliberate non-taints keep the noise down: len() and cap() of a
+// decoded slice are bounded by the bytes actually received (the server
+// wraps bodies in MaxBytesReader), and any value a module-local callee
+// bounds-checks (its summary marks the parameter sanitized) comes back
+// clean.
+func TaintAlloc(scope []string) *Analyzer {
+	return &Analyzer{
+		Name: "taintalloc",
+		Doc:  "no request-derived value reaches an allocation size without a bounds check",
+		Run: func(pass *Pass) {
+			if !inScope(scope, pass.Pkg.Path) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				funcBodies(f, func(name string, body *ast.BlockStmt) {
+					r := &taintRun{prog: pass.Prog, pkg: pass.Pkg, derived: map[types.Object][]types.Object{}}
+					reported := map[token.Pos]bool{}
+					r.report = func(pos token.Pos, msg string) {
+						if !reported[pos] {
+							reported[pos] = true
+							pass.Reportf(pos, "%s in %s; compare it against a limit first", msg, name)
+						}
+					}
+					r.analyze(body, nil)
+				})
+			}
+		},
+	}
+}
+
+// taintSrc marks "derived from decoded external input". The low bits
+// are per-parameter origin markers used only while computing a
+// function summary.
+const taintSrc uint64 = 1 << 63
+
+func paramBit(i int) uint64 {
+	if i >= 62 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// taintSourceSpec describes one stdlib decoding call: which results
+// carry taint and which pointer arguments are filled with decoded
+// data.
+type taintSourceSpec struct {
+	results []int
+	ptrArgs []int
+}
+
+var taintSources = map[string]taintSourceSpec{
+	"encoding/json.Decoder.Decode":   {ptrArgs: []int{0}},
+	"encoding/json.Unmarshal":        {ptrArgs: []int{1}},
+	"encoding/gob.Decoder.Decode":    {ptrArgs: []int{0}},
+	"encoding/binary.Read":           {ptrArgs: []int{2}},
+	"encoding/binary.ReadUvarint":    {results: []int{0}},
+	"encoding/binary.ReadVarint":     {results: []int{0}},
+	"bufio.Reader.ReadByte":          {results: []int{0}},
+	"net/url.Values.Get":             {results: []int{0}},
+	"net/http.Request.FormValue":     {results: []int{0}},
+	"net/http.Request.PathValue":     {results: []int{0}},
+	"net/http.Request.PostFormValue": {results: []int{0}},
+}
+
+// taintSinks maps stdlib calls with a size/count argument position
+// that allocates proportionally to its value.
+var taintSinks = map[string]struct {
+	arg  int
+	what string
+}{
+	"strings.Repeat":      {1, "strings.Repeat count"},
+	"bytes.Repeat":        {1, "bytes.Repeat count"},
+	"bufio.NewReaderSize": {1, "bufio reader size"},
+	"bufio.NewWriterSize": {1, "bufio writer size"},
+}
+
+// taintSummary is a function's interprocedural taint behaviour:
+// results[j] holds taintSrc when result j returns decoded input, and
+// paramBit(i) when parameter i flows to it unchecked; sink[i] names
+// the allocation a raw parameter i reaches ("" = none); sanitize[i]
+// records that the body bounds-checks parameter i, so callers' taint
+// dies through the call.
+type taintSummary struct {
+	results  []uint64
+	sink     []string
+	sanitize []bool
+}
+
+// taintSummaryOf computes (and caches) the summary of a module-local
+// function by running the same dataflow over its body with parameters
+// seeded as origin bits. Recursion answers optimistically.
+func (p *Program) taintSummaryOf(fn *types.Func) *taintSummary {
+	if s, ok := p.taintSums[fn]; ok {
+		return s
+	}
+	empty := &taintSummary{}
+	d, ok := p.declOf(fn)
+	if !ok || p.taintActive[fn] {
+		return empty
+	}
+	p.taintActive[fn] = true
+	defer delete(p.taintActive, fn)
+
+	var params []types.Object
+	for _, field := range d.decl.Type.Params.List {
+		for _, name := range field.Names {
+			params = append(params, d.pkg.Info.ObjectOf(name))
+		}
+		if len(field.Names) == 0 {
+			params = append(params, nil) // unnamed param cannot carry facts
+		}
+	}
+	nresults := 0
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		nresults = sig.Results().Len()
+	}
+	b := &taintSummary{
+		results:  make([]uint64, nresults),
+		sink:     make([]string, len(params)),
+		sanitize: make([]bool, len(params)),
+	}
+
+	init := make(facts)
+	for i, obj := range params {
+		if obj != nil && paramBit(i) != 0 {
+			init[obj] = paramBit(i)
+		}
+	}
+	r := &taintRun{
+		prog:    p,
+		pkg:     d.pkg,
+		derived: map[types.Object][]types.Object{},
+		summary: b,
+		fname:   fn.Name(),
+	}
+	r.analyze(d.decl.Body, init)
+	p.taintSums[fn] = b
+	return b
+}
+
+// taintRun is one dataflow execution over one function body — either
+// the main check (report != nil) or a summary computation
+// (summary != nil).
+type taintRun struct {
+	prog    *Program
+	pkg     *Package
+	derived map[types.Object][]types.Object
+	report  func(pos token.Pos, msg string)
+	summary *taintSummary
+	fname   string
+}
+
+func (r *taintRun) info() *types.Info { return r.pkg.Info }
+
+func (r *taintRun) analyze(body *ast.BlockStmt, init facts) {
+	g := buildCFG(body)
+	g.forward(init, r.transfer, r.visit)
+}
+
+// ---- transfer -----------------------------------------------------
+
+func (r *taintRun) transfer(n ast.Node, f facts) {
+	switch x := n.(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return
+	case *ast.AssignStmt:
+		r.assign(x, f)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					r.valueSpec(vs, f)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Key is an index/position (bounded by real data); Value carries
+		// the container's taint.
+		if x.Value != nil {
+			r.setMask(f, x.Value, r.exprMask(f, x.X))
+		}
+		if x.Key != nil {
+			r.setMask(f, x.Key, 0)
+		}
+	case ast.Expr:
+		// Condition instructions: comparisons are the bounds checks.
+		r.killComparisons(x, f)
+		r.sideEffects(x, f)
+		return
+	}
+	// Comparisons and source calls buried inside any statement.
+	if stmt, ok := n.(ast.Stmt); ok {
+		r.killComparisons(stmt, f)
+		r.sideEffects(stmt, f)
+	}
+}
+
+// assign applies one assignment's gen/kill.
+func (r *taintRun) assign(x *ast.AssignStmt, f facts) {
+	switch x.Tok {
+	case token.AND_ASSIGN, token.REM_ASSIGN, token.AND_NOT_ASSIGN:
+		// x &= mask / x %= n bound the value.
+		for _, lhs := range x.Lhs {
+			if obj := rootObj(r.info(), lhs); obj != nil {
+				r.killWithRoots(f, obj)
+			}
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		// Other compound assigns (+=, *=, <<=...) widen: OR rhs in.
+		for i, lhs := range x.Lhs {
+			if i < len(x.Rhs) {
+				if obj := rootObj(r.info(), lhs); obj != nil {
+					f[obj] |= r.exprMask(f, x.Rhs[i])
+				}
+			}
+		}
+		return
+	}
+
+	if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+		masks := r.tupleMasks(f, x.Rhs[0], len(x.Lhs))
+		for i, lhs := range x.Lhs {
+			r.setMaskRecord(f, lhs, masks[i], x.Rhs[0])
+		}
+		return
+	}
+	for i, lhs := range x.Lhs {
+		if i >= len(x.Rhs) {
+			break
+		}
+		r.setMaskRecord(f, lhs, r.exprMask(f, x.Rhs[i]), x.Rhs[i])
+	}
+}
+
+func (r *taintRun) valueSpec(vs *ast.ValueSpec, f facts) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		masks := r.tupleMasks(f, vs.Values[0], len(vs.Names))
+		for i, name := range vs.Names {
+			r.setMaskRecord(f, name, masks[i], vs.Values[0])
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		if i < len(vs.Values) {
+			r.setMaskRecord(f, name, r.exprMask(f, vs.Values[i]), vs.Values[i])
+		}
+	}
+}
+
+// setMask strongly updates the fact for an assignable expression:
+// plain identifiers get exact masks (including kill on 0); fields and
+// elements get weak |= updates (another alias may retain taint).
+func (r *taintRun) setMask(f facts, lhs ast.Expr, mask uint64) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		obj := r.info().ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if mask == 0 {
+			delete(f, obj)
+		} else {
+			f[obj] = mask
+		}
+		return
+	}
+	if obj := rootObj(r.info(), lhs); obj != nil && mask != 0 {
+		f[obj] |= mask
+	}
+}
+
+// setMaskRecord is setMask plus derivation tracking: when a tainted
+// rhs produces lhs, remember which tainted roots it came from, so a
+// later bounds check on lhs also clears them.
+func (r *taintRun) setMaskRecord(f facts, lhs ast.Expr, mask uint64, rhs ast.Expr) {
+	r.setMask(f, lhs, mask)
+	if mask == 0 {
+		return
+	}
+	obj := rootObj(r.info(), lhs)
+	if obj == nil {
+		return
+	}
+	var roots []types.Object
+	identsIn(r.info(), rhs, func(o types.Object) {
+		if o != obj && f[o] != 0 {
+			roots = append(roots, o)
+		}
+	})
+	if len(roots) > 0 {
+		r.derived[obj] = roots
+	}
+}
+
+// killComparisons deletes the facts of every variable mentioned in a
+// comparison within n — the "bounds check" kill — along with the
+// roots it was derived from. For summary runs it also marks compared
+// parameters sanitized.
+func (r *taintRun) killComparisons(n ast.Node, f facts) {
+	walkInstr(n, func(sub ast.Node) {
+		be, ok := sub.(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return
+		}
+		identsIn(r.info(), be, func(obj types.Object) {
+			if f[obj] == 0 {
+				return
+			}
+			r.markSanitized(f[obj])
+			r.killWithRoots(f, obj)
+		})
+	})
+}
+
+func (r *taintRun) killWithRoots(f facts, obj types.Object) {
+	delete(f, obj)
+	for _, root := range r.derived[obj] {
+		delete(f, root)
+	}
+}
+
+// markSanitized records, during summary computation, that a value
+// carrying parameter-origin bits was bounds-checked.
+func (r *taintRun) markSanitized(mask uint64) {
+	if r.summary == nil {
+		return
+	}
+	for i := range r.summary.sanitize {
+		if mask&paramBit(i) != 0 {
+			r.summary.sanitize[i] = true
+		}
+	}
+}
+
+// sideEffects applies the non-assignment effects of calls inside n:
+// pointer-argument decode sources taint their target, and calls to
+// module functions that bounds-check a parameter kill the argument.
+func (r *taintRun) sideEffects(n ast.Node, f facts) {
+	walkInstr(n, func(sub ast.Node) {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(r.info(), call)
+		if fn == nil {
+			return
+		}
+		if spec, ok := taintSources[funcKey(fn)]; ok {
+			for _, i := range spec.ptrArgs {
+				if i < len(call.Args) {
+					if obj := rootObj(r.info(), call.Args[i]); obj != nil {
+						f[obj] |= taintSrc
+					}
+				}
+			}
+			return
+		}
+		if r.prog.moduleFunc(fn) {
+			sum := r.prog.taintSummaryOf(fn)
+			for i, s := range sum.sanitize {
+				if s && i < len(call.Args) {
+					if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok {
+						if obj := r.info().ObjectOf(id); obj != nil {
+							r.markSanitized(f[obj])
+							r.killWithRoots(f, obj)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// ---- expression masks ---------------------------------------------
+
+// exprMask computes the taint mask of evaluating e under facts f.
+func (r *taintRun) exprMask(f facts, e ast.Expr) uint64 {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return f[r.info().ObjectOf(x)]
+	case *ast.SelectorExpr:
+		return f[r.info().ObjectOf(x.Sel)] | r.exprMask(f, x.X)
+	case *ast.ParenExpr:
+		return r.exprMask(f, x.X)
+	case *ast.StarExpr:
+		return r.exprMask(f, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			return 0
+		}
+		return r.exprMask(f, x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ,
+			token.LAND, token.LOR:
+			return 0 // boolean result
+		case token.AND, token.REM, token.AND_NOT:
+			// Masking or modulo by an untainted bound caps the value.
+			if r.exprMask(f, x.X) == 0 || r.exprMask(f, x.Y) == 0 {
+				return 0
+			}
+		}
+		return r.exprMask(f, x.X) | r.exprMask(f, x.Y)
+	case *ast.CallExpr:
+		return r.tupleMasks(f, x, 1)[0]
+	case *ast.IndexExpr:
+		return r.exprMask(f, x.X)
+	case *ast.SliceExpr:
+		return r.exprMask(f, x.X)
+	case *ast.TypeAssertExpr:
+		return r.exprMask(f, x.X)
+	case *ast.CompositeLit:
+		var m uint64
+		for _, el := range x.Elts {
+			m |= r.exprMask(f, el)
+		}
+		return m
+	case *ast.KeyValueExpr:
+		return r.exprMask(f, x.Value)
+	case *ast.BasicLit, *ast.FuncLit:
+		return 0
+	}
+	// Fallback: OR over mentioned identifiers.
+	var m uint64
+	identsIn(r.info(), e, func(obj types.Object) { m |= f[obj] })
+	return m
+}
+
+// tupleMasks returns one mask per value produced by e (a call, type
+// assertion, or map index in tuple position).
+func (r *taintRun) tupleMasks(f facts, e ast.Expr, n int) []uint64 {
+	out := make([]uint64, n)
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		r.callMasks(f, x, out)
+	case *ast.TypeAssertExpr:
+		out[0] = r.exprMask(f, x.X)
+	case *ast.IndexExpr:
+		out[0] = r.exprMask(f, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW { // v, ok := <-ch
+			out[0] = r.exprMask(f, x.X)
+		}
+	default:
+		out[0] = r.exprMask(f, e)
+	}
+	return out
+}
+
+// callMasks fills out with the per-result taint of a call.
+func (r *taintRun) callMasks(f facts, call *ast.CallExpr, out []uint64) {
+	info := r.info()
+	// Type conversion: int(x) carries x's taint.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			out[0] = r.exprMask(f, call.Args[0])
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap":
+				// Bounded by data actually received: not tainted.
+				return
+			case "min", "max":
+				// Bounded as soon as one operand is untainted.
+				var m uint64
+				bounded := false
+				for _, a := range call.Args {
+					am := r.exprMask(f, a)
+					if am == 0 {
+						bounded = true
+					}
+					m |= am
+				}
+				if !bounded {
+					out[0] = m
+				}
+				return
+			case "make", "new":
+				return // the allocation's size was the sink, not its value
+			default:
+				var m uint64
+				for _, a := range call.Args {
+					m |= r.exprMask(f, a)
+				}
+				out[0] = m
+				return
+			}
+		}
+	}
+
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		if spec, ok := taintSources[funcKey(fn)]; ok {
+			for _, i := range spec.results {
+				if i < len(out) {
+					out[i] |= taintSrc
+				}
+			}
+			return
+		}
+		if r.prog.moduleFunc(fn) {
+			sum := r.prog.taintSummaryOf(fn)
+			for j := range out {
+				if j >= len(sum.results) {
+					break
+				}
+				m := sum.results[j]
+				if m&taintSrc != 0 {
+					out[j] |= taintSrc
+				}
+				for i := range sum.sink { // sink has len(params)
+					if m&paramBit(i) != 0 && !sum.sanitize[i] && i < len(call.Args) {
+						out[j] |= r.exprMask(f, call.Args[i])
+					}
+				}
+				// Params beyond sink's length cannot occur: bits were
+				// seeded only for declared params.
+			}
+			return
+		}
+	}
+	// Unknown call (stdlib, function value): every result inherits the
+	// union of argument taint — this is what carries taint through
+	// strconv.Atoi / ParseUint.
+	var m uint64
+	for _, a := range call.Args {
+		m |= r.exprMask(f, a)
+	}
+	for j := range out {
+		out[j] = m
+	}
+}
+
+// ---- sinks (visit) ------------------------------------------------
+
+func (r *taintRun) visit(n ast.Node, f facts) {
+	if _, ok := n.(*ast.GoStmt); ok {
+		return
+	}
+	walkInstr(n, func(sub ast.Node) {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		r.checkSink(call, f)
+	})
+	if r.summary != nil {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for j, res := range ret.Results {
+				if j < len(r.summary.results) {
+					r.summary.results[j] |= r.exprMask(f, res)
+				}
+			}
+		}
+	}
+}
+
+// checkSink flags tainted values in allocation-size positions, and in
+// summary runs records parameter-origin bits reaching them.
+func (r *taintRun) checkSink(call *ast.CallExpr, f facts) {
+	info := r.info()
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			for _, sizeArg := range call.Args[1:] {
+				r.sinkArg(call.Pos(), sizeArg, "make size", f)
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	if sink, ok := taintSinks[funcKey(fn)]; ok {
+		if sink.arg < len(call.Args) {
+			r.sinkArg(call.Pos(), call.Args[sink.arg], sink.what, f)
+		}
+		return
+	}
+	// Interprocedural sink: a module callee that feeds parameter i into
+	// an allocation unchecked.
+	if r.prog.moduleFunc(fn) {
+		sum := r.prog.taintSummaryOf(fn)
+		for i, what := range sum.sink {
+			if what == "" || i >= len(call.Args) {
+				continue
+			}
+			r.sinkArg(call.Pos(), call.Args[i], what, f)
+		}
+	}
+}
+
+func (r *taintRun) sinkArg(pos token.Pos, arg ast.Expr, what string, f facts) {
+	mask := r.exprMask(f, arg)
+	if mask&taintSrc != 0 && r.report != nil {
+		r.report(pos, fmt.Sprintf("request-derived value reaches %s without a bounds check", what))
+	}
+	if r.summary != nil {
+		for i := range r.summary.sink {
+			if mask&paramBit(i) != 0 && r.summary.sink[i] == "" {
+				r.summary.sink[i] = what + " in " + r.fname
+			}
+		}
+	}
+}

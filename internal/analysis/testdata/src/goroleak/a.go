@@ -1,0 +1,120 @@
+// Package fixture exercises the goroleak check.
+package fixture
+
+import (
+	"bufio"
+	"time"
+)
+
+func compute() int { return 42 }
+
+// The classic leak: the timeout branch abandons the scanner goroutine
+// mid-send, parking it until process exit.
+func scanWithTimeout(sc *bufio.Scanner, d time.Duration) string {
+	lines := make(chan string)
+	go func() { // want "parks forever on unbuffered channel"
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	select {
+	case s := <-lines:
+		return s
+	case <-time.After(d):
+		return ""
+	}
+}
+
+// The fix: the goroutine's send has a quit escape, so abandonment
+// unblocks it.
+func scanWithQuit(sc *bufio.Scanner, d time.Duration) string {
+	lines := make(chan string)
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-quit:
+				return
+			}
+		}
+	}()
+	select {
+	case s := <-lines:
+		return s
+	case <-time.After(d):
+		return ""
+	}
+}
+
+// The parent commits to a bare receive: the send always pairs up.
+func waitForResult() int {
+	done := make(chan int)
+	go func() {
+		done <- compute()
+	}()
+	return <-done
+}
+
+// A buffered channel lets the send complete even when abandoned.
+func bufferedResult(d time.Duration) int {
+	done := make(chan int, 1)
+	go func() { done <- compute() }()
+	select {
+	case v := <-done:
+		return v
+	case <-time.After(d):
+		return 0
+	}
+}
+
+// Interprocedural: the goroutine body is a declared function; its park
+// on the channel parameter comes from the park summary.
+func feed(ch chan int) {
+	ch <- compute()
+}
+
+func spawnDeclared(d time.Duration) int {
+	results := make(chan int)
+	go feed(results) // want "parks forever on unbuffered channel"
+	select {
+	case v := <-results:
+		return v
+	case <-time.After(d):
+		return 0
+	}
+}
+
+// The channel escapes to another function: the other side is out of
+// view, so no claim is made.
+func handoff(ch chan int) {}
+
+func escapesElsewhere(d time.Duration) int {
+	results := make(chan int)
+	go func() { results <- compute() }()
+	handoff(results)
+	select {
+	case v := <-results:
+		return v
+	case <-time.After(d):
+		return 0
+	}
+}
+
+// Audited suppression silences the finding.
+func allowedScan(sc *bufio.Scanner, d time.Duration) string {
+	lines := make(chan string)
+	//lint:allow goroleak: process-lifetime scanner; bounded at one goroutine
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	select {
+	case s := <-lines:
+		return s
+	case <-time.After(d):
+		return ""
+	}
+}

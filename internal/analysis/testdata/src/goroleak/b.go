@@ -1,0 +1,46 @@
+// Parent-side usage shapes: committed consumers and escaping channels
+// are exempt; only abandonable goroutines are flagged.
+package fixture
+
+import "time"
+
+// The parent ranges over the channel: a committed consumer.
+func rangeConsumer() int {
+	vals := make(chan int)
+	go func() {
+		vals <- compute()
+		close(vals)
+	}()
+	total := 0
+	for v := range vals {
+		total += v
+	}
+	return total
+}
+
+// Aliasing the channel loses track of the other side: exempt.
+func aliased(d time.Duration) int {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	alias := ch
+	select {
+	case v := <-alias:
+		return v
+	case <-time.After(d):
+		return 0
+	}
+}
+
+// Storing the channel in a struct field ships it out of view: exempt.
+type holder struct{ ch chan int }
+
+func stored(d time.Duration) *holder {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	h := &holder{ch: ch}
+	select {
+	case <-h.ch:
+	case <-time.After(d):
+	}
+	return h
+}

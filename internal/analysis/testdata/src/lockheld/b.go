@@ -1,0 +1,84 @@
+// Control-flow shapes: lock facts must survive loops, switches,
+// selects and labeled branches exactly as the code executes them.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type looper struct {
+	mu sync.Mutex
+}
+
+// Lock and unlock each iteration: no fact crosses the send.
+func (l *looper) perIteration(keys []string, ch chan int) {
+	for i := 0; i < len(keys); i++ {
+		l.mu.Lock()
+		l.mu.Unlock()
+		ch <- i
+	}
+}
+
+// The lock is held on the loop's back edge and over the body.
+func (l *looper) heldAcrossLoop(n int) {
+	l.mu.Lock()
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Millisecond) // want "mu held across a sleep"
+	}
+	l.mu.Unlock()
+}
+
+// Labeled break and continue leave the lock released on every path.
+func (l *looper) labeledBranches(keys []string, ch chan int) {
+outer:
+	for _, k := range keys {
+		switch k {
+		case "stop":
+			break outer
+		case "skip":
+			continue outer
+		default:
+			l.mu.Lock()
+			l.mu.Unlock()
+		}
+	}
+	ch <- 1
+}
+
+// Type switches are branches like any other.
+func (l *looper) typeSwitch(v any, ch chan int) {
+	switch v.(type) {
+	case int:
+		l.mu.Lock()
+		l.mu.Unlock()
+	case string:
+		return
+	}
+	ch <- 1
+}
+
+// Fallthrough between clauses (facts empty: the spurious clause-end →
+// after edge the builder adds is harmless here).
+func (l *looper) fallthroughCase(k int, ch chan int) {
+	switch k {
+	case 0:
+		k++
+		fallthrough
+	case 1:
+		k--
+	}
+	ch <- k
+}
+
+// A goto ends its block; the retry loop never holds the lock.
+func (l *looper) gotoRetry(ch chan int) {
+	l.mu.Lock()
+	l.mu.Unlock()
+retry:
+	select {
+	case ch <- 1:
+	default:
+		goto retry
+	}
+}

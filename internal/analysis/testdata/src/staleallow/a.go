@@ -1,0 +1,27 @@
+// Package fixture exercises the staleallow check. The test suite runs
+// errdrop + staleallow with a registry that also knows floateq, so all
+// three directive fates appear: used, stale, and not-judged.
+package fixture
+
+import "os"
+
+// Live: the errdrop finding on the next line is real, so the directive
+// suppresses it and is not stale.
+func liveAllow() {
+	//lint:allow errdrop: fixture: result deliberately ignored
+	os.Remove("x")
+}
+
+// Stale: the returned error means errdrop finds nothing here; the
+// directive is dead weight.
+func staleDirective() error {
+	//lint:allow errdrop: fixed long ago // want "suppresses nothing"
+	return os.Remove("x")
+}
+
+// Known to the full suite but not selected in this run: never judged
+// stale, because floateq did not get a chance to match it.
+func unranAllow() bool {
+	//lint:allow floateq: fixture: check not selected in this run
+	return 1.0 == 2.0
+}

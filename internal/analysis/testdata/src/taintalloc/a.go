@@ -1,0 +1,113 @@
+// Package fixture exercises the taintalloc check.
+package fixture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+var errBad = errors.New("bad size")
+
+type request struct {
+	Count int       `json:"count"`
+	Vals  []float64 `json:"vals"`
+}
+
+// A decoded count straight into make.
+func decodeAlloc(r *http.Request) []float64 {
+	var req request
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	return make([]float64, req.Count) // want "make size"
+}
+
+// Taint survives strconv.Atoi (unknown stdlib calls propagate).
+func formAlloc(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.FormValue("n"))
+	return make([]byte, n) // want "make size"
+}
+
+func repeatAlloc(r *http.Request) string {
+	n, _ := strconv.Atoi(r.PathValue("n"))
+	return strings.Repeat("x", n) // want "strings.Repeat count"
+}
+
+func headerAlloc(br *bufio.Reader) []uint64 {
+	count, _ := binary.ReadUvarint(br)
+	return make([]uint64, count) // want "make size"
+}
+
+// A comparison is the bounds check: the taint dies at the if.
+func boundedAlloc(r *http.Request) ([]byte, error) {
+	n, err := strconv.Atoi(r.FormValue("n"))
+	if err != nil || n < 0 || n > 1<<20 {
+		return nil, errBad
+	}
+	return make([]byte, n), nil
+}
+
+// len() of decoded data is bounded by the bytes actually received.
+func echoAlloc(r *http.Request) []float64 {
+	var req request
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	out := make([]float64, len(req.Vals))
+	copy(out, req.Vals)
+	return out
+}
+
+// Masking by an untainted bound caps the value.
+func maskedAlloc(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.FormValue("n"))
+	return make([]byte, n&0xfff)
+}
+
+// Interprocedural source: the decode happens one call away and comes
+// back through the callee's summary.
+func readCount(br *bufio.Reader) int {
+	v, _ := binary.ReadUvarint(br)
+	return int(v)
+}
+
+func chainAlloc(br *bufio.Reader) []byte {
+	n := readCount(br)
+	return make([]byte, n) // want "make size"
+}
+
+// Interprocedural sink: the make lives in the callee; the raw
+// parameter reaches it unchecked.
+func alloc(n int) []float64 {
+	return make([]float64, n)
+}
+
+func sinkInCallee(r *http.Request) []float64 {
+	n, _ := strconv.Atoi(r.FormValue("n"))
+	return alloc(n) // want "make size in alloc"
+}
+
+// A callee that bounds-checks its parameter sanitizes the caller's
+// value.
+func clamp(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > 4096 {
+		return 4096
+	}
+	return n
+}
+
+func clampedAlloc(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.FormValue("n"))
+	return make([]byte, clamp(n))
+}
+
+// Audited suppression silences the finding.
+func allowedAlloc(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.FormValue("n"))
+	//lint:allow taintalloc: scratch size is capped by MaxBytesReader upstream
+	return make([]byte, n)
+}

@@ -1,0 +1,96 @@
+// Propagation shapes: taint must follow Go's expression forms — and
+// die at every bounding construct — exactly as documented.
+package fixture
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+type header struct {
+	Sizes []int `json:"sizes"`
+}
+
+// Compound assignment widens; a masking assignment kills.
+func compound(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.FormValue("n"))
+	total := 0
+	total += n
+	out := make([]byte, total) // want "make size"
+	total &= 0xff
+	pad := make([]byte, total)
+	return append(out, pad...)
+}
+
+// Modulo by a constant bounds the value.
+func modAlloc(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.FormValue("n"))
+	n %= 64
+	return make([]byte, n)
+}
+
+// min against an untainted cap bounds the value; the var-decl tuple
+// carries the taint in.
+func declTuple(r *http.Request) []int {
+	var n, err = strconv.Atoi(r.FormValue("n"))
+	if err != nil {
+		return nil
+	}
+	bounded := min(n, 1024)
+	return make([]int, bounded)
+}
+
+// Taint follows range values out of a decoded container.
+func rangeAlloc(r *http.Request) [][]byte {
+	var h header
+	_ = json.NewDecoder(r.Body).Decode(&h)
+	var out [][]byte
+	for _, sz := range h.Sizes {
+		out = append(out, make([]byte, sz)) // want "make size"
+	}
+	return out
+}
+
+// Indexing, slicing, composite literals, unary ops, type assertions
+// and map lookups all carry taint.
+func exprShapes(r *http.Request) []byte {
+	var h header
+	_ = json.NewDecoder(r.Body).Decode(&h)
+	first := h.Sizes[0]
+	tail := h.Sizes[1:]
+	byName := map[string]int{"first": first, "rest": len(tail)}
+	got, ok := byName["first"]
+	if !ok {
+		return nil
+	}
+	var boxed any = -got
+	back, _ := boxed.(int)
+	return make([]byte, back) // want "make size"
+}
+
+// A bounds check on a derived value also clears the root it came
+// from: checking padded proves n small too.
+func derivedKill(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.FormValue("n"))
+	padded := n + 8
+	if padded > 4096 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// Switch arms are branches: the checked arm allocates, the unchecked
+// one is flagged.
+func switchAlloc(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.FormValue("n"))
+	switch r.Method {
+	case http.MethodGet:
+		if n > 1<<16 {
+			return nil
+		}
+		return make([]byte, n)
+	default:
+		return make([]byte, n) // want "make size"
+	}
+}

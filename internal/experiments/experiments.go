@@ -134,6 +134,7 @@ func (c *Config) logf(format string, args ...any) {
 	if c.Quiet || c.Log == nil {
 		return
 	}
+	//lint:allow errdrop: best-effort progress logging; a failing log writer must not abort an experiment
 	fmt.Fprintf(c.Log, format+"\n", args...)
 }
 
@@ -150,19 +151,29 @@ type Result struct {
 
 // Fprint renders the result as an aligned text table.
 func (r *Result) Fprint(w io.Writer) error {
-	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, strings.Join(r.Columns, "\t"))
+	if _, err := fmt.Fprintln(tw, strings.Join(r.Columns, "\t")); err != nil {
+		return err
+	}
 	for _, row := range r.Rows {
-		fmt.Fprintln(tw, strings.Join(row, "\t"))
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 	for _, n := range r.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 	return nil
 }
 

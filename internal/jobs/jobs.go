@@ -335,13 +335,16 @@ func (m *Manager) Submit(spec Spec, truth *grid.Volume, base []byte) (Status, bo
 			j.rec.Error = ""
 			j.rec.Finished = 0
 			j.mu.Unlock()
-			if err := m.persist(j); err != nil {
-				m.mu.Unlock()
-				return Status{}, false, err
-			}
 			m.pending = append(m.pending, id)
 			m.updateDepthLocked()
 			m.mu.Unlock()
+			// Persist outside m.mu: the fsync must not stall every other
+			// job operation (lockheld). The enqueue already took effect,
+			// so a persist failure is best-effort like finish()'s — the
+			// worker rewrites the record with fresher state on dequeue.
+			if err := m.persist(j); err != nil {
+				telemetry.Warnf("jobs: persisting resubmission failed", "job", id, "err", err)
+			}
 			m.kick()
 			m.tel.Counter("jobs.resubmitted").Inc()
 			return j.snapshot(), true, nil
@@ -354,16 +357,26 @@ func (m *Manager) Submit(spec Spec, truth *grid.Volume, base []byte) (Status, bo
 		m.mu.Unlock()
 		return Status{}, false, ErrQueueFull
 	}
+	// Reserve the id under the lock, then do the disk writes (gob
+	// encode + two fsyncs) unlocked so concurrent submits and status
+	// queries are not serialized behind them. A duplicate Submit in the
+	// window sees the reservation and returns it idempotently; Cancel
+	// in the window marks it cancelled and the worker's dequeue guard
+	// skips it.
 	j := &job{rec: Record{ID: id, Spec: spec, State: StateQueued, Created: m.cfg.Now()}}
-	if err := m.writeInput(id, jobInput{Truth: truth, Base: base}); err != nil {
-		m.mu.Unlock()
-		return Status{}, false, err
-	}
-	if err := m.persist(j); err != nil {
-		m.mu.Unlock()
-		return Status{}, false, err
-	}
 	m.jobs[id] = j
+	m.mu.Unlock()
+
+	err := m.writeInput(id, jobInput{Truth: truth, Base: base})
+	if err == nil {
+		err = m.persist(j)
+	}
+	m.mu.Lock()
+	if err != nil {
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		return Status{}, false, err
+	}
 	m.pending = append(m.pending, id)
 	m.updateDepthLocked()
 	m.mu.Unlock()
@@ -409,10 +422,11 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.rec.State = StateCancelled
 		j.rec.Finished = m.cfg.Now()
 		j.mu.Unlock()
-		err := m.persist(j)
 		m.updateDepthLocked()
 		m.mu.Unlock()
-		if err != nil {
+		// Persist after releasing m.mu (lockheld): the record's state is
+		// already final in memory; the fsync only makes it durable.
+		if err := m.persist(j); err != nil {
 			return Status{}, err
 		}
 		m.tel.Counter("jobs.cancelled").Inc()
@@ -422,9 +436,8 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.rec.State = StateCancelling
 		cancel := j.cancel
 		j.mu.Unlock()
-		err := m.persist(j)
 		m.mu.Unlock()
-		if err != nil {
+		if err := m.persist(j); err != nil {
 			return Status{}, err
 		}
 		if cancel != nil {

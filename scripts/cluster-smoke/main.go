@@ -194,12 +194,18 @@ func scanAddr(r io.Reader) (string, error) {
 	sc := bufio.NewScanner(r)
 	deadline := time.After(10 * time.Second)
 	lines := make(chan string)
-	//lint:allow rawgoroutine: banner scanner bounded by the deadline select; exits when the pipe closes
+	quit := make(chan struct{})
+	defer close(quit)
+	//lint:allow rawgoroutine: banner scanner; exits via quit when scanAddr returns, or when the pipe closes
 	go func() {
+		defer close(lines)
 		for sc.Scan() {
-			lines <- sc.Text()
+			select {
+			case lines <- sc.Text():
+			case <-quit:
+				return
+			}
 		}
-		close(lines)
 	}()
 	for {
 		select {
